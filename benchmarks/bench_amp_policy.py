@@ -1,0 +1,71 @@
+"""Ablation: mixed-precision policy knobs (Table IV sensitivity).
+
+DESIGN.md design choice: cuDNN's TC-kernel coverage (tc_fraction) and
+the pointwise traffic ratio drive the convnet rows of Table IV.  The
+bench sweeps the policy and verifies the expected monotone responses.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.dl import PrecisionPolicy, build_model, train_step
+from repro.dl.layers import Conv2D
+from repro.dl.lowering import lower_training_step
+from repro.hardware import get_device
+from repro.sim.engine import SimulatedDevice
+
+
+def _step_time(model, policy):
+    device = get_device("v100")
+    sim = SimulatedDevice(device)
+    for k in lower_training_step(model, device, policy):
+        sim.launch(k)
+    return sim.elapsed
+
+
+def bench_pointwise_ratio_sweep(benchmark):
+    model = build_model("Resnet50")
+    fp32 = _step_time(model, PrecisionPolicy("fp32"))
+
+    def sweep():
+        return {
+            ratio: fp32 / _step_time(
+                model, PrecisionPolicy("mixed", pointwise_traffic_ratio=ratio)
+            )
+            for ratio in (0.5, 0.8, 1.0)
+        }
+
+    speedups = benchmark(sweep)
+    # Cheaper pointwise => better mixed speedup, monotonically.
+    assert speedups[0.5] > speedups[0.8] > speedups[1.0]
+
+
+def bench_tc_coverage_sweep(benchmark):
+    """Speedup as a function of cuDNN TC coverage of a conv layer."""
+    device = get_device("v100")
+
+    def sweep():
+        out = {}
+        for frac in (0.0, 0.5, 1.0):
+            conv = Conv2D("c", 256, 256, 28, 28, tc_fraction=frac)
+            (op,) = conv.ops(batch=64)
+            fp32 = _op_time(op, device, PrecisionPolicy("fp32"))
+            mixed = _op_time(op, device, PrecisionPolicy("mixed"))
+            out[frac] = fp32 / mixed
+        return out
+
+    speedups = benchmark(sweep)
+    assert speedups[0.0] < speedups[0.5] < speedups[1.0]
+    # Full TC coverage approaches the raw TC/FP32 kernel ratio (~8x
+    # before cast overhead).
+    assert speedups[1.0] > 4.0
+
+
+def _op_time(op, device, policy):
+    from repro.dl.lowering import _op_kernels
+
+    sim = SimulatedDevice(device)
+    for k in _op_kernels(op, device, policy, suffix="fwd"):
+        sim.launch(k)
+    return sim.elapsed

@@ -1,0 +1,20 @@
+"""Regenerate Fig. 1 (V100 power traces: HGEMM-TC vs SGEMM vs DGEMM)."""
+
+import pytest
+
+from repro.harness import fig1
+
+
+def bench_fig1(benchmark):
+    f = benchmark(fig1)
+    s = f["series"]
+    # Everything runs near the 300 W TDP …
+    for v in s.values():
+        assert 260.0 <= v["avg_power_w"] <= 300.0
+    # … the TC variant slightly below the FPU GEMMs (dark silicon) …
+    assert s["HGEMM (with TC)"]["avg_power_w"] < s["SGEMM"]["avg_power_w"]
+    assert s["SGEMM"]["avg_power_w"] < s["DGEMM"]["avg_power_w"]
+    # … at several times the throughput (the ~7.6x HGEMM/SGEMM kernel gap).
+    assert s["HGEMM (with TC)"]["tflops"] / s["SGEMM"]["tflops"] == pytest.approx(
+        6.4, abs=1.5
+    )

@@ -1,0 +1,26 @@
+"""Regenerate Fig. 2 (ResNet50 training energy efficiency across chips)."""
+
+import pytest
+
+from repro.harness import fig2
+
+
+def bench_fig2(benchmark):
+    f = benchmark(fig2)
+    rows = {r["device"]: r for r in f["rows"]}
+    assert len(rows) == 7
+    # Marginal generational gains at fp32 (the figure's message) …
+    assert (
+        rows["v100"]["fp32_samples_per_j"]
+        / rows["gtx1080ti"]["fp32_samples_per_j"]
+        < 1.6
+    )
+    # … but mixed precision doubles throughput at comparable power.
+    v100 = rows["v100"]
+    assert v100["mixed_samples_per_s"] / v100["fp32_samples_per_s"] == (
+        pytest.approx(2.0, abs=0.4)
+    )
+    assert v100["mixed_power_w"] == pytest.approx(v100["fp32_power_w"], rel=0.25)
+    # CPU brings up the rear.
+    worst = min(rows.values(), key=lambda r: r["fp32_samples_per_j"])
+    assert worst["device"] == "xeon-gold-6148"

@@ -1,0 +1,32 @@
+"""Regenerate Fig. 4 (node-hour reduction extrapolations)."""
+
+import math
+
+import pytest
+
+from repro.harness import fig4
+
+
+def _reduction(panel, speedup):
+    for pt in panel["series"]:
+        if pt["speedup"] == speedup:
+            return pt["reduction"] * 100
+    raise KeyError(speedup)
+
+
+def bench_fig4(benchmark):
+    f = benchmark(fig4)
+    k = f["panels"]["4a_k_computer"]
+    anl = f["panels"]["4b_anl"]
+    fut = f["panels"]["4c_future"]
+    # Fig. 4a: K computer — 5.3 % at 4x, 7.1 % at infinity.
+    assert _reduction(k, 4.0) == pytest.approx(5.3, abs=0.7)
+    assert _reduction(k, math.inf) == pytest.approx(7.1, abs=0.7)
+    # Fig. 4b: ANL — 11.5 % at 4x.
+    assert _reduction(anl, 4.0) == pytest.approx(11.5, abs=1.5)
+    # Fig. 4c: future 20 %-AI system — 23.8 % / 32.8 %.
+    assert _reduction(fut, 4.0) == pytest.approx(23.8, abs=1.5)
+    assert _reduction(fut, math.inf) == pytest.approx(32.8, abs=1.5)
+    # Domain shares are well-formed in every panel.
+    for panel in f["panels"].values():
+        assert sum(d["share"] for d in panel["domains"]) == pytest.approx(1.0)

@@ -1,0 +1,14 @@
+"""Regenerate the Sec. III-A K-computer symbol-table analysis."""
+
+import pytest
+
+from repro.harness import section_iii_a
+
+
+def bench_section_iii_a(benchmark):
+    s = benchmark(section_iii_a)
+    a = s["attribution"]
+    assert a.coverage == pytest.approx(0.96, abs=0.015)
+    assert a.gemm_fraction == pytest.approx(0.534, abs=0.02)
+    assert a.gemm_node_hours == pytest.approx(277_258_182, rel=0.05)
+    assert a.best_case_halving

@@ -1,0 +1,19 @@
+"""Bench: the strong-scaling erosion of the ME's value (extension)."""
+
+import pytest
+
+from repro.analysis import hpl_strong_scaling
+
+
+def bench_hpl_strong_scaling(benchmark):
+    sweep = benchmark(
+        hpl_strong_scaling, n=16384, node_counts=(1, 16, 256)
+    )
+    shares = [pt.gemm_fraction for pt in sweep]
+    savings = [pt.me_reduction(4.0) for pt in sweep]
+    assert shares == sorted(shares, reverse=True)
+    assert savings == sorted(savings, reverse=True)
+    # From near-ideal to marginal: the single-node promise does not
+    # survive 256 ranks.
+    assert shares[0] > 0.9
+    assert shares[-1] < 0.3

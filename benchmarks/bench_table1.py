@@ -1,0 +1,18 @@
+"""Regenerate Table I (ME architecture survey + compute densities)."""
+
+import pytest
+
+from repro.harness import table_i
+
+
+def bench_table_i(benchmark):
+    t = benchmark(table_i)
+    rows = {r["system"]: r for r in t["rows"]}
+    # The paper's headline density facts must hold.
+    assert rows["NVIDIA Tesla V100"]["density_f16"] == pytest.approx(153.4, abs=0.1)
+    assert rows["NVIDIA Tesla A100"]["density_f16"] == pytest.approx(377.7, abs=0.2)
+    assert rows["Huawei Ascend 910"]["density_f16"] == pytest.approx(208.5, abs=0.2)
+    assert rows["IBM Power10"]["density_f16"] == pytest.approx(27.2, abs=0.1)
+    # Power10 reaches only ~18 % of the V100's density (Sec. II-B).
+    ratio = rows["IBM Power10"]["density_f16"] / rows["NVIDIA Tesla V100"]["density_f16"]
+    assert ratio == pytest.approx(0.18, abs=0.01)

@@ -1,0 +1,20 @@
+"""Regenerate Table II (scalar vs AVX2 GEMM energy on the Xeon)."""
+
+import pytest
+
+from repro.harness import table_ii
+
+PAPER = {
+    ("DGEMM", "(none)"): (34.22, 1.23),
+    ("DGEMM", "AVX2"): (12.49, 2.92),
+    ("SGEMM", "(none)"): (16.79, 2.65),
+    ("SGEMM", "AVX2"): (6.36, 5.92),
+}
+
+
+def bench_table_ii(benchmark):
+    t = benchmark(table_ii)
+    rows = {(r["precision"], r["vector_extension"]): r for r in t["rows"]}
+    for key, (walltime, eff) in PAPER.items():
+        assert rows[key]["walltime_s"] == pytest.approx(walltime, rel=0.06)
+        assert rows[key]["gflop_per_joule"] == pytest.approx(eff, rel=0.06)

@@ -1,0 +1,19 @@
+"""Regenerate Table III (Spack dependency distances)."""
+
+import pytest
+
+from repro.harness import table_iii
+
+
+def bench_table_iii(benchmark):
+    t = benchmark(table_iii)
+    by_dist = {r["distance"]: r for r in t["rows"]}
+    # Raw column: exact reproduction of the published histogram.
+    assert by_dist[0]["count"] == 14
+    assert by_dist[1]["count"] == 239
+    assert by_dist[2]["count"] == 762
+    assert by_dist[3]["count"] == 968
+    assert by_dist["1-inf"]["count"] == 3061
+    assert by_dist["1-inf"]["percent"] == pytest.approx(70.03, abs=0.01)
+    # Merged column: the ~halving of reachable share.
+    assert by_dist["1-inf"]["percent_merged"] == pytest.approx(51.45, abs=4.0)

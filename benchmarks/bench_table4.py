@@ -1,0 +1,32 @@
+"""Regenerate Table IV (FP32 -> mixed speedups + TC occupancy)."""
+
+import pytest
+
+from repro.harness import table_iv
+
+
+def bench_table_iv(benchmark, paper_table_iv):
+    t = benchmark(table_iv)
+    rows = {r["benchmark"]: r for r in t["rows"]}
+    assert len(rows) == 12
+    # Speedups within a band of the paper (except the internally
+    # inconsistent GEMM row; see EXPERIMENTS.md).
+    for name, (speedup, *_rest) in paper_table_iv.items():
+        if name == "GEMM":
+            assert rows[name]["speedup"] > 3.0
+            continue
+        assert rows[name]["speedup"] == pytest.approx(
+            speedup, rel=0.30, abs=0.25
+        ), name
+    # The qualitative claims of Sec. III-C3.
+    assert rows["BERT"]["speedup"] > 2.5  # transformers ~4x class
+    assert 1.5 < rows["Resnet50"]["speedup"] < 2.5  # convnets ~2x class
+    assert rows["NCF"]["speedup"] < 1.0
+    assert rows["Cosmoflow"]["tc_pct"] < 0.5
+
+
+def bench_table_iv_single_model(benchmark):
+    from repro.dl import profile_mixed_precision
+
+    rep = benchmark(profile_mixed_precision, "Resnet50")
+    assert rep.speedup == pytest.approx(1.97, abs=0.4)

@@ -1,0 +1,42 @@
+"""Regenerate Table VIII (cuBLAS vs Ozaki GEMM-TC emulation)."""
+
+import pytest
+
+from repro.harness import table_viii
+
+
+def bench_table_viii(benchmark):
+    t = benchmark(table_viii)
+    rows = {(r["implementation"], r["condition"]): r for r in t["rows"]}
+
+    # Native cuBLAS rows: calibrated to the paper's measurements.
+    assert rows[("cublasGemmEx", "FP16/FP32-mixed")]["tflops"] == pytest.approx(92.28, rel=0.01)
+    assert rows[("cublasSgemm", "—")]["tflops"] == pytest.approx(14.54, rel=0.01)
+    assert rows[("cublasDgemm", "—")]["tflops"] == pytest.approx(7.20, rel=0.01)
+
+    # Emulation rows: correct orderings and monotone range degradation.
+    for target in ("SGEMM-TC", "DGEMM-TC"):
+        series = [
+            rows[(target, f"input range: 1e+{d:02d}")]["tflops"]
+            for d in (8, 16, 32)
+        ]
+        assert series[0] > series[1] > series[2]
+    for cond in ("1e+08", "1e+16", "1e+32"):
+        s = rows[("SGEMM-TC", f"input range: {cond}")]
+        d = rows[("DGEMM-TC", f"input range: {cond}")]
+        assert s["tflops"] > d["tflops"]
+        assert d["tflops"] < rows[("cublasDgemm", "—")]["tflops"]
+
+
+def bench_ozaki_numerics(benchmark):
+    """The numerical half of Table VIII: DGEMM-equivalent accuracy."""
+    import numpy as np
+
+    from repro.ozaki import ozaki_gemm
+
+    rng = np.random.default_rng(8)
+    a = rng.normal(size=(96, 96)) * np.exp(rng.uniform(0, 18, (96, 96)))
+    b = rng.normal(size=(96, 96)) * np.exp(rng.uniform(0, 18, (96, 96)))
+    result = benchmark(ozaki_gemm, a, b, accuracy="dgemm")
+    scale = np.abs(a) @ np.abs(b)
+    assert (np.abs(result.c - a @ b) <= 8 * 96 * 2.0**-53 * scale).all()

@@ -1,0 +1,62 @@
+"""Ablation: effect of the roofline's memory bound on Fig. 3 fractions.
+
+DESIGN.md design choice: workload fractions are computed with a
+two-bound roofline.  Removing the memory bound (a fictional
+infinite-bandwidth Xeon) shifts GEMM shares upward for apps whose
+"other" work is bandwidth-bound — quantifying how much of Fig. 3's
+shape comes from the memory system rather than flop counts.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.hardware import get_device
+from repro.workloads import get_workload, profile_workload
+
+
+def _infinite_bandwidth_system1():
+    base = get_device("system1")
+    mem = dataclasses.replace(base.memory, bandwidth_bps=1e18)
+    return dataclasses.replace(base, name="system1-infbw", memory=mem)
+
+
+def bench_memory_bound_ablation(benchmark):
+    hpl = get_workload("HPL")
+    laghos = get_workload("ECP/Laghos")
+
+    def run():
+        real = {
+            "HPL": profile_workload(hpl, "system1").gemm_fraction,
+            "Laghos": profile_workload(laghos, "system1").gemm_fraction,
+        }
+        infbw = {
+            "HPL": profile_workload(hpl, _infinite_bandwidth_system1()).gemm_fraction,
+            "Laghos": profile_workload(
+                laghos, _infinite_bandwidth_system1()
+            ).gemm_fraction,
+        }
+        return real, infbw
+
+    real, infbw = benchmark(run)
+    # Without a memory bound, the bandwidth-bound non-GEMM phases
+    # collapse and the GEMM share rises substantially.
+    assert infbw["HPL"] > real["HPL"] + 0.05
+    assert infbw["Laghos"] > real["Laghos"] + 0.10
+
+
+def bench_device_dependence(benchmark):
+    """The same workload profiled on CPU vs GPU models: fractions are
+    a property of (workload, machine), as the paper's methodology
+    implies."""
+    w = get_workload("RIKEN/NTChem")
+
+    def run():
+        return (
+            profile_workload(w, "system1").gemm_fraction,
+            profile_workload(w, "v100").gemm_fraction,
+        )
+
+    cpu, gpu = benchmark(run)
+    assert 0.0 < cpu < 1.0 and 0.0 < gpu < 1.0
+    assert cpu != pytest.approx(gpu, abs=1e-6)

@@ -1,0 +1,44 @@
+"""Shared fixtures for the paper-artefact benchmark suite.
+
+Every ``bench_*`` module regenerates one table or figure of the paper
+under ``pytest-benchmark`` timing and asserts its shape claims, so
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction's
+end-to-end check.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def paper_table_iv():
+    """The paper's Table IV values: (speedup, %TC, %TC comp, %Mem)."""
+    return {
+        "BERT": (3.39, 50.86, 55.26, 7.97),
+        "Cosmoflow": (1.16, 0.04, 0.05, 22.90),
+        "VGG16": (1.71, 12.30, 12.74, 3.45),
+        "Resnet50": (1.97, 16.32, 16.78, 2.76),
+        "DeepLabV3": (1.75, 16.33, 16.44, 0.69),
+        "SSD300": (1.78, 8.55, 8.66, 1.32),
+        "NCF": (0.97, 22.37, 26.79, 16.50),
+        "GEMM": (7.59, 20.08, 99.90, 79.90),
+        "GRU": (3.67, 6.59, 7.48, 11.94),
+        "LSTM": (5.69, 11.63, 13.85, 16.03),
+        "Conv2D": (1.12, 0.27, 0.32, 16.78),
+        "Attention": (3.49, 44.49, 58.19, 23.55),
+    }
+
+
+@pytest.fixture(scope="session")
+def paper_fig3_gemm():
+    """The GEMM shares the paper reports in Sec. III-D3 (percent)."""
+    return {
+        "HPL": 76.81,
+        "Laghos": 41.24,
+        "NTChem": 25.78,
+        "Nekbone": 4.58,
+        "botsspar": 18.9,
+        "bt331": 14.16,
+        "milc": 40.16,
+        "dmilc": 35.57,
+        "socorro": 9.52,
+    }

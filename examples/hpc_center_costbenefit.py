@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Cost-benefit assessment for an HPC centre's own workload mix.
+
+The paper's closing advice: "individual HPC centers need to revisit
+their particular priority applications to make a final assessment."
+This example is that assessment, runnable for any domain mix: profile
+the centre's priority applications (Fig. 3 machinery), feed the
+measured GEMM + (Sca)LAPACK fractions into the Fig. 4 extrapolation,
+and print the verdict for a range of ME speedups — alongside the
+paper's three reference machines.
+
+Run:  python examples/hpc_center_costbenefit.py
+"""
+
+import math
+
+from repro.analysis import assess_scenario
+from repro.extrapolate import (
+    DomainWorkload,
+    NodeHourModel,
+    anl_scenario,
+    fugaku_scenario,
+    future_scenario,
+    k_computer_scenario,
+)
+from repro.harness.textfmt import render_table
+from repro.workloads import get_workload, profile_workload
+
+
+def build_my_center() -> NodeHourModel:
+    """EDIT HERE: your centre's domain mix and priority applications."""
+    mix = (
+        # (domain, node-hour share, representative workload)
+        ("Weather & climate", 0.35, "RIKEN/NICAM"),
+        ("Quantum chemistry", 0.20, "RIKEN/NTChem"),
+        ("CFD", 0.20, "ECP/Nekbone"),
+        ("Lattice QCD", 0.10, "SPEC MPI/milc"),
+        ("Genomics", 0.10, "RIKEN/NGSA"),
+        ("Dense solvers", 0.05, "TOP500/HPL"),
+    )
+    domains = []
+    for domain, share, app in mix:
+        report = profile_workload(get_workload(app))
+        accelerable = report.gemm_fraction + report.lapack_fraction
+        domains.append(
+            DomainWorkload(domain, share, report.workload, accelerable)
+        )
+        print(f"  {domain:<18s} {share * 100:4.0f}%  rep={report.workload:<8s} "
+              f"GEMM+LAPACK = {accelerable * 100:5.2f}%")
+    return NodeHourModel("my-center", tuple(domains))
+
+
+def main() -> None:
+    print("Profiling priority applications ...")
+    center = build_my_center()
+
+    machines = [
+        center,
+        k_computer_scenario(),
+        anl_scenario(),
+        fugaku_scenario(),
+        future_scenario(),
+    ]
+    rows = []
+    for m in machines:
+        rows.append([
+            m.name,
+            *(f"{m.reduction(s) * 100:.1f}%" for s in (2.0, 4.0, 8.0)),
+            f"{m.reduction(math.inf) * 100:.1f}%",
+            f"x{m.throughput_improvement(4.0):.3f}",
+        ])
+    print()
+    print(render_table(
+        ["Machine", "2x ME", "4x ME", "8x ME", "inf ME",
+         "throughput @4x"],
+        rows,
+        title="Node-hour reduction from a hypothetical matrix engine",
+    ))
+
+    print()
+    for m in machines:
+        print(assess_scenario(m).verdict())
+
+
+if __name__ == "__main__":
+    main()

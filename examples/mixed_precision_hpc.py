@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The Sec. V opportunities, live: three ways an ME serves fp64 HPC.
+
+1. **Iterative refinement** — factorise in fp16 (what an engine is fast
+   at), refine in fp64: full double-precision solves from half-precision
+   silicon (Sec. V-A3).
+2. **Reproducible BLAS** — Ozaki-scheme dot/GEMV: bit-identical results
+   at any thread count (Sec. IV-B's "other notable features").
+3. **Sparse-times-sparse on tiles** — the Zachariadis SpGEMM: where in
+   the density spectrum a matrix engine starts beating CSR (Sec. V-A2).
+
+Run:  python examples/mixed_precision_hpc.py
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.analysis import crossover_density
+from repro.harness.textfmt import render_table
+from repro.ozaki import ozaki_dot
+from repro.precision import lu_iterative_refinement
+
+
+def refinement_demo() -> None:
+    rng = np.random.default_rng(42)
+    n = 96
+    a = rng.normal(size=(n, n)) + n * np.eye(n)
+    b = rng.normal(size=n)
+    rows = []
+    for fmt in ("fp16", "bf16", "fp32", "fp64"):
+        res = lu_iterative_refinement(a, b, factorization=fmt)
+        true_res = float(np.linalg.norm(a @ res.x - b) / np.linalg.norm(b))
+        rows.append([fmt, res.iterations, f"{true_res:.1e}",
+                     "yes" if res.converged else "no"])
+    print(render_table(
+        ["LU format", "IR iterations", "final residual", "fp64-accurate"],
+        rows,
+        title="1. Iterative refinement: fp64 solves from low-precision LU",
+    ))
+
+
+def reproducibility_demo() -> None:
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=10_000) * np.exp(rng.uniform(-12, 12, 10_000))
+    y = rng.normal(size=10_000) * np.exp(rng.uniform(-12, 12, 10_000))
+    d1 = ozaki_dot(x, y)
+    d2 = ozaki_dot(x[::-1][::-1], y.copy())  # different memory walk
+    naive_fwd = float(np.dot(x, y))
+    naive_rev = float(np.dot(x[::-1], y[::-1]))
+    print("\n2. Reproducible dot products (10k wide-range elements):")
+    print(f"   ozaki_dot, two layouts : {d1!r} == {d2!r} -> "
+          f"{'BIT-IDENTICAL' if d1 == d2 else 'MISMATCH'}")
+    print(f"   plain fp64, two orders : differ by "
+          f"{abs(naive_fwd - naive_rev):.3e}")
+
+
+def spgemm_demo() -> None:
+    rows = []
+    for r in crossover_density(n=384, densities=(0.002, 0.02, 0.1, 0.3, 0.6)):
+        rows.append([
+            f"{r['density'] * 100:.1f}%",
+            f"{r['csr_seconds'] * 1e6:.1f} us",
+            f"{r['me_seconds'] * 1e6:.1f} us",
+            f"{r['speedup']:.2f}x",
+            "matrix engine" if r["speedup"] > 1.0 else "CSR",
+        ])
+    print()
+    print(render_table(
+        ["Density", "CSR SpGEMM", "Tiled-ME SpGEMM", "ME speedup", "Winner"],
+        rows,
+        title="3. SpGEMM on Tensor-Core tiles: the density crossover "
+        "(V100 model, 384x384)",
+    ))
+
+
+if __name__ == "__main__":
+    refinement_demo()
+    reproducibility_demo()
+    spgemm_demo()

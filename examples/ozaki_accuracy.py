@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Emulating DGEMM on an fp16 matrix engine: the Ozaki scheme live.
+
+Demonstrates Sec. IV-B's claims with real numerics:
+
+1. a plain fp16 matrix-engine GEMM loses ~3 digits;
+2. the Ozaki-split emulation recovers full DGEMM-equivalent accuracy
+   using *only* fp16-multiply/fp32-accumulate engine products;
+3. the product count — the performance cost — grows with the input's
+   exponent range (Table VIII's 1e+8/1e+16/1e+32 effect);
+4. the result is bit-reproducible.
+
+Run:  python examples/ozaki_accuracy.py
+"""
+
+import numpy as np
+
+from repro.harness.textfmt import render_table
+from repro.ozaki import ozaki_gemm
+from repro.precision import me_gemm
+
+
+def wide_matrix(rng, shape, decades):
+    mantissa = rng.normal(size=shape)
+    exponent = rng.uniform(0.0, decades * np.log(10.0), size=shape)
+    return mantissa * np.exp(exponent)
+
+
+def main() -> None:
+    rng = np.random.default_rng(2021)
+    rows = []
+    for decades in (0, 8, 16, 32):
+        a = wide_matrix(rng, (96, 96), decades)
+        b = wide_matrix(rng, (96, 96), decades)
+        reference = a @ b  # fp64 BLAS
+        scale = np.abs(a) @ np.abs(b)
+
+        naive = me_gemm(a, b)  # raw fp16-multiply engine
+        emulated = ozaki_gemm(a, b, accuracy="dgemm")
+
+        naive_err = float((np.abs(naive - reference) / scale).max())
+        ozaki_err = float((np.abs(emulated.c - reference) / scale).max())
+        # Wide-range values overflow binary16 entirely — the raw engine
+        # cannot even represent the inputs.
+        naive_txt = f"{naive_err:.1e}" if np.isfinite(naive_err) else "overflow"
+        rows.append([
+            f"1e+{decades:02d}" if decades else "unit",
+            naive_txt,
+            f"{ozaki_err:.1e}",
+            emulated.split_a.num_slices,
+            emulated.num_products,
+        ])
+    print(render_table(
+        ["Input range", "raw fp16-ME error", "Ozaki DGEMM-TC error",
+         "slices", "engine products"],
+        rows,
+        title="Emulated DGEMM accuracy on an fp16x fp16+fp32 matrix engine "
+        "(error relative to |A||B|)",
+    ))
+
+    # Bit-reproducibility: identical results across repeated runs.
+    a = wide_matrix(rng, (64, 64), 12)
+    b = wide_matrix(rng, (64, 64), 12)
+    c1 = ozaki_gemm(a, b, accuracy="dgemm").c
+    c2 = ozaki_gemm(a, b, accuracy="dgemm").c
+    print(f"\nBit-reproducible: {np.array_equal(c1, c2)}")
+    print(
+        "Raw fp16 engines lose ~3 significant digits; the Ozaki scheme "
+        "recovers all 15-16 — the paper's argument that low-precision MEs "
+        "can still serve double-precision HPC."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: a five-minute tour of the `repro` toolkit.
+
+Walks the pipeline the paper builds: model a device, run an instrumented
+workload under the Score-P-like profiler, read its dense-linear-algebra
+split, and ask the cost-benefit engine whether a matrix engine would be
+worth the silicon for a machine dominated by that workload.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import assess_scenario, dark_silicon_analysis
+from repro.extrapolate import DomainWorkload, NodeHourModel
+from repro.hardware import get_device
+from repro.sim import KernelLaunch, SimulatedDevice
+from repro.workloads import get_workload, profile_workload
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Devices: the registry ships every machine the paper touches.
+    # ------------------------------------------------------------------
+    v100 = get_device("v100")
+    print(f"Device: {v100.name} — {v100.die_mm2:.0f} mm^2, "
+          f"{v100.tdp_w:.0f} W TDP")
+    print(f"  fp64 peak: {v100.peak('fp64') / 1e12:.1f} Tflop/s (FPUs)")
+    print(f"  fp16 peak: {v100.peak('fp16') / 1e12:.1f} Tflop/s "
+          "(Tensor Cores)")
+
+    # ------------------------------------------------------------------
+    # 2. Simulate a kernel: the engine prices work with a roofline +
+    #    calibrated power model.
+    # ------------------------------------------------------------------
+    sim = SimulatedDevice(v100)
+    record = sim.launch(KernelLaunch.gemm(8192, 8192, 8192, fmt="fp64"))
+    print(f"\nDGEMM 8192^3 on the V100 model: "
+          f"{record.achieved_flops / 1e12:.2f} Tflop/s at "
+          f"{record.power_w:.0f} W on unit '{record.unit}'")
+
+    # ------------------------------------------------------------------
+    # 3. Profile a workload (the Fig. 3 machinery): fractions emerge
+    #    from the app's kernel stream, not from a lookup table.
+    # ------------------------------------------------------------------
+    for name in ("HPL", "TOP500/HPCG", "RIKEN/NTChem"):
+        report = profile_workload(get_workload(name))
+        print("\n" + report.row())
+
+    # ------------------------------------------------------------------
+    # 4. Cost-benefit: would an ME pay off for a machine running 60 %
+    #    NTChem-like chemistry and 40 % HPCG-like solvers?
+    # ------------------------------------------------------------------
+    ntchem = profile_workload(get_workload("RIKEN/NTChem"))
+    hpcg = profile_workload(get_workload("TOP500/HPCG"))
+    machine = NodeHourModel(
+        "chem-center",
+        (
+            DomainWorkload("Chemistry", 0.6, "NTChem",
+                           ntchem.gemm_fraction + ntchem.lapack_fraction),
+            DomainWorkload("Solvers", 0.4, "HPCG",
+                           hpcg.gemm_fraction + hpcg.lapack_fraction),
+        ),
+    )
+    verdict = assess_scenario(machine, me_speedup=4.0)
+    print("\n" + verdict.verdict())
+
+    # ------------------------------------------------------------------
+    # 5. The dark-silicon argument: why the TC area is "free" anyway.
+    # ------------------------------------------------------------------
+    print("\n" + dark_silicon_analysis("v100").summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Beyond the paper: does the matrix engine's value survive scale?
+
+The paper profiles single-node runs.  Real HPL runs on thousands of
+nodes, where each rank's GEMM work shrinks as O(n^3/P) while panel and
+broadcast costs shrink only as O(n^2/sqrt(P)) — strong scaling eats the
+very fraction a matrix engine accelerates.  This study runs the
+distributed blocked LU across process grids and two interconnects and
+shows the ME's node-hour saving eroding with machine size.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.analysis import hpl_strong_scaling
+from repro.harness.textfmt import bar_chart, render_table
+
+
+def main() -> None:
+    node_counts = (1, 4, 16, 64, 256)
+    rows = []
+    sweeps = {}
+    for label, bw in (("12.5 GB/s (EDR-class)", 12.5e9),
+                      ("50 GB/s (fat fabric)", 50e9)):
+        sweeps[label] = hpl_strong_scaling(
+            n=16384, node_counts=node_counts, network_bps=bw
+        )
+    for i, p in enumerate(node_counts):
+        slow = sweeps["12.5 GB/s (EDR-class)"][i]
+        fast = sweeps["50 GB/s (fat fabric)"][i]
+        rows.append([
+            p,
+            f"{slow.gemm_fraction * 100:.1f}%",
+            f"{slow.me_reduction(4.0) * 100:.1f}%",
+            f"{fast.gemm_fraction * 100:.1f}%",
+            f"{fast.me_reduction(4.0) * 100:.1f}%",
+        ])
+    print(render_table(
+        ["Nodes", "GEMM share (slow net)", "ME@4x saves",
+         "GEMM share (fast net)", "ME@4x saves"],
+        rows,
+        title="HPL strong scaling (n=16384, Xeon nodes): the accelerable "
+        "fraction erodes with machine size",
+    ))
+
+    print()
+    print(bar_chart(
+        [(f"{pt.nodes:4d} nodes", pt.me_reduction(4.0) * 100)
+         for pt in sweeps["12.5 GB/s (EDR-class)"]],
+        max_value=80.0,
+        title="Runtime saving from a 4x ME, by machine size (slow fabric):",
+    ))
+    print(
+        "\nReading: even for HPL — the *best-case* ME workload — the "
+        "engine's value at 256 nodes is a fraction of its single-node "
+        "promise.  The paper's cautious conclusion gets stronger, not "
+        "weaker, at scale; faster interconnects claw some of it back."
+    )
+
+
+if __name__ == "__main__":
+    main()

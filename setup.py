@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project is fully described by pyproject.toml; this file exists so
+that ``pip install -e . --no-use-pep517`` (the ``setup.py develop``
+path) works on air-gapped machines whose environments lack the
+``wheel`` package required by PEP-660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""repro — reproduction of *Matrix Engines for High Performance
+Computing: A Paragon of Performance or Grasping at Straws?* (Domke et
+al., IPDPS 2021).
+
+The public API re-exports the entry points a downstream user needs:
+
+* device models and the simulator (:mod:`repro.hardware`, :mod:`repro.sim`),
+* the instrumented math library (:mod:`repro.blas`),
+* workload profiling — the Fig. 3 machinery (:mod:`repro.workloads`),
+* the DL mixed-precision study — Table IV / Fig. 2 (:mod:`repro.dl`),
+* the Ozaki GEMM emulation — Table VIII (:mod:`repro.ozaki`),
+* ecosystem analyses — Table III / Sec. III-A (:mod:`repro.spackdep`,
+  :mod:`repro.joblog`),
+* cost-benefit extrapolation — Fig. 4 (:mod:`repro.extrapolate`,
+  :mod:`repro.analysis`),
+* and the artefact regeneration harness (:mod:`repro.harness`).
+"""
+
+from repro.errors import ReproError
+from repro.hardware import get_device, all_devices
+from repro.sim import (
+    KernelKind,
+    KernelLaunch,
+    SimulatedDevice,
+    execution_context,
+)
+from repro.precision import FP16, BF16, TF32, FP32, FP64, me_gemm, quantize
+from repro.workloads import all_workloads, get_workload, profile_workload
+from repro.dl import build_model, profile_mixed_precision, train_step
+from repro.ozaki import ozaki_gemm
+from repro.extrapolate import (
+    anl_scenario,
+    future_scenario,
+    k_computer_scenario,
+)
+from repro.analysis import assess_scenario, dark_silicon_analysis
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "get_device",
+    "all_devices",
+    "KernelKind",
+    "KernelLaunch",
+    "SimulatedDevice",
+    "execution_context",
+    "FP16",
+    "BF16",
+    "TF32",
+    "FP32",
+    "FP64",
+    "quantize",
+    "me_gemm",
+    "get_workload",
+    "all_workloads",
+    "profile_workload",
+    "build_model",
+    "train_step",
+    "profile_mixed_precision",
+    "ozaki_gemm",
+    "k_computer_scenario",
+    "anl_scenario",
+    "future_scenario",
+    "assess_scenario",
+    "dark_silicon_analysis",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""The paper's core contribution: the ME cost-benefit methodology.
+
+:mod:`repro.analysis.costbenefit` composes the measured workload
+profiles, the device models and the extrapolation scenarios into the
+per-machine assessment the paper's conclusion draws ("an overall science
+throughput improvement of ~1.1x ... might justify the investment if all
+other architectural options have been exhausted").
+:mod:`repro.analysis.silicon` formalises the Sec. V-A1 dark-silicon
+argument: reclaiming the Tensor Cores' area buys almost nothing because
+the FPUs already saturate the TDP.
+"""
+
+from repro.analysis.costbenefit import (
+    CostBenefitReport,
+    assess_scenario,
+    me_speedup_estimate,
+)
+from repro.analysis.silicon import (
+    CoExecutionReport,
+    DarkSiliconReport,
+    co_execution_analysis,
+    dark_silicon_analysis,
+)
+from repro.analysis.sparse import (
+    TiledSpGemmResult,
+    crossover_density,
+    spgemm_time_model,
+    tiled_spgemm,
+)
+from repro.analysis.scaling import ScalingPoint, hpl_strong_scaling
+
+__all__ = [
+    "ScalingPoint",
+    "hpl_strong_scaling",
+    "CostBenefitReport",
+    "assess_scenario",
+    "me_speedup_estimate",
+    "DarkSiliconReport",
+    "dark_silicon_analysis",
+    "CoExecutionReport",
+    "co_execution_analysis",
+    "TiledSpGemmResult",
+    "tiled_spgemm",
+    "spgemm_time_model",
+    "crossover_density",
+]

@@ -1,0 +1,79 @@
+"""Machine-level cost-benefit assessment of adding a matrix engine."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+from repro.extrapolate.model import NodeHourModel
+from repro.hardware.registry import get_device
+from repro.hardware.specs import DeviceSpec
+
+__all__ = ["me_speedup_estimate", "CostBenefitReport", "assess_scenario"]
+
+
+def me_speedup_estimate(
+    device: DeviceSpec | str, fmt: str = "fp64"
+) -> float:
+    """How much faster the device's matrix engine runs GEMM in ``fmt``
+    than its vector units — the realistic value of Fig. 4's speedup
+    parameter (~4x is what the paper assumes for near-term MEs)."""
+    spec = get_device(device) if isinstance(device, str) else device
+    me = spec.matrix_engine
+    if me is None or not me.supports(fmt):
+        raise DeviceError(
+            f"{spec.name} has no matrix engine supporting {fmt!r}"
+        )
+    vector = spec.peak(fmt, allow_matrix=False)
+    return me.peak(fmt) / vector
+
+
+@dataclass(frozen=True)
+class CostBenefitReport:
+    """The assessment of one machine/scenario pair."""
+
+    machine: str
+    me_speedup: float
+    node_hour_reduction: float
+    node_hour_reduction_ideal: float  # infinitely fast ME
+    throughput_improvement: float
+    node_hours_saved: float
+
+    @property
+    def worthwhile(self) -> bool:
+        """The paper's bar: a ~10 % throughput gain is the point at which
+        an ME 'might justify the investment if all other architectural
+        options have been exhausted'."""
+        return self.throughput_improvement >= 1.10
+
+    def verdict(self) -> str:
+        """One-sentence assessment in the paper's voice."""
+        pct = self.node_hour_reduction * 100.0
+        if self.worthwhile:
+            return (
+                f"{self.machine}: a {self.me_speedup:.1f}x ME reduces "
+                f"node-hours by {pct:.1f}% — may justify the silicon if "
+                "all other architectural options are exhausted."
+            )
+        return (
+            f"{self.machine}: a {self.me_speedup:.1f}x ME reduces "
+            f"node-hours by only {pct:.1f}% — the silicon is better "
+            "invested elsewhere."
+        )
+
+
+def assess_scenario(
+    scenario: NodeHourModel,
+    *,
+    me_speedup: float = 4.0,
+) -> CostBenefitReport:
+    """Run the paper's cost-benefit arithmetic on one machine."""
+    return CostBenefitReport(
+        machine=scenario.name,
+        me_speedup=me_speedup,
+        node_hour_reduction=scenario.reduction(me_speedup),
+        node_hour_reduction_ideal=scenario.reduction(math.inf),
+        throughput_improvement=scenario.throughput_improvement(me_speedup),
+        node_hours_saved=scenario.node_hours_saved(me_speedup),
+    )

@@ -1,0 +1,94 @@
+"""Strong-scaling study: what happens to the ME's value at scale.
+
+The paper measures single-node GEMM fractions; production machines run
+distributed.  As node counts grow under strong scaling, each rank's
+O(n^3/P) GEMM work shrinks faster than its O(n^2/sqrt(P)) panel and
+broadcast costs, so the *accelerable* share of the runtime — and with
+it the Amdahl value of a matrix engine — erodes.  This module runs the
+block-cyclic LU (our HPL skeleton, :func:`repro.blas.scalapack.pdgetrf`)
+across process grids and reports per-scale GEMM fractions, parallel
+efficiencies, and the resulting ME node-hour savings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.blas import ProcessGrid, pdgetrf
+from repro.errors import ScenarioError
+from repro.extrapolate.model import amdahl_time_fraction
+from repro.hardware.specs import DeviceSpec
+from repro.hardware.registry import get_device
+from repro.profiling import Profiler, RegionClass
+from repro.sim import SimulatedDevice, execution_context
+
+__all__ = ["ScalingPoint", "hpl_strong_scaling"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One node count of the strong-scaling sweep."""
+
+    nodes: int
+    rank_time_s: float
+    gemm_fraction: float
+    accelerable_fraction: float  # GEMM (+trsm) directly mappable work
+    speedup_vs_one: float
+    parallel_efficiency: float
+
+    def me_reduction(self, me_speedup: float = 4.0) -> float:
+        """Runtime saving an ME of ``me_speedup`` buys at this scale."""
+        return 1.0 - amdahl_time_fraction(self.accelerable_fraction, me_speedup)
+
+
+def _dummy(n: int) -> np.ndarray:
+    return np.broadcast_to(np.zeros(1), (n, n))
+
+
+def hpl_strong_scaling(
+    n: int = 16384,
+    node_counts: tuple[int, ...] = (1, 4, 16, 64),
+    device: DeviceSpec | str = "system1",
+    *,
+    block: int = 128,
+    network_bps: float = 12.5e9,
+) -> list[ScalingPoint]:
+    """Run the distributed LU at fixed global ``n`` over square process
+    grids and report how the GEMM share (and the ME's value) scale.
+
+    ``node_counts`` must be perfect squares (square BLACS grids).
+    """
+    spec = get_device(device) if isinstance(device, str) else device
+    points: list[ScalingPoint] = []
+    base_time: float | None = None
+    for p in node_counts:
+        root = math.isqrt(p)
+        if root * root != p:
+            raise ScenarioError(
+                f"node count {p} is not a perfect square (square grids only)"
+            )
+        prof = Profiler()
+        sim = SimulatedDevice(spec, comm_bps=network_bps)
+        with execution_context(sim, profiler=prof, compute_numerics=False):
+            pdgetrf(_dummy(n), ProcessGrid(root, root, block=block))
+        rank_time = sim.elapsed
+        fractions = prof.fractions()
+        gemm = fractions[RegionClass.GEMM]
+        accelerable = gemm + fractions[RegionClass.BLAS]
+        if base_time is None:
+            base_time = rank_time
+        speedup = base_time / rank_time if rank_time > 0 else 0.0
+        points.append(
+            ScalingPoint(
+                nodes=p,
+                rank_time_s=rank_time,
+                gemm_fraction=gemm,
+                accelerable_fraction=accelerable,
+                speedup_vs_one=speedup,
+                parallel_efficiency=speedup / (p / node_counts[0]),
+            )
+        )
+    return points

@@ -1,0 +1,169 @@
+"""The dark-silicon argument (Sec. V-A1).
+
+Fig. 1 shows SGEMM and DGEMM drawing close to the V100's 300 W TDP on
+the FPUs alone, and that FPUs and TCs cannot run concurrently.  The
+consequence: reclaiming the matrix engine's die area for more FPUs buys
+almost nothing, because sustained FPU throughput is *power*-limited,
+not area-limited — the extra units would simply force a clock reduction
+back to the same envelope.  This module quantifies that statement for
+any modelled device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+from repro.hardware.registry import get_device
+from repro.hardware.specs import DeviceSpec
+
+__all__ = [
+    "DarkSiliconReport",
+    "dark_silicon_analysis",
+    "CoExecutionReport",
+    "co_execution_analysis",
+]
+
+
+@dataclass(frozen=True)
+class DarkSiliconReport:
+    """What reallocating the ME's area to vector units would buy."""
+
+    device: str
+    fmt: str
+    me_area_fraction: float
+    fpu_full_load_w: float
+    tdp_w: float
+    area_gain: float  # nominal peak increase from reclaimed area
+    power_limited_gain: float  # achievable sustained increase under TDP
+
+    @property
+    def headroom(self) -> float:
+        """TDP headroom factor above the FPUs' full-load draw."""
+        return self.tdp_w / self.fpu_full_load_w
+
+    @property
+    def effectively_free(self) -> bool:
+        """The paper's claim: the ME area is 'non-valuable' for FPU
+        throughput — reclaiming it gains < 5 % sustained performance."""
+        return self.power_limited_gain < 1.05
+
+    def summary(self) -> str:
+        return (
+            f"{self.device}: reclaiming {self.me_area_fraction * 100:.0f}% "
+            f"ME area raises nominal {self.fmt} peak {self.area_gain:.2f}x "
+            f"but TDP caps the sustained gain at "
+            f"{self.power_limited_gain:.3f}x."
+        )
+
+
+@dataclass(frozen=True)
+class CoExecutionReport:
+    """What running two units *concurrently* under one TDP would yield.
+
+    Models the paper's Sec. II-C observation: "SGEMM or DGEMM cannot
+    run concurrently with HGEMM" — because each alone already draws
+    near-TDP, co-scheduling would throttle both to the shared power
+    envelope."""
+
+    device: str
+    unit_a: str
+    fmt_a: str
+    unit_b: str
+    fmt_b: str
+    solo_power_a_w: float
+    solo_power_b_w: float
+    combined_demand_w: float
+    throttle_factor: float  # rate multiplier both units suffer together
+
+    @property
+    def concurrent_worthwhile(self) -> bool:
+        """Is co-execution better than time-slicing the two kernels?
+
+        Time-slicing achieves an average of 50 % of each unit's solo
+        rate; co-execution achieves ``throttle_factor`` of each.  With
+        both units near TDP the factor drops toward ~0.5 and the gain
+        evaporates — the dark-silicon observation.  We require a >=20 %
+        advantage over slicing before calling it worthwhile."""
+        return self.throttle_factor >= 0.60
+
+    def summary(self) -> str:
+        return (
+            f"{self.device}: {self.unit_a}/{self.fmt_a} + "
+            f"{self.unit_b}/{self.fmt_b} demand {self.combined_demand_w:.0f} W "
+            f"together; the TDP throttles both to "
+            f"{self.throttle_factor * 100:.0f}% of their solo rates "
+            f"({'worthwhile' if self.concurrent_worthwhile else 'no better than time-slicing'})."
+        )
+
+
+def co_execution_analysis(
+    device: DeviceSpec | str,
+    *,
+    unit_a: str,
+    fmt_a: str,
+    unit_b: str,
+    fmt_b: str,
+) -> CoExecutionReport:
+    """Model two units sharing the package TDP.
+
+    Dynamic power scales ~linearly with issue rate at fixed V/f, so when
+    the combined full-rate demand exceeds the TDP both units throttle by
+    the same headroom factor ``(TDP - idle) / (demand - idle)``.
+    """
+    spec = get_device(device) if isinstance(device, str) else device
+    ua, ub = spec.unit(unit_a), spec.unit(unit_b)
+    pa = ua.power(fmt_a) or spec.tdp_w
+    pb = ub.power(fmt_b) or spec.tdp_w
+    # Each solo power already includes the idle floor; the combined
+    # demand pays it once.
+    demand = pa + pb - spec.idle_w
+    if demand <= spec.tdp_w:
+        throttle = 1.0
+    else:
+        throttle = (spec.tdp_w - spec.idle_w) / (demand - spec.idle_w)
+    return CoExecutionReport(
+        device=spec.name,
+        unit_a=unit_a,
+        fmt_a=fmt_a,
+        unit_b=unit_b,
+        fmt_b=fmt_b,
+        solo_power_a_w=pa,
+        solo_power_b_w=pb,
+        combined_demand_w=demand,
+        throttle_factor=throttle,
+    )
+
+
+def dark_silicon_analysis(
+    device: DeviceSpec | str,
+    *,
+    fmt: str = "fp64",
+    me_area_fraction: float = 0.10,
+) -> DarkSiliconReport:
+    """Evaluate the FPU-for-ME area swap on one device.
+
+    ``me_area_fraction`` defaults to the ~10 % of SM area NVIDIA's
+    Tensor Cores are estimated to occupy.
+    """
+    spec = get_device(device) if isinstance(device, str) else device
+    if not 0.0 < me_area_fraction < 1.0:
+        raise DeviceError("me_area_fraction must be in (0, 1)")
+    unit = spec.best_unit(fmt, allow_matrix=False)
+    full_load = unit.power(fmt)
+    if full_load <= 0.0:
+        full_load = spec.tdp_w
+    # Nominal peak scales with the reclaimed compute area; sustained
+    # throughput scales with available power (dynamic power ~ units x
+    # clock; holding voltage, throughput per watt is ~constant).
+    area_gain = 1.0 + me_area_fraction
+    power_gain = spec.tdp_w / full_load
+    return DarkSiliconReport(
+        device=spec.name,
+        fmt=fmt,
+        me_area_fraction=me_area_fraction,
+        fpu_full_load_w=full_load,
+        tdp_w=spec.tdp_w,
+        area_gain=area_gain,
+        power_limited_gain=min(area_gain, power_gain),
+    )

@@ -1,0 +1,229 @@
+"""Sparse matrix-matrix multiplication on matrix engines (Sec. V-A2).
+
+The paper's "other compute patterns" opportunity cites Zachariadis et
+al.: fit occupied *tiles* of a sparse matrix into Tensor-Core fragments
+and multiply tiles densely.  This module implements that algorithm for
+real (scipy.sparse) matrices — tile extraction, occupied-tile-pair
+products on the hybrid engine, result assembly — and prices both it and
+a classic CSR SpGEMM on a simulated device, exposing the density
+crossover at which the engine starts paying.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import DeviceError
+from repro.hardware.registry import get_device
+from repro.hardware.specs import DeviceSpec
+from repro.precision.formats import FP16, FP32
+from repro.precision.megemm import MatrixEngineGemm
+from repro.sim.engine import SimulatedDevice
+from repro.sim.kernels import KernelKind, KernelLaunch
+
+__all__ = ["TiledSpGemmResult", "tiled_spgemm", "spgemm_time_model",
+           "crossover_density"]
+
+
+@dataclass(frozen=True)
+class TiledSpGemmResult:
+    """Numerical result + cost accounting of one tiled SpGEMM."""
+
+    c: sp.csr_matrix
+    tile: int
+    occupied_a: int
+    occupied_b: int
+    tile_products: int
+    dense_tile_products_possible: int
+
+    @property
+    def product_fraction(self) -> float:
+        """Share of the dense tile-product grid actually executed."""
+        if self.dense_tile_products_possible == 0:
+            return 0.0
+        return self.tile_products / self.dense_tile_products_possible
+
+
+def _occupied_tiles(m: sp.csr_matrix, tile: int) -> dict[tuple[int, int], np.ndarray]:
+    """Map (tile_row, tile_col) -> dense tile for every non-empty tile."""
+    coo = m.tocoo()
+    out: dict[tuple[int, int], np.ndarray] = {}
+    tr = coo.row // tile
+    tc = coo.col // tile
+    for r, c, tr_i, tc_i, v in zip(coo.row, coo.col, tr, tc, coo.data):
+        key = (int(tr_i), int(tc_i))
+        block = out.get(key)
+        if block is None:
+            block = np.zeros((tile, tile))
+            out[key] = block
+        block[r - tr_i * tile, c - tc_i * tile] = v
+    return out
+
+
+def tiled_spgemm(
+    a: sp.spmatrix,
+    b: sp.spmatrix,
+    *,
+    tile: int = 16,
+    engine: MatrixEngineGemm | None = None,
+) -> TiledSpGemmResult:
+    """Multiply sparse ``a @ b`` via dense tile products on a hybrid
+    matrix engine (real numerics: fp16-rounded operands, fp32
+    accumulation per tile product, fp64 tile accumulation)."""
+    a = sp.csr_matrix(a)
+    b = sp.csr_matrix(b)
+    if a.shape[1] != b.shape[0]:
+        raise DeviceError(f"non-conformable: {a.shape} @ {b.shape}")
+    if tile < 1:
+        raise DeviceError("tile must be positive")
+    eng = engine or MatrixEngineGemm(FP16, FP32)
+    m_t = math.ceil(a.shape[0] / tile)
+    k_t = math.ceil(a.shape[1] / tile)
+    n_t = math.ceil(b.shape[1] / tile)
+
+    # Pad logically by indexing within padded tiles.
+    tiles_a = _occupied_tiles(a, tile)
+    tiles_b = _occupied_tiles(b, tile)
+    by_k_a: dict[int, list[int]] = {}
+    for (i, k) in tiles_a:
+        by_k_a.setdefault(k, []).append(i)
+    by_k_b: dict[int, list[int]] = {}
+    for (k, j) in tiles_b:
+        by_k_b.setdefault(k, []).append(j)
+
+    c_blocks: dict[tuple[int, int], np.ndarray] = {}
+    products = 0
+    for k in sorted(set(by_k_a) & set(by_k_b)):
+        for i in by_k_a[k]:
+            ta = tiles_a[(i, k)]
+            for j in by_k_b[k]:
+                tb = tiles_b[(k, j)]
+                products += 1
+                p = eng(ta, tb)  # one engine fragment product
+                acc = c_blocks.get((i, j))
+                if acc is None:
+                    c_blocks[(i, j)] = p
+                else:
+                    acc += p
+    # Assemble the sparse result.
+    rows, cols, vals = [], [], []
+    for (i, j), block in c_blocks.items():
+        r0, c0 = i * tile, j * tile
+        nz = np.nonzero(block)
+        rows.extend((r0 + nz[0]).tolist())
+        cols.extend((c0 + nz[1]).tolist())
+        vals.extend(block[nz].tolist())
+    c = sp.csr_matrix(
+        (vals, (rows, cols)), shape=(a.shape[0], b.shape[1])
+    )
+    # Trim padding artefacts (none expected: padded area is zero).
+    return TiledSpGemmResult(
+        c=c,
+        tile=tile,
+        occupied_a=len(tiles_a),
+        occupied_b=len(tiles_b),
+        tile_products=products,
+        dense_tile_products_possible=m_t * k_t * n_t,
+    )
+
+
+def spgemm_time_model(
+    a: sp.spmatrix,
+    b: sp.spmatrix,
+    device: DeviceSpec | str = "v100",
+    *,
+    tile: int = 16,
+) -> dict[str, float]:
+    """Price the tiled-ME path against a classic CSR SpGEMM.
+
+    Returns simulated seconds for both along with the tile statistics.
+    The CSR baseline is bandwidth-priced at ~ flops + hash/merge traffic;
+    the ME path is ``tile_products`` fragment GEMMs plus gather/scatter.
+    """
+    spec = get_device(device) if isinstance(device, str) else device
+    me = spec.matrix_engine
+    if me is None:
+        raise DeviceError(f"{spec.name} has no matrix engine")
+    a = sp.csr_matrix(a)
+    b = sp.csr_matrix(b)
+    result = tiled_spgemm(a, b, tile=tile)
+
+    # Tensor-core path: fragment products + tile gather/scatter.
+    sim_me = SimulatedDevice(spec)
+    if result.tile_products:
+        sim_me.launch(
+            KernelLaunch(
+                KernelKind.SPMM,
+                "tile_gather",
+                nbytes=2.0 * (result.occupied_a + result.occupied_b)
+                * tile * tile * 2,
+            )
+        )
+        sim_me.launch(
+            KernelLaunch.gemm(
+                tile, tile * result.tile_products, tile,
+                fmt=me.multiply_format or "fp16",
+                unit=me.name,
+                name="tile_spgemm",
+            )
+        )
+        sim_me.launch(
+            KernelLaunch(
+                KernelKind.SPMM,
+                "tile_scatter",
+                nbytes=8.0 * result.c.nnz * 2,
+            )
+        )
+
+    # CSR baseline: 2 flops per intermediate product; traffic ~ hash
+    # table + operand streams.
+    inter = float(np.asarray(
+        a.astype(bool).astype(np.int64)
+        @ b.astype(bool).astype(np.int64).sum(axis=1)
+    ).sum())
+    sim_csr = SimulatedDevice(spec)
+    sim_csr.launch(
+        KernelLaunch(
+            KernelKind.SPMM,
+            "csr_spgemm",
+            flops=2.0 * inter,
+            nbytes=20.0 * inter + 12.0 * (a.nnz + b.nnz),
+            fmt="fp32",
+        )
+    )
+    return {
+        "me_seconds": sim_me.elapsed,
+        "csr_seconds": sim_csr.elapsed,
+        "tile_products": float(result.tile_products),
+        "speedup": sim_csr.elapsed / sim_me.elapsed if sim_me.elapsed else 0.0,
+    }
+
+
+def crossover_density(
+    n: int = 512,
+    device: DeviceSpec | str = "v100",
+    *,
+    tile: int = 16,
+    densities: tuple[float, ...] = (0.001, 0.005, 0.02, 0.08, 0.3),
+    seed: int = 11,
+) -> list[dict[str, float]]:
+    """Sweep matrix density and report ME-vs-CSR timings.
+
+    Dense-ish matrices favour the tile engine (occupied tiles approach
+    the full grid, which the engine crunches at TC rates); hyper-sparse
+    ones favour CSR (most tiles are empty, and the engine would multiply
+    mostly-zero fragments).
+    """
+    rng = np.random.default_rng(seed)
+    rows = []
+    for density in densities:
+        a = sp.random(n, n, density=density, random_state=rng, format="csr")
+        b = sp.random(n, n, density=density, random_state=rng, format="csr")
+        timing = spgemm_time_model(a, b, device, tile=tile)
+        timing["density"] = density
+        rows.append(timing)
+    return rows

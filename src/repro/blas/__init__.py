@@ -1,0 +1,50 @@
+"""Instrumented BLAS / LAPACK / ScaLAPACK substrate.
+
+The paper's profiling methodology hinges on *wrapping* the math library:
+a Score-P wrapper around every MKL dense-linear-algebra entry point
+attributes runtime to GEMM / other BLAS / (Sca)LAPACK buckets.  This
+subpackage is the math library being wrapped: a NumPy-backed BLAS whose
+every call
+
+1. opens a profiler region named like the classic routine (``dgemm``,
+   ``daxpy``, ``pdgetrf``) so the classifier buckets it,
+2. emits a priced :class:`~repro.sim.kernels.KernelLaunch` on the active
+   simulated device, and
+3. (optionally) performs the real arithmetic so workloads produce
+   checkable numerical results.
+
+Routine naming follows BLAS conventions: a precision prefix (``d``, ``s``,
+``h``) is derived from the compute format.
+"""
+
+from repro.blas.dispatch import execute_kernel, routine_name
+from repro.blas.level1 import axpy, asum, copy, dot, nrm2, scal
+from repro.blas.level2 import gemv, ger, trsv
+from repro.blas.level3 import gemm, syrk, trsm
+from repro.blas.lapack import geqrf, gesv, getrf, getrs, potrf
+from repro.blas.scalapack import ProcessGrid, pdgemm, pdgetrf
+
+__all__ = [
+    "execute_kernel",
+    "routine_name",
+    "axpy",
+    "asum",
+    "copy",
+    "dot",
+    "nrm2",
+    "scal",
+    "gemv",
+    "ger",
+    "trsv",
+    "gemm",
+    "syrk",
+    "trsm",
+    "getrf",
+    "getrs",
+    "gesv",
+    "potrf",
+    "geqrf",
+    "ProcessGrid",
+    "pdgemm",
+    "pdgetrf",
+]

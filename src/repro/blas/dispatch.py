@@ -1,0 +1,73 @@
+"""Dispatch plumbing shared by every BLAS routine.
+
+``execute_kernel`` is the single choke point: it opens the profiler
+region (when a profiler is attached to the execution context), launches
+the priced kernel, and runs the NumPy arithmetic when numerics are
+enabled.  Keeping one choke point means the "Score-P wrapper" behaviour
+is uniform across all ~25 routines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+import numpy as np
+
+from repro.errors import DispatchError
+from repro.sim.context import current_context
+from repro.sim.kernels import KernelLaunch
+from repro.sim.trace import KernelRecord
+
+__all__ = ["routine_name", "execute_kernel", "as_matrix", "as_vector"]
+
+T = TypeVar("T")
+
+_PREFIX = {"fp64": "d", "fp32": "s", "fp16": "h", "bf16": "b", "tf32": "t"}
+
+
+def routine_name(base: str, fmt: str) -> str:
+    """Classic BLAS routine name: ``routine_name("gemm", "fp64")`` ->
+    ``"dgemm"``."""
+    try:
+        return _PREFIX[fmt] + base
+    except KeyError:
+        raise DispatchError(f"no BLAS prefix for format {fmt!r}") from None
+
+
+def execute_kernel(
+    name: str,
+    kernel: KernelLaunch,
+    compute: Callable[[], T] | None = None,
+) -> tuple[T | None, KernelRecord]:
+    """Run one BLAS call: region + simulated kernel + optional numerics.
+
+    Returns ``(result, record)`` where ``result`` is ``None`` when the
+    context disables numerics or no ``compute`` callable was given.
+    """
+    ctx = current_context()
+    prof = ctx.profiler
+    if prof is not None:
+        with prof.region(name):
+            record = ctx.launch(kernel)
+    else:
+        record = ctx.launch(kernel)
+    result: T | None = None
+    if compute is not None and ctx.compute_numerics:
+        result = compute()
+    return result, record
+
+
+def as_matrix(x: np.ndarray, arg: str) -> np.ndarray:
+    """Validate a 2-D float operand (no copy for conforming input)."""
+    a = np.asarray(x, dtype=np.float64)
+    if a.ndim != 2:
+        raise DispatchError(f"{arg} must be 2-D, got shape {a.shape}")
+    return a
+
+
+def as_vector(x: np.ndarray, arg: str) -> np.ndarray:
+    """Validate a 1-D float operand (no copy for conforming input)."""
+    v = np.asarray(x, dtype=np.float64)
+    if v.ndim != 1:
+        raise DispatchError(f"{arg} must be 1-D, got shape {v.shape}")
+    return v

@@ -1,0 +1,77 @@
+"""BLAS level 1: vector-vector operations.
+
+These are the memory-bound routines the paper's Sec. V-B1 argues matrix
+engines cannot help with — miniFE's and NTChem's BLAS time falls in this
+bucket (Fig. 3 discussion).  All are bandwidth-priced (streaming the
+operand vectors) and numerically exact NumPy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blas.dispatch import as_vector, execute_kernel, routine_name
+from repro.sim.kernels import KernelLaunch
+
+__all__ = ["axpy", "dot", "nrm2", "scal", "copy", "asum"]
+
+
+def axpy(alpha: float, x: np.ndarray, y: np.ndarray, *, fmt: str = "fp64") -> np.ndarray | None:
+    """``y := alpha*x + y`` (daxpy).  Returns the new y (or None when
+    numerics are off)."""
+    xv, yv = as_vector(x, "x"), as_vector(y, "y")
+    n = xv.shape[0]
+    k = KernelLaunch.blas1(n, flops_per_element=2.0, streams=3, fmt=fmt,
+                           name=routine_name("axpy", fmt))
+    result, _ = execute_kernel(k.name, k, lambda: alpha * xv + yv)
+    return result
+
+
+def dot(x: np.ndarray, y: np.ndarray, *, fmt: str = "fp64") -> float | None:
+    """Inner product (ddot)."""
+    xv, yv = as_vector(x, "x"), as_vector(y, "y")
+    n = xv.shape[0]
+    k = KernelLaunch.blas1(n, flops_per_element=2.0, streams=2, fmt=fmt,
+                           name=routine_name("dot", fmt))
+    result, _ = execute_kernel(k.name, k, lambda: float(xv @ yv))
+    return result
+
+
+def nrm2(x: np.ndarray, *, fmt: str = "fp64") -> float | None:
+    """Euclidean norm (dnrm2)."""
+    xv = as_vector(x, "x")
+    n = xv.shape[0]
+    k = KernelLaunch.blas1(n, flops_per_element=2.0, streams=1, fmt=fmt,
+                           name=routine_name("nrm2", fmt))
+    result, _ = execute_kernel(k.name, k, lambda: float(np.linalg.norm(xv)))
+    return result
+
+
+def scal(alpha: float, x: np.ndarray, *, fmt: str = "fp64") -> np.ndarray | None:
+    """``x := alpha*x`` (dscal)."""
+    xv = as_vector(x, "x")
+    n = xv.shape[0]
+    k = KernelLaunch.blas1(n, flops_per_element=1.0, streams=2, fmt=fmt,
+                           name=routine_name("scal", fmt))
+    result, _ = execute_kernel(k.name, k, lambda: alpha * xv)
+    return result
+
+
+def copy(x: np.ndarray, *, fmt: str = "fp64") -> np.ndarray | None:
+    """``y := x`` (dcopy)."""
+    xv = as_vector(x, "x")
+    n = xv.shape[0]
+    k = KernelLaunch.blas1(n, flops_per_element=0.0, streams=2, fmt=fmt,
+                           name=routine_name("copy", fmt))
+    result, _ = execute_kernel(k.name, k, xv.copy)
+    return result
+
+
+def asum(x: np.ndarray, *, fmt: str = "fp64") -> float | None:
+    """Sum of absolute values (dasum)."""
+    xv = as_vector(x, "x")
+    n = xv.shape[0]
+    k = KernelLaunch.blas1(n, flops_per_element=1.0, streams=1, fmt=fmt,
+                           name=routine_name("asum", fmt))
+    result, _ = execute_kernel(k.name, k, lambda: float(np.abs(xv).sum()))
+    return result

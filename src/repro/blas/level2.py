@@ -1,0 +1,81 @@
+"""BLAS level 2: matrix-vector operations.
+
+mVMC and socorro spend measurable runtime here (Fig. 3); like level 1,
+these stream the matrix once and are bandwidth-bound, which is why the
+paper calls their ME mapping only *potentially indirect*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro.blas.dispatch import as_matrix, as_vector, execute_kernel, routine_name
+from repro.sim.kernels import KernelKind, KernelLaunch
+
+__all__ = ["gemv", "ger", "trsv"]
+
+
+def gemv(
+    a: np.ndarray,
+    x: np.ndarray,
+    *,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    y: np.ndarray | None = None,
+    fmt: str = "fp64",
+) -> np.ndarray | None:
+    """``y := alpha*A@x + beta*y`` (dgemv)."""
+    am = as_matrix(a, "a")
+    xv = as_vector(x, "x")
+    m, n = am.shape
+    k = KernelLaunch.gemv(m, n, fmt=fmt, name=routine_name("gemv", fmt))
+
+    def compute() -> np.ndarray:
+        out = alpha * (am @ xv)
+        if beta != 0.0 and y is not None:
+            out += beta * as_vector(y, "y")
+        return out
+
+    result, _ = execute_kernel(k.name, k, compute)
+    return result
+
+
+def ger(
+    alpha: float, x: np.ndarray, y: np.ndarray, a: np.ndarray, *, fmt: str = "fp64"
+) -> np.ndarray | None:
+    """Rank-1 update ``A := alpha*x y^T + A`` (dger)."""
+    am = as_matrix(a, "a")
+    xv, yv = as_vector(x, "x"), as_vector(y, "y")
+    m, n = am.shape
+    e = KernelLaunch.element_bytes(fmt)
+    k = KernelLaunch(
+        KernelKind.GEMV,
+        routine_name("ger", fmt),
+        flops=2.0 * m * n,
+        nbytes=float(e * (2 * m * n + m + n)),
+        fmt=fmt,
+    )
+    result, _ = execute_kernel(k.name, k, lambda: am + alpha * np.outer(xv, yv))
+    return result
+
+
+def trsv(
+    a: np.ndarray, b: np.ndarray, *, lower: bool = True, fmt: str = "fp64"
+) -> np.ndarray | None:
+    """Triangular solve ``A x = b`` (dtrsv)."""
+    am = as_matrix(a, "a")
+    bv = as_vector(b, "b")
+    n = am.shape[0]
+    e = KernelLaunch.element_bytes(fmt)
+    k = KernelLaunch(
+        KernelKind.GEMV,
+        routine_name("trsv", fmt),
+        flops=float(n * n),
+        nbytes=float(e * (n * n / 2 + 2 * n)),
+        fmt=fmt,
+    )
+    result, _ = execute_kernel(
+        k.name, k, lambda: scipy.linalg.solve_triangular(am, bv, lower=lower)
+    )
+    return result

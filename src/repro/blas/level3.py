@@ -1,0 +1,153 @@
+"""BLAS level 3: matrix-matrix operations.
+
+``gemm`` is the star of the paper.  Its numerics follow the compute
+format: fp64/fp32 run natively; fp16 runs with matrix-engine semantics
+(operands rounded to binary16, fp32 accumulation) via
+:class:`repro.precision.megemm.MatrixEngineGemm`, matching what
+``cublasGemmEx`` does on Tensor Cores.  ``trsm``/``syrk`` are the
+non-GEMM level-3 routines the classifier buckets as *BLAS* (they appear
+in HPL's and Cholesky's call trees).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro.blas.dispatch import as_matrix, execute_kernel, routine_name
+from repro.precision.formats import FP16, FP32, BF16, parse_format
+from repro.precision.megemm import MatrixEngineGemm
+from repro.sim.kernels import KernelKind, KernelLaunch
+
+__all__ = ["gemm", "trsm", "syrk"]
+
+_HYBRID_ENGINES = {
+    "fp16": MatrixEngineGemm(FP16, FP32),
+    "bf16": MatrixEngineGemm(BF16, FP32),
+}
+
+
+def _gemm_numeric(a: np.ndarray, b: np.ndarray, fmt: str) -> np.ndarray:
+    """Arithmetic matching the format: native for fp64; format-rounded for
+    narrower multiplies."""
+    if fmt == "fp64":
+        return a @ b
+    if fmt == "fp32" or fmt == "tf32":
+        fmt_obj = parse_format("fp32" if fmt == "fp32" else "tf32")
+        aq = fmt_obj.quantize(a)
+        bq = fmt_obj.quantize(b)
+        return (aq.astype(np.float32) @ bq.astype(np.float32)).astype(np.float64)
+    if fmt in _HYBRID_ENGINES:
+        return _HYBRID_ENGINES[fmt](a, b)
+    return a @ b
+
+
+def gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    c: np.ndarray | None = None,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    fmt: str = "fp64",
+    unit: str | None = None,
+    tag: str = "",
+) -> np.ndarray | None:
+    """``C := alpha*A@B + beta*C`` with format-faithful numerics.
+
+    ``fmt="fp16"`` reproduces a hybrid matrix engine (HGEMM on Tensor
+    Cores); the simulated kernel auto-selects the ME when the context
+    allows it, or the CUDA/SIMD path otherwise.
+    """
+    am, bm = as_matrix(a, "a"), as_matrix(b, "b")
+    m, k_dim = am.shape
+    n = bm.shape[1]
+    name = routine_name("gemm", fmt)
+    kernel = KernelLaunch.gemm(m, n, k_dim, fmt=fmt, name=name, unit=unit, tag=tag)
+
+    def compute() -> np.ndarray:
+        out = _gemm_numeric(am, bm, fmt)
+        if alpha != 1.0:
+            out = alpha * out
+        if beta != 0.0 and c is not None:
+            out = out + beta * as_matrix(c, "c")
+        return out
+
+    result, _ = execute_kernel(name, kernel, compute)
+    return result
+
+
+def trsm(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    side: str = "left",
+    lower: bool = True,
+    unit_diagonal: bool = False,
+    fmt: str = "fp64",
+    tag: str = "",
+) -> np.ndarray | None:
+    """Triangular solve with multiple right-hand sides (dtrsm).
+
+    ``side="left"`` solves ``A X = B`` (A is m x m, B is m x n);
+    ``side="right"`` solves ``X A = B`` (A is n x n).
+    """
+    am, bm = as_matrix(a, "a"), as_matrix(b, "b")
+    m, n = bm.shape
+    flops = float(n * m * m) if side == "left" else float(m * n * n)
+    e = KernelLaunch.element_bytes(fmt)
+    dim = m if side == "left" else n
+    name = routine_name("trsm", fmt)
+    kernel = KernelLaunch(
+        KernelKind.GEMM,  # trsm has GEMM-like blocking and intensity …
+        name,  # … but the classifier buckets by *name* => BLAS.
+        flops=flops,
+        nbytes=float(e * (dim * dim / 2 + 2 * m * n)),
+        fmt=fmt,
+        tag=tag,
+    )
+
+    def compute() -> np.ndarray:
+        if side == "left":
+            return scipy.linalg.solve_triangular(
+                am, bm, lower=lower, unit_diagonal=unit_diagonal
+            )
+        return scipy.linalg.solve_triangular(
+            am.T, bm.T, lower=not lower, unit_diagonal=unit_diagonal
+        ).T
+
+    result, _ = execute_kernel(name, kernel, compute)
+    return result
+
+
+def syrk(
+    a: np.ndarray,
+    *,
+    c: np.ndarray | None = None,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    fmt: str = "fp64",
+    tag: str = "",
+) -> np.ndarray | None:
+    """Symmetric rank-k update ``C := alpha*A@A^T + beta*C`` (dsyrk)."""
+    am = as_matrix(a, "a")
+    n, k_dim = am.shape
+    e = KernelLaunch.element_bytes(fmt)
+    name = routine_name("syrk", fmt)
+    kernel = KernelLaunch(
+        KernelKind.GEMM,
+        name,
+        flops=float(n * n * k_dim),  # half of full GEMM: symmetry
+        nbytes=float(e * (n * k_dim + n * n)),
+        fmt=fmt,
+        tag=tag,
+    )
+
+    def compute() -> np.ndarray:
+        out = alpha * (am @ am.T)
+        if beta != 0.0 and c is not None:
+            out = out + beta * as_matrix(c, "c")
+        return out
+
+    result, _ = execute_kernel(name, kernel, compute)
+    return result

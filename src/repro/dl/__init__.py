@@ -1,0 +1,55 @@
+"""Deep-Learning substrate: the PyTorch + apex + nvprof stand-in.
+
+Models are layer graphs (:mod:`repro.dl.layers`, :mod:`repro.dl.models`)
+lowered to kernel launches (:mod:`repro.dl.lowering`) under a precision
+policy (:mod:`repro.dl.amp` — the apex-like automatic mixed precision).
+A training step executes on a simulated device
+(:mod:`repro.dl.training`) and the nvprof-style profiler
+(:mod:`repro.dl.nvprof`) aggregates the Table IV columns: FP32→mixed
+speedup, %TC, %TC-comp and %Mem.
+"""
+
+from repro.dl.layers import (
+    Activation,
+    Attention,
+    BatchNorm,
+    Conv2D,
+    Conv3D,
+    Dense,
+    Embedding,
+    Gru,
+    LayerNorm,
+    Lstm,
+    Op,
+    Pool,
+    Softmax,
+)
+from repro.dl.models import MODEL_BUILDERS, build_model, model_names
+from repro.dl.amp import PrecisionPolicy
+from repro.dl.training import TrainingResult, inference_step, train_step
+from repro.dl.nvprof import MixedPrecisionReport, profile_mixed_precision
+
+__all__ = [
+    "Op",
+    "Dense",
+    "Conv2D",
+    "Conv3D",
+    "Lstm",
+    "Gru",
+    "Attention",
+    "Embedding",
+    "BatchNorm",
+    "LayerNorm",
+    "Activation",
+    "Pool",
+    "Softmax",
+    "build_model",
+    "model_names",
+    "MODEL_BUILDERS",
+    "PrecisionPolicy",
+    "train_step",
+    "inference_step",
+    "TrainingResult",
+    "profile_mixed_precision",
+    "MixedPrecisionReport",
+]

@@ -1,0 +1,60 @@
+"""Automatic mixed precision policy (the apex stand-in).
+
+``PrecisionPolicy("fp32")`` runs everything in binary32 on the vector
+cores.  ``PrecisionPolicy("mixed")`` reproduces what apex + cuDNN do on
+a V100:
+
+* GEMM-backed ops run in fp16.  The share given by each op's
+  ``tc_fraction`` lands on the matrix engine; the rest runs fp16 on the
+  vector cores (2x fp32 rate on Volta) — cuDNN's algorithm heuristics
+  leave many convolution shapes off the TCs, which is why the convnets'
+  %TC columns in Table IV are small.
+* Converted ops move fewer bytes (fp16 activations), with a cast /
+  loss-scaling surcharge.
+* Pointwise ops run on fp16 activations too, but layout transforms eat
+  part of that win (``pointwise_traffic_ratio``).
+* Ops marked ``amp_convertible=False`` (3-D convolutions) stay fp32.
+* On devices without fast fp16 anywhere (consumer Pascal), mixed mode
+  degenerates to fp32 plus the cast overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.hardware.specs import DeviceSpec
+
+__all__ = ["PrecisionPolicy", "device_fp16_vector"]
+
+
+def device_fp16_vector(device: DeviceSpec) -> bool:
+    """Does the device have a non-matrix fp16 path worth using?"""
+    try:
+        fp16 = device.peak("fp16", allow_matrix=False)
+    except Exception:
+        return False
+    return fp16 > device.peak("fp32", allow_matrix=False) * 1.5
+
+
+@dataclass(frozen=True)
+class PrecisionPolicy:
+    """Precision mode for a training run."""
+
+    mode: str  # "fp32" | "mixed"
+    #: byte shrink of converted GEMM-backed ops (fp16 activations)
+    gemm_traffic_ratio: float = 0.55
+    #: byte shrink of pointwise ops (fp16 data minus layout transforms)
+    pointwise_traffic_ratio: float = 0.80
+    #: cast + loss-scaling surcharge on converted GEMM-backed ops
+    cast_overhead_ratio: float = 0.10
+    #: fp16 vector-core fallback kernels run below tuned-fp32 efficiency
+    fallback_efficiency: float = 0.70
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("fp32", "mixed"):
+            raise WorkloadError(f"unknown precision mode {self.mode!r}")
+
+    @property
+    def is_mixed(self) -> bool:
+        return self.mode == "mixed"

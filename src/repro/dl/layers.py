@@ -1,0 +1,463 @@
+"""Neural-network layers and the forward ops they lower to.
+
+Every layer produces a list of :class:`Op` records for one forward pass
+at a given batch size.  An :class:`Op` carries the roofline inputs
+(flops, bytes) plus the two flags the mixed-precision story needs:
+
+* ``gemm_backed`` — the op is matrix-multiply shaped (dense layers,
+  conv-as-implicit-GEMM, recurrent gates, attention products);
+* ``tc_capable`` — a Tensor-Core implementation exists in the vendor
+  libraries.  Notably 3-D convolutions had *no* TC path at the paper's
+  time (its Table IV caveat for Cosmoflow), so ``Conv3D`` ops are
+  gemm-backed but not tc-capable.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.sim.kernels import KernelKind
+
+__all__ = [
+    "Op",
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "Conv3D",
+    "Lstm",
+    "Gru",
+    "Attention",
+    "Embedding",
+    "BatchNorm",
+    "LayerNorm",
+    "Activation",
+    "Pool",
+    "Softmax",
+]
+
+_E32 = 4.0  # bytes per fp32 activation element
+
+
+@dataclass(frozen=True)
+class Op:
+    """One lowered forward operation.
+
+    ``tc_fraction`` models cuDNN/cuBLAS algorithm selection: only that
+    share of the op's flops gets a Tensor-Core kernel under mixed
+    precision; the remainder runs fp16 on the vector cores (or fp32
+    when the device has no fast fp16).  ``amp_convertible=False`` pins
+    the op to fp32 even under AMP (3-D convolutions at the paper's
+    time).  ``mixed_traffic_ratio`` overrides the policy's default
+    byte shrink — cuDNN's persistent RNN kernels keep weights on-chip,
+    which is how LSTM gains more than the raw GEMM ratio (the paper's
+    Table IV caveat).
+    """
+
+    name: str
+    kind: KernelKind
+    flops: float
+    nbytes: float
+    gemm_backed: bool = False
+    tc_capable: bool = False
+    tc_fraction: float = 1.0
+    amp_convertible: bool = True
+    mixed_traffic_ratio: float | None = None
+    launch_count: int = 1  # kernels this op issues in eager fp32 mode
+    weight_elems: float = 0.0  # parameters touched (for optimizer cost)
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.nbytes < 0:
+            raise WorkloadError(f"op {self.name!r}: negative work")
+        if not 0.0 <= self.tc_fraction <= 1.0:
+            raise WorkloadError(f"op {self.name!r}: tc_fraction out of range")
+
+
+class Layer(abc.ABC):
+    """A network layer; ``ops(batch)`` lowers one forward pass."""
+
+    name: str
+
+    @abc.abstractmethod
+    def ops(self, batch: int) -> list[Op]:
+        ...
+
+    @abc.abstractmethod
+    def output_elems(self, batch: int) -> float:
+        """Activation elements produced (drives elementwise/bwd costs)."""
+
+
+@dataclass(frozen=True)
+class Dense(Layer):
+    """Fully connected layer: one (batch x in) @ (in x out) GEMM."""
+
+    name: str
+    in_features: int
+    out_features: int
+
+    def ops(self, batch: int) -> list[Op]:
+        m, k, n = batch, self.in_features, self.out_features
+        return [
+            Op(
+                f"{self.name}/gemm",
+                KernelKind.GEMM,
+                flops=2.0 * m * n * k,
+                nbytes=_E32 * (m * k + k * n + m * n),
+                gemm_backed=True,
+                tc_capable=True,
+                weight_elems=float(k * n),
+            )
+        ]
+
+    def output_elems(self, batch: int) -> float:
+        return float(batch * self.out_features)
+
+
+@dataclass(frozen=True)
+class Conv2D(Layer):
+    """2-D convolution lowered as implicit GEMM (the cuDNN TC path).
+
+    ``tc_fraction`` is the share of its flops cuDNN's heuristics place
+    on Tensor-Core kernels for this shape family (CALIBRATED per model
+    against Table IV's %TC columns).
+    """
+
+    name: str
+    cin: int
+    cout: int
+    h: int
+    w: int
+    kernel: int = 3
+    stride: int = 1
+    tc_fraction: float = 0.5
+
+    @property
+    def hout(self) -> int:
+        return max(1, self.h // self.stride)
+
+    @property
+    def wout(self) -> int:
+        return max(1, self.w // self.stride)
+
+    def ops(self, batch: int) -> list[Op]:
+        flops = (
+            2.0 * batch * self.cout * self.hout * self.wout
+            * self.cin * self.kernel * self.kernel
+        )
+        nbytes = _E32 * (
+            batch * self.cin * self.h * self.w
+            + self.cout * self.cin * self.kernel**2
+            + batch * self.cout * self.hout * self.wout
+        )
+        return [
+            Op(
+                f"{self.name}/conv2d",
+                KernelKind.CONV2D,
+                flops=flops,
+                nbytes=nbytes,
+                gemm_backed=True,
+                tc_capable=True,
+                tc_fraction=self.tc_fraction,
+                weight_elems=float(self.cout * self.cin * self.kernel**2),
+            )
+        ]
+
+    def output_elems(self, batch: int) -> float:
+        return float(batch * self.cout * self.hout * self.wout)
+
+
+@dataclass(frozen=True)
+class Conv3D(Layer):
+    """3-D convolution — **no Tensor-Core implementation** existed at
+    the paper's time, so Cosmoflow gains almost nothing from AMP."""
+
+    name: str
+    cin: int
+    cout: int
+    d: int
+    h: int
+    w: int
+    kernel: int = 3
+    stride: int = 1
+
+    def _out(self, dim: int) -> int:
+        return max(1, dim // self.stride)
+
+    def ops(self, batch: int) -> list[Op]:
+        dout, hout, wout = self._out(self.d), self._out(self.h), self._out(self.w)
+        flops = (
+            2.0 * batch * self.cout * dout * hout * wout
+            * self.cin * self.kernel**3
+        )
+        nbytes = _E32 * (
+            batch * self.cin * self.d * self.h * self.w
+            + self.cout * self.cin * self.kernel**3
+            + batch * self.cout * dout * hout * wout
+        )
+        return [
+            Op(
+                f"{self.name}/conv3d",
+                KernelKind.CONV3D,
+                flops=flops,
+                nbytes=nbytes,
+                gemm_backed=True,
+                tc_capable=False,
+                amp_convertible=False,  # no fp16 conv3d path at the time
+                weight_elems=float(self.cout * self.cin * self.kernel**3),
+            )
+        ]
+
+    def output_elems(self, batch: int) -> float:
+        return float(
+            batch * self.cout * self._out(self.d) * self._out(self.h)
+            * self._out(self.w)
+        )
+
+
+def _recurrent_ops(
+    name: str,
+    batch: int,
+    input_size: int,
+    hidden: int,
+    seq: int,
+    n_gates: int,
+    persistence: float,
+) -> list[Op]:
+    """Shared LSTM/GRU lowering: per time step, gate GEMMs (input +
+    recurrent) and element-wise gate math.  In reduced precision cuDNN
+    switches to a *persistent* TC algorithm that keeps the recurrent
+    weights on-chip — modelled by the ``persistence`` traffic ratio,
+    which is why LSTM's measured gain (5.69x) exceeds the raw GEMM
+    ratio (the paper's Table IV caveat)."""
+    gate_gemm_flops = 2.0 * batch * n_gates * hidden * (input_size + hidden)
+    gate_bytes = _E32 * (
+        batch * (input_size + hidden)
+        + n_gates * hidden * (input_size + hidden)
+        + batch * n_gates * hidden
+    )
+    ops: list[Op] = []
+    ops.append(
+        Op(
+            f"{name}/gate_gemms",
+            KernelKind.GEMM,
+            flops=gate_gemm_flops * seq,
+            nbytes=gate_bytes * seq,
+            gemm_backed=True,
+            tc_capable=True,
+            mixed_traffic_ratio=persistence,
+            launch_count=2 * seq,  # per-timestep kernels in fp32 mode;
+            # the mixed-precision persistent algorithm fuses them away.
+            weight_elems=float(n_gates * hidden * (input_size + hidden)),
+        )
+    )
+    ops.append(
+        Op(
+            f"{name}/gate_pointwise",
+            KernelKind.ELEMENTWISE,
+            flops=12.0 * batch * hidden * seq,
+            nbytes=_E32 * 6.0 * batch * hidden * seq,
+        )
+    )
+    return ops
+
+
+@dataclass(frozen=True)
+class Lstm(Layer):
+    """Long Short-Term Memory layer (4 gates)."""
+
+    name: str
+    input_size: int
+    hidden: int
+    seq: int
+
+    def ops(self, batch: int) -> list[Op]:
+        return _recurrent_ops(
+            self.name, batch, self.input_size, self.hidden, self.seq, 4,
+            persistence=0.12,
+        )
+
+    def output_elems(self, batch: int) -> float:
+        return float(batch * self.hidden * self.seq)
+
+
+@dataclass(frozen=True)
+class Gru(Layer):
+    """Gated Recurrent Unit layer (3 gates; less mature persistent
+    kernels than LSTM at the paper's time)."""
+
+    name: str
+    input_size: int
+    hidden: int
+    seq: int
+
+    def ops(self, batch: int) -> list[Op]:
+        return _recurrent_ops(
+            self.name, batch, self.input_size, self.hidden, self.seq, 3,
+            persistence=0.28,
+        )
+
+    def output_elems(self, batch: int) -> float:
+        return float(batch * self.hidden * self.seq)
+
+
+@dataclass(frozen=True)
+class Attention(Layer):
+    """Multi-head self-attention block (QKV + scores + context + out)."""
+
+    name: str
+    d_model: int
+    heads: int
+    seq: int
+
+    def ops(self, batch: int) -> list[Op]:
+        b, s, d = batch, self.seq, self.d_model
+        proj_flops = 2.0 * b * s * d * d  # per projection
+        score_flops = 2.0 * b * self.heads * s * s * (d // self.heads)
+        ops = [
+            Op(
+                f"{self.name}/qkv_proj",
+                KernelKind.GEMM,
+                flops=3.0 * proj_flops,
+                nbytes=_E32 * (4.0 * b * s * d + 3.0 * d * d),
+                gemm_backed=True,
+                tc_capable=True,
+                weight_elems=3.0 * d * d,
+            ),
+            Op(
+                f"{self.name}/qk_scores",
+                KernelKind.GEMM,
+                flops=score_flops,
+                nbytes=_E32 * (2.0 * b * s * d + b * self.heads * s * s),
+                gemm_backed=True,
+                tc_capable=True,
+            ),
+            Op(
+                f"{self.name}/softmax",
+                KernelKind.ELEMENTWISE,
+                flops=5.0 * b * self.heads * s * s,
+                nbytes=_E32 * 2.0 * b * self.heads * s * s,
+            ),
+            Op(
+                f"{self.name}/context",
+                KernelKind.GEMM,
+                flops=score_flops,
+                nbytes=_E32 * (b * self.heads * s * s + 2.0 * b * s * d),
+                gemm_backed=True,
+                tc_capable=True,
+            ),
+            Op(
+                f"{self.name}/out_proj",
+                KernelKind.GEMM,
+                flops=proj_flops,
+                nbytes=_E32 * (2.0 * b * s * d + d * d),
+                gemm_backed=True,
+                tc_capable=True,
+                weight_elems=float(d * d),
+            ),
+        ]
+        return ops
+
+    def output_elems(self, batch: int) -> float:
+        return float(batch * self.seq * self.d_model)
+
+
+@dataclass(frozen=True)
+class Embedding(Layer):
+    """Lookup table; pure memory traffic (NCF's dominant cost)."""
+
+    name: str
+    vocab: int
+    dim: int
+    lookups_per_sample: int = 1
+
+    def ops(self, batch: int) -> list[Op]:
+        n = batch * self.lookups_per_sample
+        return [
+            Op(
+                f"{self.name}/embedding",
+                KernelKind.TABLE_LOOKUP,
+                flops=0.0,
+                nbytes=_E32 * n * self.dim * 2.0,
+                weight_elems=float(n * self.dim),  # sparse rows touched
+            )
+        ]
+
+    def output_elems(self, batch: int) -> float:
+        return float(batch * self.lookups_per_sample * self.dim)
+
+
+def _pointwise(name: str, elems: float, flops_per: float, streams: float) -> Op:
+    return Op(
+        name,
+        KernelKind.ELEMENTWISE,
+        flops=flops_per * elems,
+        nbytes=_E32 * streams * elems,
+    )
+
+
+@dataclass(frozen=True)
+class BatchNorm(Layer):
+    name: str
+    elems_per_sample: float
+
+    def ops(self, batch: int) -> list[Op]:
+        return [_pointwise(f"{self.name}/batchnorm",
+                           batch * self.elems_per_sample, 8.0, 3.0)]
+
+    def output_elems(self, batch: int) -> float:
+        return batch * self.elems_per_sample
+
+
+@dataclass(frozen=True)
+class LayerNorm(Layer):
+    name: str
+    elems_per_sample: float
+
+    def ops(self, batch: int) -> list[Op]:
+        return [_pointwise(f"{self.name}/layernorm",
+                           batch * self.elems_per_sample, 8.0, 3.0)]
+
+    def output_elems(self, batch: int) -> float:
+        return batch * self.elems_per_sample
+
+
+@dataclass(frozen=True)
+class Activation(Layer):
+    name: str
+    elems_per_sample: float
+    flops_per_elem: float = 2.0
+
+    def ops(self, batch: int) -> list[Op]:
+        return [_pointwise(f"{self.name}/activation",
+                           batch * self.elems_per_sample,
+                           self.flops_per_elem, 2.0)]
+
+    def output_elems(self, batch: int) -> float:
+        return batch * self.elems_per_sample
+
+
+@dataclass(frozen=True)
+class Pool(Layer):
+    name: str
+    elems_per_sample: float  # input elements
+
+    def ops(self, batch: int) -> list[Op]:
+        return [_pointwise(f"{self.name}/pool",
+                           batch * self.elems_per_sample, 1.0, 1.25)]
+
+    def output_elems(self, batch: int) -> float:
+        return batch * self.elems_per_sample / 4.0
+
+
+@dataclass(frozen=True)
+class Softmax(Layer):
+    name: str
+    elems_per_sample: float
+
+    def ops(self, batch: int) -> list[Op]:
+        return [_pointwise(f"{self.name}/softmax",
+                           batch * self.elems_per_sample, 5.0, 2.0)]
+
+    def output_elems(self, batch: int) -> float:
+        return batch * self.elems_per_sample

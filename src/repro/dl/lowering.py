@@ -1,0 +1,193 @@
+"""Lower a model to the kernel stream of one training step.
+
+A step is: stage the input batch (H2D), forward all layer ops, backward
+(data-gradient + weight-gradient for GEMM-backed ops, one pass for
+pointwise ops), optimizer update, loss readback (D2H).  This mirrors
+what nvprof sees when profiling one PyTorch iteration — including the
+host<->device traffic that Table IV's %Mem column isolates, and the
+per-kernel framework/launch overhead that makes mixed precision a *net
+loss* for tiny-kernel models like NCF (its 0.97x row).
+"""
+
+from __future__ import annotations
+
+from repro.dl.amp import PrecisionPolicy, device_fp16_vector
+from repro.dl.layers import Op
+from repro.dl.models import ModelSpec
+from repro.hardware.specs import DeviceSpec
+from repro.sim.kernels import KernelKind, KernelLaunch
+
+__all__ = ["lower_training_step", "lower_inference_step", "FRAMEWORK_OVERHEAD_S"]
+
+#: Eager-mode framework + launch overhead per kernel (PyTorch ~10-30 us).
+FRAMEWORK_OVERHEAD_S = 2.0e-5
+
+
+def _op_kernels(
+    op: Op,
+    device: DeviceSpec,
+    policy: PrecisionPolicy,
+    *,
+    suffix: str,
+    flop_factor: float = 1.0,
+) -> list[KernelLaunch]:
+    flops = op.flops * flop_factor
+    nbytes = op.nbytes * flop_factor
+    if not policy.is_mixed or not op.amp_convertible:
+        return [
+            KernelLaunch(
+                op.kind,
+                f"{op.name}/{suffix}",
+                flops=flops,
+                nbytes=nbytes,
+                fmt="fp32",
+                min_seconds=FRAMEWORK_OVERHEAD_S * op.launch_count,
+                tag="cuda",
+            )
+        ]
+    kernels: list[KernelLaunch] = []
+    if op.gemm_backed:
+        ratio = (
+            op.mixed_traffic_ratio
+            if op.mixed_traffic_ratio is not None
+            else policy.gemm_traffic_ratio
+        )
+        me = device.matrix_engine
+        fp16_vec = device_fp16_vector(device)
+        f = op.tc_fraction if (op.tc_capable and me is not None) else 0.0
+        if f > 0.0:
+            kernels.append(
+                KernelLaunch(
+                    op.kind,
+                    f"{op.name}/{suffix}_tc",
+                    flops=flops * f,
+                    nbytes=nbytes * ratio * f,
+                    fmt=me.multiply_format or "fp16",
+                    unit=me.name,
+                    min_seconds=FRAMEWORK_OVERHEAD_S,
+                    tag="tc",
+                )
+            )
+        if f < 1.0:
+            fmt = "fp16" if fp16_vec else "fp32"
+            bytes_ratio = ratio if fmt == "fp16" else 1.0
+            # Pin the fallback to the vector cores — it is precisely the
+            # work cuDNN's heuristics kept OFF the matrix engine, and it
+            # runs below the tuned-fp32 efficiency (layout conversions).
+            vec_unit = device.best_unit(fmt, allow_matrix=False).name
+            ineff = 1.0 / policy.fallback_efficiency if fmt == "fp16" else 1.0
+            kernels.append(
+                KernelLaunch(
+                    op.kind,
+                    f"{op.name}/{suffix}",
+                    flops=flops * (1.0 - f) * ineff,
+                    nbytes=nbytes * bytes_ratio * (1.0 - f),
+                    fmt=fmt,
+                    unit=vec_unit,
+                    min_seconds=FRAMEWORK_OVERHEAD_S,
+                    tag="cuda",
+                )
+            )
+        cast = nbytes * ratio * policy.cast_overhead_ratio
+        kernels.append(
+            KernelLaunch(
+                KernelKind.ELEMENTWISE,
+                f"{op.name}/{suffix}_cast",
+                nbytes=cast,
+                # Bandwidth-bound either way; fp32 placement keeps the
+                # kernel valid on devices whose only fp16 is the ME
+                # (Power10, the systolic accelerators).
+                fmt="fp32",
+                min_seconds=FRAMEWORK_OVERHEAD_S,
+                tag="amp_overhead",
+            )
+        )
+    else:
+        kernels.append(
+            KernelLaunch(
+                op.kind,
+                f"{op.name}/{suffix}",
+                flops=flops,
+                nbytes=nbytes * policy.pointwise_traffic_ratio,
+                fmt="fp32",
+                min_seconds=FRAMEWORK_OVERHEAD_S,
+                tag="cuda",
+            )
+        )
+    return kernels
+
+
+def lower_training_step(
+    model: ModelSpec,
+    device: DeviceSpec,
+    policy: PrecisionPolicy,
+) -> list[KernelLaunch]:
+    """The full kernel list of one training iteration."""
+    kernels: list[KernelLaunch] = []
+    batch = model.batch
+    input_bytes = model.input_bytes_per_sample * batch
+    if policy.is_mixed:
+        input_bytes *= model.mixed_input_ratio
+    kernels.append(
+        KernelLaunch.memcpy(input_bytes, direction="h2d", name="load_batch")
+    )
+
+    ops = model.forward_ops()
+    # Forward.
+    for op in ops:
+        kernels.extend(_op_kernels(op, device, policy, suffix="fwd"))
+    # Backward: GEMM-backed ops run dgrad + wgrad (2x fwd work); pointwise
+    # ops run one gradient pass of equal size; lookups scatter gradients.
+    for op in reversed(ops):
+        factor = 2.0 if op.gemm_backed else 1.6
+        kernels.extend(
+            _op_kernels(op, device, policy, suffix="bwd", flop_factor=factor)
+        )
+    # Optimizer: fp32 master weights (read grad + weight + momentum,
+    # write weight + momentum).
+    weights = sum(op.weight_elems for op in ops)
+    if weights > 0:
+        kernels.append(
+            KernelLaunch(
+                KernelKind.ELEMENTWISE,
+                "optimizer_step",
+                flops=6.0 * weights,
+                nbytes=4.0 * 5.0 * weights,
+                fmt="fp32",
+                min_seconds=FRAMEWORK_OVERHEAD_S,
+                tag="optimizer",
+            )
+        )
+    kernels.append(
+        KernelLaunch.memcpy(4096.0, direction="d2h", name="loss_readback")
+    )
+    return kernels
+
+
+def lower_inference_step(
+    model: ModelSpec,
+    device: DeviceSpec,
+    policy: PrecisionPolicy,
+) -> list[KernelLaunch]:
+    """One inference iteration: staging + forward + result readback.
+
+    No backward pass, no optimizer — the MLPerf-inference-style view of
+    the same models (the paper's Table IV measures training; inference
+    shifts the balance further toward memcpy and framework overhead).
+    """
+    kernels: list[KernelLaunch] = []
+    input_bytes = model.input_bytes_per_sample * model.batch
+    if policy.is_mixed:
+        input_bytes *= model.mixed_input_ratio
+    kernels.append(
+        KernelLaunch.memcpy(input_bytes, direction="h2d", name="load_batch")
+    )
+    ops = model.forward_ops()
+    for op in ops:
+        kernels.extend(_op_kernels(op, device, policy, suffix="fwd"))
+    # Output readback: the last layer's activations.
+    out_elems = 4.0 * model.batch * 1024.0
+    kernels.append(
+        KernelLaunch.memcpy(out_elems, direction="d2h", name="result_readback")
+    )
+    return kernels

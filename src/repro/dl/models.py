@@ -1,0 +1,378 @@
+"""The 12 DL workloads of Table IV / Table V ("Deep Learning" rows).
+
+Seven full models (BERT, Cosmoflow, VGG16, ResNet50, DeepLabV3, SSD300,
+NCF) and five single-layer benchmarks (GEMM, GRU, LSTM, Conv2D,
+Attention), mirroring the paper's benchmarker tool: synthetic data,
+fixed batch, one GPU.
+
+Layer shapes follow the published architectures; batch sizes and the
+input-staging volumes are CALIBRATED within realistic ranges so the
+simulated Table IV columns land near the measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import WorkloadError
+from repro.dl.layers import (
+    Activation,
+    Attention,
+    BatchNorm,
+    Conv2D,
+    Conv3D,
+    Dense,
+    Embedding,
+    Gru,
+    Layer,
+    LayerNorm,
+    Lstm,
+    Op,
+    Pool,
+    Softmax,
+)
+
+__all__ = ["ModelSpec", "MODEL_BUILDERS", "build_model", "model_names"]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A benchmarkable model: layers + batch + staging volume."""
+
+    name: str
+    domain: str
+    layers: tuple[Layer, ...]
+    batch: int
+    input_bytes_per_sample: float
+    mixed_input_ratio: float = 1.0  # staging shrink when inputs go fp16
+    description: str = ""
+    _ops_cache: list = field(default_factory=list, compare=False, repr=False)
+
+    def forward_ops(self) -> list[Op]:
+        """Lowered forward ops (cached; layer lists are immutable)."""
+        if not self._ops_cache:
+            ops: list[Op] = []
+            for layer in self.layers:
+                ops.extend(layer.ops(self.batch))
+            self._ops_cache.extend(ops)
+        return list(self._ops_cache)
+
+    @property
+    def flops_per_sample(self) -> float:
+        """Forward+backward flops per sample (3x forward, the usual
+        training estimate)."""
+        fwd = sum(op.flops for op in self.forward_ops())
+        return 3.0 * fwd / self.batch
+
+
+# ---------------------------------------------------------------------------
+# Full models
+# ---------------------------------------------------------------------------
+
+
+def _conv_bn_relu(name: str, cin: int, cout: int, h: int, w: int,
+                  kernel: int = 3, stride: int = 1,
+                  tc_fraction: float = 0.5) -> list[Layer]:
+    conv = Conv2D(name, cin, cout, h, w, kernel=kernel, stride=stride,
+                  tc_fraction=tc_fraction)
+    elems = conv.output_elems(1)
+    return [
+        conv,
+        BatchNorm(f"{name}_bn", elems),
+        Activation(f"{name}_relu", elems),
+    ]
+
+
+def _resnet50_backbone(res: int, prefix: str = "resnet",
+                       tc_fraction: float = 0.75) -> list[Layer]:
+    """ResNet-50's conv stack at input resolution ``res``.
+
+    ``tc_fraction`` is the cuDNN TC-kernel coverage (CALIBRATED).
+    """
+    layers: list[Layer] = []
+    layers += _conv_bn_relu(f"{prefix}/stem", 3, 64, res, res, kernel=7,
+                            stride=2, tc_fraction=0.0)
+    h = res // 4  # stem stride + maxpool
+    layers.append(Pool(f"{prefix}/maxpool", 64.0 * (res // 2) ** 2))
+    stage_cfg = [(64, 256, 3), (128, 512, 4), (256, 1024, 6), (512, 2048, 3)]
+    cin = 64
+    for s, (mid, out, blocks) in enumerate(stage_cfg):
+        for b in range(blocks):
+            stride = 2 if (b == 0 and s > 0) else 1
+            n = f"{prefix}/s{s}b{b}"
+            layers += _conv_bn_relu(f"{n}/c1", cin, mid, h, h, kernel=1,
+                                    tc_fraction=tc_fraction)
+            layers += _conv_bn_relu(f"{n}/c2", mid, mid, h, h, kernel=3,
+                                    stride=stride, tc_fraction=tc_fraction)
+            h = max(1, h // stride)
+            layers += _conv_bn_relu(f"{n}/c3", cin=mid, cout=out, h=h, w=h,
+                                    kernel=1, tc_fraction=tc_fraction)
+            cin = out
+    return layers
+
+
+def build_resnet50(batch: int = 64) -> ModelSpec:
+    layers = _resnet50_backbone(224)
+    layers.append(Pool("resnet/avgpool", 2048.0 * 7 * 7))
+    layers.append(Dense("resnet/fc", 2048, 1000))
+    return ModelSpec(
+        name="Resnet50",
+        domain="Image Recognition",
+        layers=tuple(layers),
+        batch=batch,
+        input_bytes_per_sample=3 * 224 * 224 * 4.0,
+        description="50-layer residual CNN (He et al.)",
+    )
+
+
+def build_vgg16(batch: int = 64) -> ModelSpec:
+    cfg = [
+        (3, 64, 224), (64, 64, 224),
+        (64, 128, 112), (128, 128, 112),
+        (128, 256, 56), (256, 256, 56), (256, 256, 56),
+        (256, 512, 28), (512, 512, 28), (512, 512, 28),
+        (512, 512, 14), (512, 512, 14), (512, 512, 14),
+    ]
+    layers: list[Layer] = []
+    for i, (cin, cout, res) in enumerate(cfg):
+        conv = Conv2D(f"vgg/conv{i}", cin, cout, res, res, tc_fraction=0.40)
+        layers.append(conv)
+        layers.append(Activation(f"vgg/relu{i}", conv.output_elems(1)))
+    layers += [
+        Dense("vgg/fc6", 512 * 7 * 7, 4096),
+        Activation("vgg/relu_fc6", 4096),
+        Dense("vgg/fc7", 4096, 4096),
+        Activation("vgg/relu_fc7", 4096),
+        Dense("vgg/fc8", 4096, 1000),
+    ]
+    return ModelSpec(
+        name="VGG16",
+        domain="Image Recognition",
+        layers=tuple(layers),
+        batch=batch,
+        input_bytes_per_sample=3 * 224 * 224 * 4.0,
+        description="16-layer plain CNN (Simonyan & Zisserman)",
+    )
+
+
+def build_deeplabv3(batch: int = 16) -> ModelSpec:
+    # ResNet-50 backbone at 513x513 with an ASPP head.
+    layers = _resnet50_backbone(513, prefix="deeplab", tc_fraction=0.55)
+    for i, dilation in enumerate((1, 12, 24, 36)):
+        layers += _conv_bn_relu(f"deeplab/aspp{i}", 2048, 256, 33, 33,
+                                tc_fraction=0.55)
+    layers += _conv_bn_relu("deeplab/project", 1024 + 256, 256, 33, 33,
+                            kernel=1, tc_fraction=0.55)
+    layers.append(Conv2D("deeplab/classifier", 256, 21, 33, 33, kernel=1,
+                         tc_fraction=0.0))
+    return ModelSpec(
+        name="DeepLabV3",
+        domain="Image Segmentation",
+        layers=tuple(layers),
+        batch=batch,
+        input_bytes_per_sample=3 * 513 * 513 * 4.0,
+        description="Atrous-convolution semantic segmentation",
+    )
+
+
+def build_ssd300(batch: int = 32) -> ModelSpec:
+    cfg = [
+        (3, 64, 300), (64, 64, 300),
+        (64, 128, 150), (128, 128, 150),
+        (128, 256, 75), (256, 256, 75), (256, 256, 75),
+        (256, 512, 38), (512, 512, 38), (512, 512, 38),
+        (512, 512, 19), (512, 512, 19), (512, 512, 19),
+    ]
+    layers: list[Layer] = []
+    for i, (cin, cout, res) in enumerate(cfg):
+        conv = Conv2D(f"ssd/conv{i}", cin, cout, res, res, tc_fraction=0.28)
+        layers.append(conv)
+        layers.append(Activation(f"ssd/relu{i}", conv.output_elems(1)))
+    extras = [(512, 1024, 19), (1024, 256, 10), (256, 512, 10),
+              (512, 128, 5), (128, 256, 5), (256, 128, 3)]
+    for i, (cin, cout, res) in enumerate(extras):
+        conv = Conv2D(f"ssd/extra{i}", cin, cout, res, res, tc_fraction=0.28)
+        layers.append(conv)
+        layers.append(Activation(f"ssd/extra_relu{i}", conv.output_elems(1)))
+    # Detection heads: class + box convs over 8732 priors.
+    layers.append(Conv2D("ssd/loc_head", 512, 24, 38, 38, tc_fraction=0.0))
+    layers.append(Conv2D("ssd/conf_head", 512, 324, 38, 38, tc_fraction=0.0))
+    layers.append(Softmax("ssd/nms_softmax", 8732.0 * 81))
+    return ModelSpec(
+        name="SSD300",
+        domain="Object Detection",
+        layers=tuple(layers),
+        batch=batch,
+        input_bytes_per_sample=3 * 300 * 300 * 4.0,
+        description="Single-shot multibox detector on VGG16",
+    )
+
+
+def build_cosmoflow(batch: int = 8) -> ModelSpec:
+    layers: list[Layer] = []
+    cin, res = 4, 128
+    for i, cout in enumerate((16, 32, 64, 128, 256)):
+        conv = Conv3D(f"cosmo/conv{i}", cin, cout, res, res, res, stride=1)
+        layers.append(conv)
+        layers.append(Activation(f"cosmo/lrelu{i}", conv.output_elems(1)))
+        layers.append(Pool(f"cosmo/pool{i}", conv.output_elems(1)))
+        cin, res = cout, res // 2
+    flat = cin * res**3
+    layers += [
+        Dense("cosmo/fc1", int(flat), 128),
+        Dense("cosmo/fc2", 128, 64),
+        Dense("cosmo/fc3", 64, 4),
+    ]
+    return ModelSpec(
+        name="Cosmoflow",
+        domain="Computational Cosmology",
+        layers=tuple(layers),
+        batch=batch,
+        input_bytes_per_sample=4 * 128**3 * 2.0,  # uint16 voxels
+        description="3-D CNN over dark-matter density volumes",
+    )
+
+
+def build_bert(batch: int = 64, seq: int = 128) -> ModelSpec:
+    d, heads, n_layers = 768, 12, 12
+    layers: list[Layer] = [
+        Embedding("bert/embed", 30522, d, lookups_per_sample=seq),
+    ]
+    for i in range(n_layers):
+        layers.append(Attention(f"bert/l{i}/attn", d, heads, seq))
+        layers.append(LayerNorm(f"bert/l{i}/ln1", float(seq * d)))
+        layers.append(Dense(f"bert/l{i}/ffn_up", d, 4 * d))
+        layers.append(Activation(f"bert/l{i}/gelu", float(seq * 4 * d), 8.0))
+        layers.append(Dense(f"bert/l{i}/ffn_down", 4 * d, d))
+        layers.append(LayerNorm(f"bert/l{i}/ln2", float(seq * d)))
+    layers.append(Dense("bert/pooler", d, d))
+    return ModelSpec(
+        name="BERT",
+        domain="Natural Language Processing",
+        layers=tuple(layers),
+        batch=batch,
+        input_bytes_per_sample=seq * 768 * 4.0,  # synthetic float inputs
+        description="12-layer Transformer encoder (BERT-base)",
+    )
+
+
+def build_ncf(batch: int = 8192) -> ModelSpec:
+    layers: list[Layer] = [
+        Embedding("ncf/user_embed", 138_000, 64),
+        Embedding("ncf/item_embed", 27_000, 64),
+        Dense("ncf/mlp1", 128, 256),
+        Activation("ncf/relu1", 256),
+        Dense("ncf/mlp2", 256, 128),
+        Activation("ncf/relu2", 128),
+        Dense("ncf/mlp3", 128, 64),
+        Activation("ncf/relu3", 64),
+        Dense("ncf/output", 128, 1),
+    ]
+    return ModelSpec(
+        name="NCF",
+        domain="Recommender Systems",
+        layers=tuple(layers),
+        batch=batch,
+        input_bytes_per_sample=16.0,
+        description="Neural collaborative filtering (MovieLens-scale)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Single-layer benchmarks
+# ---------------------------------------------------------------------------
+
+
+def build_gemm_layer(batch: int = 8, n: int = 4096) -> ModelSpec:
+    """The paper's 'GEMM' row: a large dense layer whose fresh operands
+    are staged every iteration (hence its 79.9 % %Mem)."""
+    return ModelSpec(
+        name="GEMM",
+        domain="Single Layer",
+        layers=(Dense("gemm/dense", n, n),),
+        batch=batch * n // 8,  # (batch*n/8 x n) @ (n x n)
+        input_bytes_per_sample=n * 4.0 * 1.5,
+        mixed_input_ratio=0.5,  # fp16 staging
+        description="Isolated large dense GEMM",
+    )
+
+
+def build_lstm_layer(batch: int = 32) -> ModelSpec:
+    return ModelSpec(
+        name="LSTM",
+        domain="Single Layer",
+        layers=(Lstm("lstm", 1024, 1024, seq=100),),
+        batch=batch,
+        input_bytes_per_sample=100 * 1024 * 4.0,
+        mixed_input_ratio=0.5,
+        description="Single cuDNN LSTM layer",
+    )
+
+
+def build_gru_layer(batch: int = 32) -> ModelSpec:
+    return ModelSpec(
+        name="GRU",
+        domain="Single Layer",
+        layers=(Gru("gru", 1024, 1024, seq=100),),
+        batch=batch,
+        input_bytes_per_sample=100 * 1024 * 4.0,
+        mixed_input_ratio=0.5,
+        description="Single cuDNN GRU layer",
+    )
+
+
+def build_conv2d_layer(batch: int = 32) -> ModelSpec:
+    conv = Conv2D("conv2d", 64, 64, 224, 224, tc_fraction=0.02)
+    return ModelSpec(
+        name="Conv2D",
+        domain="Single Layer",
+        layers=(conv,),
+        batch=batch,
+        input_bytes_per_sample=64 * 224 * 224 * 2.0,
+        mixed_input_ratio=1.0,  # apex casts on-device; staging unchanged
+        description="Isolated 3x3 convolution (memory-bound shape)",
+    )
+
+
+def build_attention_layer(batch: int = 32) -> ModelSpec:
+    return ModelSpec(
+        name="Attention",
+        domain="Single Layer",
+        layers=(Attention("attention", 1024, 16, seq=512),),
+        batch=batch,
+        input_bytes_per_sample=512 * 1024 * 4.0,
+        mixed_input_ratio=0.5,
+        description="Isolated multi-head self-attention block",
+    )
+
+
+MODEL_BUILDERS: dict[str, Callable[[], ModelSpec]] = {
+    "BERT": build_bert,
+    "Cosmoflow": build_cosmoflow,
+    "VGG16": build_vgg16,
+    "Resnet50": build_resnet50,
+    "DeepLabV3": build_deeplabv3,
+    "SSD300": build_ssd300,
+    "NCF": build_ncf,
+    "GEMM": build_gemm_layer,
+    "GRU": build_gru_layer,
+    "LSTM": build_lstm_layer,
+    "Conv2D": build_conv2d_layer,
+    "Attention": build_attention_layer,
+}
+
+
+def model_names() -> list[str]:
+    """Table IV row order."""
+    return list(MODEL_BUILDERS)
+
+
+def build_model(name: str) -> ModelSpec:
+    """Build a model by its Table IV name (case-insensitive)."""
+    for key, builder in MODEL_BUILDERS.items():
+        if key.lower() == name.lower():
+            return builder()
+    raise WorkloadError(
+        f"unknown model {name!r}; known: {sorted(MODEL_BUILDERS)}"
+    )

@@ -1,0 +1,101 @@
+"""Execute training steps on a simulated device.
+
+Drives Fig. 2 (ResNet50 energy efficiency across eight chips) and the
+throughput side of Table IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dl.amp import PrecisionPolicy
+from repro.dl.lowering import lower_inference_step, lower_training_step
+from repro.dl.models import ModelSpec
+from repro.hardware.registry import get_device
+from repro.hardware.specs import DeviceSpec
+from repro.sim.engine import SimulatedDevice
+from repro.sim.trace import Trace
+
+__all__ = ["TrainingResult", "train_step", "inference_step"]
+
+
+@dataclass(frozen=True)
+class TrainingResult:
+    """One profiled training iteration."""
+
+    model: str
+    device: str
+    precision: str
+    batch: int
+    step_time_s: float
+    energy_j: float
+    trace: Trace
+
+    @property
+    def samples_per_s(self) -> float:
+        """Training throughput (Fig. 2's images/s annotations)."""
+        return self.batch / self.step_time_s
+
+    @property
+    def avg_power_w(self) -> float:
+        return self.energy_j / self.step_time_s
+
+    @property
+    def samples_per_j(self) -> float:
+        """Energy efficiency (the Fig. 2 y-axis)."""
+        return self.batch / self.energy_j
+
+    @property
+    def tc_time_s(self) -> float:
+        """Time on the matrix engine (any unit named like a ME)."""
+        return sum(
+            r.duration
+            for r in self.trace
+            if r.unit in ("tensorcore", "mma", "amx", "systolic")
+        )
+
+    @property
+    def memcpy_time_s(self) -> float:
+        return self.trace.memcpy_time()
+
+
+def _run_step(
+    model: ModelSpec,
+    device: DeviceSpec | str,
+    precision: str,
+    lower,
+) -> TrainingResult:
+    spec = get_device(device) if isinstance(device, str) else device
+    policy = PrecisionPolicy(precision)
+    sim = SimulatedDevice(spec)
+    for kernel in lower(model, spec, policy):
+        sim.launch(kernel)
+    return TrainingResult(
+        model=model.name,
+        device=spec.name,
+        precision=precision,
+        batch=model.batch,
+        step_time_s=sim.elapsed,
+        energy_j=sim.energy,
+        trace=sim.trace,
+    )
+
+
+def train_step(
+    model: ModelSpec,
+    device: DeviceSpec | str = "v100",
+    *,
+    precision: str = "fp32",
+) -> TrainingResult:
+    """Run one training iteration and return its timing/energy."""
+    return _run_step(model, device, precision, lower_training_step)
+
+
+def inference_step(
+    model: ModelSpec,
+    device: DeviceSpec | str = "v100",
+    *,
+    precision: str = "fp32",
+) -> TrainingResult:
+    """Run one forward-only (inference) iteration."""
+    return _run_step(model, device, precision, lower_inference_step)

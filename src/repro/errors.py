@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without masking genuine Python bugs
+(``TypeError`` from a misuse still propagates as-is).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "FormatError",
+    "DeviceError",
+    "DispatchError",
+    "ProfilingError",
+    "WorkloadError",
+    "OzakiError",
+    "GraphError",
+    "ScenarioError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class FormatError(ReproError, ValueError):
+    """Invalid or unsupported floating-point format specification."""
+
+
+class DeviceError(ReproError, ValueError):
+    """A device model cannot satisfy the requested operation.
+
+    Raised e.g. when a kernel requests a precision the device's matrix
+    engine does not support, or when a device name is unknown to the
+    registry.
+    """
+
+
+class DispatchError(ReproError, RuntimeError):
+    """BLAS dispatch failure (no active execution context, bad shapes)."""
+
+
+class ProfilingError(ReproError, RuntimeError):
+    """Misuse of the profiling API (unbalanced regions, closed profiles)."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """Unknown workload, or invalid workload configuration."""
+
+
+class OzakiError(ReproError, ValueError):
+    """Ozaki-scheme precondition violation (non-finite input, bad formats)."""
+
+
+class GraphError(ReproError, ValueError):
+    """Dependency-graph construction or analysis failure."""
+
+
+class ScenarioError(ReproError, ValueError):
+    """Invalid extrapolation scenario (domain shares not summing to one, …)."""

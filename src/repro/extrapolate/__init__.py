@@ -1,0 +1,30 @@
+"""Node-hour-reduction extrapolation (Fig. 4).
+
+Amdahl-style projection of a supercomputer's consumed node-hours when a
+matrix engine accelerates the GEMM and (Sca)LAPACK portions of each
+science domain's representative application.  The per-application
+accelerable fractions are *measured* by the Fig. 3 profiling machinery,
+not tabulated.
+"""
+
+from repro.extrapolate.model import (
+    DomainWorkload,
+    NodeHourModel,
+    amdahl_time_fraction,
+)
+from repro.extrapolate.scenarios import (
+    anl_scenario,
+    fugaku_scenario,
+    future_scenario,
+    k_computer_scenario,
+)
+
+__all__ = [
+    "DomainWorkload",
+    "NodeHourModel",
+    "amdahl_time_fraction",
+    "k_computer_scenario",
+    "anl_scenario",
+    "future_scenario",
+    "fugaku_scenario",
+]

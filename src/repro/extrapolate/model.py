@@ -1,0 +1,81 @@
+"""The Amdahl node-hour model behind Fig. 4."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ScenarioError
+
+__all__ = ["amdahl_time_fraction", "DomainWorkload", "NodeHourModel"]
+
+
+def amdahl_time_fraction(accelerable: float, speedup: float) -> float:
+    """Remaining time fraction when ``accelerable`` of the runtime is
+    sped up by ``speedup`` (``math.inf`` allowed)."""
+    if not 0.0 <= accelerable <= 1.0:
+        raise ScenarioError(f"accelerable fraction out of range: {accelerable}")
+    if speedup < 1.0:
+        raise ScenarioError(f"speedup must be >= 1, got {speedup}")
+    if math.isinf(speedup):
+        return 1.0 - accelerable
+    return (1.0 - accelerable) + accelerable / speedup
+
+
+@dataclass(frozen=True)
+class DomainWorkload:
+    """One science domain of a machine's node-hour mix.
+
+    ``accelerable`` is the GEMM + (Sca)LAPACK runtime fraction of the
+    domain's representative application (the paper's idealised
+    assumption that *all* of it maps to the ME).
+    """
+
+    domain: str
+    share: float  # of total node-hours
+    representative: str
+    accelerable: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.share <= 1.0:
+            raise ScenarioError(f"{self.domain}: share out of range")
+        if not 0.0 <= self.accelerable <= 1.0:
+            raise ScenarioError(f"{self.domain}: accelerable out of range")
+
+
+@dataclass(frozen=True)
+class NodeHourModel:
+    """A machine's domain mix plus total node-hours."""
+
+    name: str
+    domains: tuple[DomainWorkload, ...]
+    total_node_hours: float = 1.0
+
+    def __post_init__(self) -> None:
+        total_share = sum(d.share for d in self.domains)
+        if not math.isclose(total_share, 1.0, abs_tol=1e-6):
+            raise ScenarioError(
+                f"{self.name}: domain shares sum to {total_share}, not 1"
+            )
+
+    def consumed_fraction(self, speedup: float) -> float:
+        """Node-hour fraction still consumed with an ME of ``speedup``."""
+        return sum(
+            d.share * amdahl_time_fraction(d.accelerable, speedup)
+            for d in self.domains
+        )
+
+    def reduction(self, speedup: float) -> float:
+        """Fractional node-hour saving (Fig. 4's y-axis)."""
+        return 1.0 - self.consumed_fraction(speedup)
+
+    def node_hours_saved(self, speedup: float) -> float:
+        return self.total_node_hours * self.reduction(speedup)
+
+    def throughput_improvement(self, speedup: float) -> float:
+        """Science-throughput factor (the conclusion's '~1.1x')."""
+        return 1.0 / self.consumed_fraction(speedup)
+
+    def sweep(self, speedups: tuple[float, ...] = (2.0, 4.0, 8.0, math.inf)):
+        """(speedup, reduction) series for the figure."""
+        return [(s, self.reduction(s)) for s in speedups]

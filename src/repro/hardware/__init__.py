@@ -1,0 +1,45 @@
+"""Analytical hardware models: devices, compute units, roofline and power.
+
+This subpackage replaces the paper's physical testbeds (Table VI) with
+calibrated analytical models.  Each :class:`~repro.hardware.specs.DeviceSpec`
+carries peak throughput per (compute unit, precision), achievable-fraction
+efficiencies, memory bandwidths, and a package power model; the registry
+ships every device the paper measures or surveys (Table I, Fig. 2,
+Systems 1 & 2).
+"""
+
+from repro.hardware.specs import (
+    ComputeUnitSpec,
+    DeviceSpec,
+    MemorySpec,
+    UnitKind,
+)
+from repro.hardware.registry import (
+    all_devices,
+    get_device,
+    list_device_names,
+    table_i_devices,
+)
+from repro.hardware.roofline import (
+    achievable_flops,
+    arithmetic_intensity,
+    roofline_time,
+)
+from repro.hardware.energy import kernel_power
+from repro.hardware.density import compute_density
+
+__all__ = [
+    "ComputeUnitSpec",
+    "DeviceSpec",
+    "MemorySpec",
+    "UnitKind",
+    "all_devices",
+    "get_device",
+    "list_device_names",
+    "table_i_devices",
+    "achievable_flops",
+    "arithmetic_intensity",
+    "roofline_time",
+    "kernel_power",
+    "compute_density",
+]

@@ -1,0 +1,52 @@
+"""Compute-density derivations for Table I.
+
+The paper's parenthesised Gflop/s/mm^2 figures divide the peak rate by the
+full die area — including, for the Ascend 910, the Nimbus co-accelerator
+and HBM stacks, as its footnote 4 notes.  We reproduce exactly that
+arithmetic, plus the cross-device ratios quoted in Sec. II-B (Power10 at
+18% of V100 density; Ascend 7.7x Power10 but 55% of A100 peak).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.specs import DeviceSpec
+from repro.units import GIGA, TERA
+
+__all__ = ["compute_density", "density_ratio", "peak_ratio"]
+
+
+def compute_density(
+    tflops: float | None, die_mm2: float | None
+) -> float | None:
+    """Gflop/s per mm^2 from a Tflop/s peak and a die area.
+
+    Returns ``None`` when either input is unpublished, matching the
+    paper's "—" cells.
+    """
+    if tflops is None or die_mm2 is None or die_mm2 <= 0.0:
+        return None
+    return tflops * TERA / GIGA / die_mm2
+
+
+def density_ratio(
+    a: DeviceSpec, b: DeviceSpec, fmt: str = "fp16"
+) -> float | None:
+    """Density(a) / density(b) in the given format, or ``None`` if either
+    device lacks a published die size or peak."""
+    da = compute_density(_peak_tflops(a, fmt), a.die_mm2)
+    db = compute_density(_peak_tflops(b, fmt), b.die_mm2)
+    if da is None or db is None or db == 0.0:
+        return None
+    return da / db
+
+
+def peak_ratio(a: DeviceSpec, b: DeviceSpec, fmt: str = "fp16") -> float:
+    """Peak(a) / peak(b) in the given format."""
+    return a.peak(fmt) / b.peak(fmt)
+
+
+def _peak_tflops(device: DeviceSpec, fmt: str) -> float | None:
+    try:
+        return device.peak(fmt) / TERA
+    except Exception:
+        return None

@@ -1,0 +1,55 @@
+"""Package power model.
+
+Instantaneous power during a kernel is modelled as
+
+``P = idle + (P_unit(fmt) - idle) * u_compute + P_mem * u_memory``
+
+capped at the device TDP, where ``u_compute`` and ``u_memory`` are the
+fractions of the kernel's duration spent at the compute and memory
+roofline bounds.  ``P_unit(fmt)`` is the *calibrated* full-load package
+power of the executing unit in the given format — for the V100 these are
+the wattages the paper measured via NVML (Table VIII: 286.5 W DGEMM,
+276.1 W SGEMM, 270.9 W TC GEMM), so compute-bound GEMMs reproduce Fig. 1's
+near-TDP draw and the TC's slightly lower power at vastly higher
+throughput (the "dark silicon" observation of Sec. V-A1).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.specs import ComputeUnitSpec, DeviceSpec
+
+__all__ = ["kernel_power", "memcpy_power"]
+
+
+def kernel_power(
+    device: DeviceSpec,
+    unit: ComputeUnitSpec,
+    fmt: str,
+    *,
+    compute_utilization: float,
+    memory_utilization: float,
+) -> float:
+    """Average package power (W) while the kernel runs.
+
+    Utilisations are clipped into [0, 1]; the result is clipped into
+    [idle, TDP].
+    """
+    cu = min(max(compute_utilization, 0.0), 1.0)
+    mu = min(max(memory_utilization, 0.0), 1.0)
+    active = unit.power(fmt)
+    if active <= 0.0:
+        active = device.tdp_w
+    # Bandwidth-bound kernels still keep the execution units busy issuing
+    # loads/stores; NVML shows streaming kernels at 60-80 % of the
+    # compute-bound package draw, modelled by the 0.6 floor.
+    u = max(cu, 0.6 * mu)
+    p = device.idle_w + (active - device.idle_w) * u
+    p += device.memory.active_power_w * mu
+    return min(max(p, device.idle_w), device.tdp_w)
+
+
+def memcpy_power(device: DeviceSpec) -> float:
+    """Package power during host<->device transfers: idle plus a fraction
+    of the memory subsystem (the device-side copy engine)."""
+    p = device.idle_w + 0.5 * device.memory.active_power_w
+    return min(p, device.tdp_w)

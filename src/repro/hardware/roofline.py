@@ -1,0 +1,92 @@
+"""Roofline performance model.
+
+Kernel execution time is the classic two-bound maximum: a compute bound
+(flops over the unit's sustainable rate) and a memory bound (bytes over
+sustained stream bandwidth).  This is the same first-order model the
+paper's methodology leans on — its Intel-Advisor step classifies regions
+by arithmetic intensity with the flop/byte >= 7 machine balance of
+System 1 — so the fractions it derives carry over.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DeviceError
+from repro.hardware.specs import ComputeUnitSpec, DeviceSpec
+
+__all__ = [
+    "arithmetic_intensity",
+    "achievable_flops",
+    "roofline_time",
+    "machine_balance",
+]
+
+# Achievable fraction of a unit's peak by kernel *kind*; GEMM uses the
+# unit's calibrated gemm_efficiency instead.  These are generic sustained
+# fractions for well-tuned kernels of each shape.
+KIND_EFFICIENCY: dict[str, float] = {
+    "gemm": -1.0,  # sentinel: use unit.gemm_efficiency
+    "conv2d": 0.75,
+    "conv3d": 0.60,
+    "gemv": 0.90,
+    "blas1": 0.90,
+    "elementwise": 0.90,
+    "reduction": 0.80,
+    "spmv": 0.90,
+    "spmm": 0.70,
+    "fft": 0.50,
+    "stencil": 0.85,
+    "rng": 0.50,
+    "sort": 0.30,
+    "scan": 0.60,
+    "branchy": 0.10,
+    "table_lookup": 0.50,
+    "other": 0.50,
+}
+
+
+def arithmetic_intensity(flops: float, nbytes: float) -> float:
+    """Flop/byte ratio; infinite for zero-traffic kernels."""
+    if nbytes <= 0.0:
+        return float("inf")
+    return flops / nbytes
+
+
+def machine_balance(device: DeviceSpec, fmt: str = "fp64") -> float:
+    """Flop/byte ratio at which the device transitions from memory- to
+    compute-bound (the Advisor threshold; ~7 flop/byte for System 1)."""
+    return device.peak(fmt) / device.memory.sustained_bps
+
+
+def achievable_flops(
+    unit: ComputeUnitSpec, fmt: str, kind: str = "gemm"
+) -> float:
+    """Sustained flop/s of ``unit`` in ``fmt`` for a kernel of ``kind``."""
+    eff = KIND_EFFICIENCY.get(kind, KIND_EFFICIENCY["other"])
+    if eff < 0.0:
+        eff = unit.gemm_efficiency
+    return unit.peak(fmt) * eff
+
+
+def roofline_time(
+    device: DeviceSpec,
+    unit: ComputeUnitSpec,
+    *,
+    flops: float,
+    nbytes: float,
+    fmt: str,
+    kind: str = "gemm",
+) -> tuple[float, float, float]:
+    """Model the execution time of one kernel.
+
+    Returns ``(duration_s, t_compute, t_memory)`` where duration is the
+    max of the two bounds.  Zero-work kernels return all-zero.
+    """
+    if flops < 0 or nbytes < 0:
+        raise DeviceError("negative work is meaningless")
+    t_comp = 0.0
+    if flops > 0.0:
+        t_comp = flops / achievable_flops(unit, fmt, kind)
+    t_mem = 0.0
+    if nbytes > 0.0:
+        t_mem = nbytes / device.memory.sustained_bps
+    return max(t_comp, t_mem), t_comp, t_mem

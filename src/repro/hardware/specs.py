@@ -1,0 +1,225 @@
+"""Device and compute-unit specifications.
+
+The model deliberately stays at the level of detail the paper itself uses:
+peak flop rates per numeric format, sustainable fractions for GEMM-shaped
+work, memory bandwidths, die area, and package power.  Microarchitectural
+state (warp schedulers, cache hierarchies) is out of scope — the
+calibration band for this reproduction explicitly notes that wrapper-level
+modelling loses that detail.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import DeviceError
+
+__all__ = ["UnitKind", "ComputeUnitSpec", "MemorySpec", "DeviceSpec"]
+
+
+class UnitKind(enum.Enum):
+    """Classes of execution resources a device may expose.
+
+    ``SCALAR``  — plain FPU pipes (the paper's "without AVX" baseline);
+    ``VECTOR``  — SIMD units (SSE/AVX2/AVX-512/SVE, or GPU CUDA cores);
+    ``MATRIX``  — matrix engines (Tensor Cores, MMA, AMX, systolic arrays).
+    """
+
+    SCALAR = "scalar"
+    VECTOR = "vector"
+    MATRIX = "matrix"
+
+
+@dataclass(frozen=True)
+class ComputeUnitSpec:
+    """One execution resource of a device.
+
+    Parameters
+    ----------
+    name:
+        Identifier unique within the device (``"fpu"``, ``"avx2"``,
+        ``"tensorcore"``).
+    kind:
+        The :class:`UnitKind`.
+    peak_flops:
+        Theoretical peak throughput per numeric-format name, flop/s.
+        Formats absent from the mapping are unsupported on this unit.
+    gemm_efficiency:
+        Fraction of peak sustained on large dense GEMM (calibrated against
+        the paper's measured cuBLAS/OpenBLAS rates, e.g. 0.92 for V100
+        DGEMM: 7.20 of 7.8 Tflop/s in Table VIII).
+    active_power_w:
+        Package power at full utilisation of this unit, per format name.
+        Formats not listed fall back to the maximum listed value.
+    multiply_format, accumulate_format:
+        For ``MATRIX`` units: the hybrid-precision contract (fp16 multiply
+        with fp32 accumulate on the V100, cf. Sec. II-B).
+    tile:
+        For ``MATRIX`` units: the native (m, n, k) fragment shape
+        (4x4x4 for V100/A100 TCs, 128x128 systolic for TPUs — Table I's
+        "ME size" column).
+    """
+
+    name: str
+    kind: UnitKind
+    peak_flops: Mapping[str, float]
+    gemm_efficiency: float = 0.85
+    active_power_w: Mapping[str, float] = field(default_factory=dict)
+    multiply_format: str | None = None
+    accumulate_format: str | None = None
+    tile: tuple[int, int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.peak_flops:
+            raise DeviceError(f"unit {self.name!r} declares no peak rates")
+        if not 0.0 < self.gemm_efficiency <= 1.0:
+            raise DeviceError(
+                f"unit {self.name!r}: gemm_efficiency must be in (0, 1], "
+                f"got {self.gemm_efficiency}"
+            )
+        for fmt, rate in self.peak_flops.items():
+            if rate <= 0.0:
+                raise DeviceError(
+                    f"unit {self.name!r}: non-positive peak for {fmt}"
+                )
+        if self.kind is UnitKind.MATRIX and self.multiply_format is None:
+            raise DeviceError(
+                f"matrix unit {self.name!r} must declare a multiply_format"
+            )
+
+    def supports(self, fmt: str) -> bool:
+        """Whether this unit can execute work in format ``fmt``."""
+        return fmt in self.peak_flops
+
+    def peak(self, fmt: str) -> float:
+        """Peak flop/s in ``fmt``; raises :class:`DeviceError` if unsupported."""
+        try:
+            return self.peak_flops[fmt]
+        except KeyError:
+            raise DeviceError(
+                f"unit {self.name!r} does not support format {fmt!r}"
+            ) from None
+
+    def power(self, fmt: str) -> float:
+        """Full-load package power in ``fmt`` (falls back to the largest
+        declared active power, then to 0 meaning 'use device TDP')."""
+        if fmt in self.active_power_w:
+            return self.active_power_w[fmt]
+        if self.active_power_w:
+            return max(self.active_power_w.values())
+        return 0.0
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Device-memory subsystem.
+
+    ``bandwidth_bps`` is the device-local (HBM/DDR) stream bandwidth;
+    ``host_link_bps`` the host↔device transfer rate (PCIe/NVLink) used for
+    the MEMCPY kernels whose cost shows up in Table IV's %Mem column;
+    ``active_power_w`` the memory-subsystem power at full bandwidth.
+    """
+
+    capacity_bytes: float
+    bandwidth_bps: float
+    host_link_bps: float = 12.0e9  # PCIe 3.0 x16 effective
+    active_power_w: float = 40.0
+    stream_efficiency: float = 0.80
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0 or self.capacity_bytes <= 0:
+            raise DeviceError("memory bandwidth and capacity must be positive")
+        if not 0.0 < self.stream_efficiency <= 1.0:
+            raise DeviceError("stream_efficiency must be in (0, 1]")
+
+    @property
+    def sustained_bps(self) -> float:
+        """Achievable stream bandwidth (STREAM-like fraction of peak)."""
+        return self.bandwidth_bps * self.stream_efficiency
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A complete device model.
+
+    The fields mirror the columns of the paper's Table I plus what the
+    power experiments (Table II/VIII, Figs. 1-2) need: TDP, idle power,
+    kernel-launch latency, and the unit inventory.
+    """
+
+    name: str
+    vendor: str
+    category: str  # "cpu", "gpu", or "ai"
+    process_nm: float | None
+    die_mm2: float | None
+    me_size: str | None  # Table I "ME size" column, e.g. "4x4x4"
+    tdp_w: float
+    idle_w: float
+    memory: MemorySpec
+    units: tuple[ComputeUnitSpec, ...]
+    launch_latency_s: float = 0.0
+    year: int | None = None
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.tdp_w <= 0 or self.idle_w < 0 or self.idle_w >= self.tdp_w:
+            raise DeviceError(
+                f"{self.name}: need 0 <= idle_w < tdp_w, got "
+                f"idle={self.idle_w}, tdp={self.tdp_w}"
+            )
+        names = [u.name for u in self.units]
+        if len(names) != len(set(names)):
+            raise DeviceError(f"{self.name}: duplicate unit names {names}")
+        if not self.units:
+            raise DeviceError(f"{self.name}: device has no compute units")
+
+    # -- unit lookup ---------------------------------------------------------
+
+    def unit(self, name: str) -> ComputeUnitSpec:
+        """Fetch a unit by name."""
+        for u in self.units:
+            if u.name == name:
+                return u
+        raise DeviceError(
+            f"device {self.name!r} has no unit {name!r}; "
+            f"available: {[u.name for u in self.units]}"
+        )
+
+    def units_of_kind(self, kind: UnitKind) -> tuple[ComputeUnitSpec, ...]:
+        """All units of the given kind (possibly empty)."""
+        return tuple(u for u in self.units if u.kind is kind)
+
+    @property
+    def matrix_engine(self) -> ComputeUnitSpec | None:
+        """The device's matrix engine, or ``None`` (GTX 1060, P100, …)."""
+        mes = self.units_of_kind(UnitKind.MATRIX)
+        return mes[0] if mes else None
+
+    @property
+    def has_matrix_engine(self) -> bool:
+        return self.matrix_engine is not None
+
+    def best_unit(self, fmt: str, *, allow_matrix: bool = True) -> ComputeUnitSpec:
+        """Highest-throughput unit supporting ``fmt``.
+
+        ``allow_matrix=False`` restricts the search to scalar/vector units
+        (the paper's "without TCs" configurations).
+        """
+        candidates = [
+            u
+            for u in self.units
+            if u.supports(fmt)
+            and (allow_matrix or u.kind is not UnitKind.MATRIX)
+        ]
+        if not candidates:
+            raise DeviceError(
+                f"device {self.name!r} has no unit for format {fmt!r}"
+                + ("" if allow_matrix else " outside the matrix engine")
+            )
+        return max(candidates, key=lambda u: u.peak(fmt))
+
+    def peak(self, fmt: str, *, allow_matrix: bool = True) -> float:
+        """Device peak flop/s in ``fmt`` across eligible units."""
+        return self.best_unit(fmt, allow_matrix=allow_matrix).peak(fmt)

@@ -1,0 +1,35 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+``repro-paper`` (the console entry point, :mod:`repro.harness.runner`)
+prints each artefact in the paper's own layout; the individual
+generators return structured rows so the benchmark suite and
+EXPERIMENTS.md can assert on them.
+"""
+
+from repro.harness.tables import (
+    table_i,
+    table_ii,
+    table_iii,
+    table_iv,
+    table_v,
+    table_vi_vii,
+    table_viii,
+)
+from repro.harness.figures import fig1, fig2, fig3, fig4
+from repro.harness.runner import run_all, section_iii_a
+
+__all__ = [
+    "table_i",
+    "table_ii",
+    "table_iii",
+    "table_iv",
+    "table_v",
+    "table_vi_vii",
+    "table_viii",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "section_iii_a",
+    "run_all",
+]

@@ -1,0 +1,100 @@
+"""Artefact export: JSON and CSV serialisation of regenerated results.
+
+``repro-paper --output DIR`` writes, per artefact, the rendered text
+(`<name>.txt`), the structured rows (`<name>.json`), and — when the
+artefact is tabular — a `<name>.csv` for spreadsheet/plotting pipelines.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+__all__ = ["to_jsonable", "export_artifact", "export_all"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert harness results into JSON-encodable data.
+
+    Dataclasses become dicts, numpy scalars/arrays become Python
+    numbers/lists, infinities become the string ``"inf"`` (JSON has no
+    Infinity), and non-serialisable leaves fall back to ``repr``.
+    """
+    import numpy as np
+
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        if math.isinf(obj):
+            return "inf" if obj > 0 else "-inf"
+        if math.isnan(obj):
+            return "nan"
+        return obj
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return to_jsonable(float(obj))
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(x) for x in obj.tolist()]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(x) for x in obj]
+    if hasattr(obj, "_asdict"):
+        return to_jsonable(obj._asdict())
+    return repr(obj)
+
+
+def _rows_to_csv(rows: list[dict], path: Path) -> None:
+    if not rows:
+        return
+    fieldnames: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: to_jsonable(v) for k, v in row.items()})
+
+
+def export_artifact(name: str, result: dict, outdir: Path) -> list[Path]:
+    """Write one artefact's text/JSON/CSV files; returns written paths."""
+    outdir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    if "text" in result:
+        p = outdir / f"{name}.txt"
+        p.write_text(result["text"] + "\n")
+        written.append(p)
+    payload = {
+        k: to_jsonable(v) for k, v in result.items() if k != "text"
+    }
+    p = outdir / f"{name}.json"
+    p.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    written.append(p)
+    rows = result.get("rows")
+    if isinstance(rows, list) and rows and isinstance(rows[0], dict):
+        p = outdir / f"{name}.csv"
+        _rows_to_csv(rows, p)
+        written.append(p)
+    return written
+
+
+def export_all(results: dict[str, dict], outdir: str | Path) -> list[Path]:
+    """Export every regenerated artefact into ``outdir``."""
+    outdir = Path(outdir)
+    written: list[Path] = []
+    for name, result in results.items():
+        written.extend(export_artifact(name, result, outdir))
+    return written

@@ -1,0 +1,140 @@
+"""Top-level experiment runner (the ``repro-paper`` console command).
+
+``repro-paper`` regenerates every artefact; ``repro-paper table4 fig3``
+selects specific ones.  Output is plain text in the paper's layouts.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harness import figures, tables
+from repro.harness.textfmt import render_table
+from repro.joblog import attribute_gemm_node_hours, generate_k_year
+
+__all__ = ["section_iii_a", "run_all", "main", "ARTIFACTS"]
+
+
+def section_iii_a() -> dict:
+    """Sec. III-A: the K-computer symbol-table analysis.
+
+    The generated job population itself is not part of the result (it
+    is 20k records; regenerate it with
+    :func:`repro.joblog.generate_k_year` — seeded, hence identical).
+    """
+    year = generate_k_year()
+    attribution = attribute_gemm_node_hours(year.jobs)
+    text = render_table(
+        ["Metric", "Value", "Paper"],
+        [
+            ["jobs (nominal)", f"{year.nominal_jobs:,}", "487,563"],
+            ["node-hours", f"{attribution.total_node_hours:,.0f}", "543,000,000"],
+            ["symbol coverage", f"{attribution.coverage * 100:.1f}%", "96%"],
+            ["GEMM-linked node-hours",
+             f"{attribution.gemm_node_hours:,.0f}", "277,258,182"],
+            ["GEMM-linked share", f"{attribution.gemm_fraction * 100:.1f}%",
+             "53.4%"],
+        ],
+        title="Sec. III-A: one year of K-computer batch records",
+    )
+    return {
+        "attribution": attribution,
+        "nominal_jobs": year.nominal_jobs,
+        "nominal_node_hours": year.nominal_node_hours,
+        "sample_size": len(year.jobs),
+        "text": text,
+    }
+
+
+def scaling_study() -> dict:
+    """Extension: HPL strong scaling — the ME's value erosion at scale."""
+    from repro.analysis import hpl_strong_scaling
+    from repro.harness.textfmt import bar_chart
+
+    points = hpl_strong_scaling(n=16384, node_counts=(1, 4, 16, 64, 256))
+    rows = [
+        {
+            "nodes": pt.nodes,
+            "gemm_fraction": pt.gemm_fraction,
+            "parallel_efficiency": pt.parallel_efficiency,
+            "me_saving_4x": pt.me_reduction(4.0),
+        }
+        for pt in points
+    ]
+    text = render_table(
+        ["Nodes", "GEMM share", "Parallel eff.", "ME@4x saves"],
+        [
+            [r["nodes"], f"{r['gemm_fraction'] * 100:.1f}%",
+             f"{r['parallel_efficiency']:.2f}",
+             f"{r['me_saving_4x'] * 100:.1f}%"]
+            for r in rows
+        ],
+        title="Extension: HPL strong scaling (n=16384) — the accelerable "
+        "fraction erodes with machine size",
+    ) + "\n\n" + bar_chart(
+        [(f"{r['nodes']:4d} nodes", r["me_saving_4x"] * 100) for r in rows],
+        max_value=80.0,
+        title="Runtime saving from a 4x ME, by machine size:",
+    )
+    return {"rows": rows, "text": text}
+
+
+ARTIFACTS: dict[str, callable] = {
+    "table1": tables.table_i,
+    "table2": tables.table_ii,
+    "table3": tables.table_iii,
+    "table4": tables.table_iv,
+    "table5": tables.table_v,
+    "table6": tables.table_vi_vii,
+    "table8": tables.table_viii,
+    "fig1": figures.fig1,
+    "fig2": figures.fig2,
+    "fig3": figures.fig3,
+    "fig4": figures.fig4,
+    "sec3a": section_iii_a,
+    "scaling": scaling_study,
+}
+
+
+def run_all(names: list[str] | None = None) -> dict[str, dict]:
+    """Regenerate the selected artefacts (all by default)."""
+    selected = names or list(ARTIFACTS)
+    out = {}
+    for name in selected:
+        if name not in ARTIFACTS:
+            raise SystemExit(
+                f"unknown artefact {name!r}; known: {sorted(ARTIFACTS)}"
+            )
+        out[name] = ARTIFACTS[name]()
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console entry point."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    outdir: str | None = None
+    if args and args[0] in ("-h", "--help"):
+        print("usage: repro-paper [--output DIR] [artefact ...]")
+        print("artefacts:", " ".join(sorted(ARTIFACTS)))
+        return 0
+    if "--output" in args:
+        idx = args.index("--output")
+        try:
+            outdir = args[idx + 1]
+        except IndexError:
+            raise SystemExit("--output requires a directory argument")
+        del args[idx : idx + 2]
+    results = run_all(args or None)
+    for name, result in results.items():
+        print(f"\n=== {name} " + "=" * max(0, 66 - len(name)))
+        print(result["text"])
+    if outdir is not None:
+        from repro.harness.export import export_all
+
+        written = export_all(results, outdir)
+        print(f"\nwrote {len(written)} files to {outdir}/")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

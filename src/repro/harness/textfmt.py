@@ -1,0 +1,72 @@
+"""Aligned plain-text table and bar-chart rendering for the harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "na", "bar_chart"]
+
+
+def na(value: float | None, fmt: str = "{:.1f}") -> str:
+    """Format a possibly unpublished value ('—' like the paper)."""
+    if value is None:
+        return "—"
+    return fmt.format(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Monospace table with per-column width alignment."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    items: Sequence[tuple[str, float]],
+    *,
+    width: int = 50,
+    max_value: float | None = None,
+    unit: str = "%",
+    title: str = "",
+) -> str:
+    """Horizontal ASCII bar chart, one (label, value) per line.
+
+    The original Fig. 3/Fig. 4 are bar charts; this renders them the way
+    a terminal can, e.g.::
+
+        HPL      |██████████████████████████████████████▌   77.23 %
+        Laghos   |████████████████████▋                     41.30 %
+    """
+    if not items:
+        return title
+    top = max_value if max_value is not None else max(v for _, v in items)
+    if top <= 0.0:
+        top = 1.0
+    label_w = max(len(label) for label, _ in items)
+    lines = [title] if title else []
+    for label, value in items:
+        filled = value / top * width
+        full = int(filled)
+        frac = filled - full
+        bar = "█" * full + ("▌" if frac >= 0.5 else "")
+        lines.append(
+            f"{label.ljust(label_w)} |{bar.ljust(width + 1)} "
+            f"{value:.2f} {unit}"
+        )
+    return "\n".join(lines)

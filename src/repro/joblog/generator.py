@@ -1,0 +1,139 @@
+"""Seeded year-of-K-computer job population.
+
+Shaped by the published statistics: 487,563 jobs, 543 million node-
+hours, the K-computer domain mix (45 % material science, 23 % chemistry,
+13 % geoscience, 12 % biology, 6.5 % physics, 0.5 % other — the Fig. 4a
+breakdown), symbol data covering 96 % of node-hours, and per-domain
+BLAS-linkage probabilities CALIBRATED so GEMM-linked node-hours land at
+the measured 53.4 %.
+
+Scaling ``jobs`` down produces a statistically identical smaller
+population for fast tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.joblog.records import JobRecord, SymbolTable
+
+__all__ = ["KComputerYear", "generate_k_year", "K_DOMAIN_MIX"]
+
+#: Node-hour share per science domain (K computer annual report).
+K_DOMAIN_MIX: dict[str, float] = {
+    "Material Science": 0.45,
+    "Chemistry": 0.23,
+    "Geoscience": 0.13,
+    "Biology": 0.12,
+    "Physics": 0.065,
+    "Other": 0.005,
+}
+
+#: Node-hour share per domain spent in GEMM-linked binaries —
+#: CALIBRATED: the domain-weighted mean must hit the measured 53.4 %.
+#: Chemistry and material-science codes (quantum chemistry, DFT) link
+#: math kernels almost always; bio/geo pipelines rarely do.
+_GEMM_LINK_P: dict[str, float] = {
+    "Material Science": 0.565,
+    "Chemistry": 0.78,
+    "Geoscience": 0.22,
+    "Biology": 0.28,
+    "Physics": 0.55,
+    "Other": 0.40,
+}
+
+_COVERAGE = 0.96  # symbol data available for 96 % of node-hours
+
+_BASE_SYMBOLS = (
+    "main", "mpi_init_", "mpi_finalize_", "solver_step_", "read_input_",
+    "write_restart_", "timestep_", "exchange_halo_",
+)
+_GEMM_SYMBOLS = ("dgemm_", "sgemm_", "fjblas_gemm_kernel", "zgemm_")
+
+
+@dataclass(frozen=True)
+class KComputerYear:
+    """The generated population plus its nominal totals."""
+
+    jobs: tuple[JobRecord, ...]
+    nominal_jobs: int
+    nominal_node_hours: float
+
+    @property
+    def total_node_hours(self) -> float:
+        return sum(j.node_hours for j in self.jobs)
+
+
+def generate_k_year(
+    *,
+    jobs: int = 20_000,
+    nominal_jobs: int = 487_563,
+    nominal_node_hours: float = 543_000_000.0,
+    seed: int = 20180401,
+) -> KComputerYear:
+    """Generate a (scaled) year of job records.
+
+    ``jobs`` controls the sample size actually materialised; node-hours
+    are scaled so the population totals ``nominal_node_hours``.
+    """
+    rng = np.random.default_rng(seed)
+    domains = list(K_DOMAIN_MIX)
+    shares = np.array([K_DOMAIN_MIX[d] for d in domains])
+
+    # Node-hours are heavy-tailed: lognormal sizes, then normalised per
+    # domain so the domain mix holds exactly in expectation.
+    domain_idx = rng.choice(len(domains), size=jobs, p=shares / shares.sum())
+    raw = rng.lognormal(mean=0.0, sigma=1.6, size=jobs)
+    node_hours = np.empty(jobs)
+    for i, d in enumerate(domains):
+        mask = domain_idx == i
+        if not mask.any():
+            continue
+        target = nominal_node_hours * K_DOMAIN_MIX[d]
+        node_hours[mask] = raw[mask] * (target / raw[mask].sum())
+
+    covered = rng.random(jobs) < _COVERAGE
+    # Mark jobs as GEMM-linked so that each domain's *node-hour* share of
+    # linked work hits its calibrated target regardless of sample size —
+    # a random permutation decides which jobs carry the linkage, so the
+    # population stays varied while the aggregate is stable.
+    linked = np.zeros(jobs, dtype=bool)
+    for i, d in enumerate(domains):
+        mask_idx = np.flatnonzero(domain_idx == i)
+        if mask_idx.size == 0:
+            continue
+        order = rng.permutation(mask_idx)
+        target = _GEMM_LINK_P[d] * node_hours[mask_idx].sum()
+        cum = np.cumsum(node_hours[order])
+        linked[order[cum <= target]] = True
+
+    records = []
+    for i in range(jobs):
+        domain = domains[domain_idx[i]]
+        if covered[i]:
+            syms = set(_BASE_SYMBOLS)
+            if linked[i]:
+                syms.update(
+                    rng.choice(_GEMM_SYMBOLS,
+                               size=int(rng.integers(1, 3)),
+                               replace=False).tolist()
+                )
+            table: SymbolTable | None = SymbolTable(frozenset(syms))
+        else:
+            table = None
+        records.append(
+            JobRecord(
+                job_id=i,
+                app_name=f"{domain.lower().replace(' ', '_')}_app{int(rng.integers(0, 400)):03d}",
+                domain=domain,
+                node_hours=float(node_hours[i]),
+                symbols=table,
+            )
+        )
+    return KComputerYear(
+        jobs=tuple(records),
+        nominal_jobs=nominal_jobs,
+        nominal_node_hours=nominal_node_hours,
+    )

@@ -1,0 +1,57 @@
+"""Job records and binary symbol tables."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["SymbolTable", "JobRecord", "looks_like_gemm_symbol"]
+
+#: nm-visible names that indicate GEMM capability.  Fujitsu's compiler
+#: links individual math-kernel functions selectively (the paper's
+#: footnote 5), so a single ``dgemm_`` entry is meaningful.
+_GEMM_SYMBOL = re.compile(
+    r"(^|_)([sdczh]gemm|gemm_kernel|matmul)", re.IGNORECASE
+)
+
+
+def looks_like_gemm_symbol(symbol: str) -> bool:
+    """Would the paper's nm grep flag this symbol as GEMM?"""
+    return _GEMM_SYMBOL.search(symbol) is not None
+
+
+@dataclass(frozen=True)
+class SymbolTable:
+    """The nm output of one application binary (shared libs excluded)."""
+
+    symbols: frozenset[str]
+
+    def has_gemm(self) -> bool:
+        return any(looks_like_gemm_symbol(s) for s in self.symbols)
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One accounting entry of the operations database.
+
+    ``symbols`` is None for the ~4 % of node-hours where collection was
+    disabled (interactive jobs, non-MPI jobs, opted-out users).
+    """
+
+    job_id: int
+    app_name: str
+    domain: str
+    node_hours: float
+    symbols: SymbolTable | None
+
+    @property
+    def has_symbol_data(self) -> bool:
+        return self.symbols is not None
+
+    @property
+    def gemm_linked(self) -> bool:
+        """True when the binary's symbol table contains a GEMM symbol."""
+        return self.symbols is not None and self.symbols.has_gemm()

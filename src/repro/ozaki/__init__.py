@@ -1,0 +1,39 @@
+"""The Ozaki scheme: high-precision GEMM from low-precision matrix engines.
+
+Implements the error-free-transformation GEMM emulation of Ozaki et al.
+(Numer. Algor. 2012) as applied to Tensor Cores by Mukunoki et al.
+(ISC 2020) — the method Sec. IV-B of the paper describes:
+
+1. each input matrix is split element-wise into a sum of *slices* whose
+   per-row (A) / per-column (B) scaled values are small integers;
+2. every pairwise slice product is computed **exactly** on a hybrid
+   matrix engine (fp16 multiply, fp32 accumulate), because the slice
+   width is chosen so no rounding can occur;
+3. the final result is recovered by a deterministic (optionally
+   compensated) fp64 summation of the rescaled pair products.
+
+The scheme is bit-reproducible (every intermediate is exact; the final
+summation order is fixed) and its cost — the number of slice products —
+grows with the exponent *range* of the input, which is exactly the
+behaviour Table VIII measures (1e+8 / 1e+16 / 1e+32 input ranges).
+"""
+
+from repro.ozaki.split import SplitMatrix, split_matrix
+from repro.ozaki.gemm import OzakiResult, ozaki_gemm, required_products
+from repro.ozaki.summation import compensated_sum, pairwise_fixed_sum
+from repro.ozaki.perf import OzakiPerfModel, emulated_gemm_performance
+from repro.ozaki.blas_ext import ozaki_dot, ozaki_gemv
+
+__all__ = [
+    "SplitMatrix",
+    "split_matrix",
+    "OzakiResult",
+    "ozaki_gemm",
+    "required_products",
+    "compensated_sum",
+    "pairwise_fixed_sum",
+    "OzakiPerfModel",
+    "emulated_gemm_performance",
+    "ozaki_dot",
+    "ozaki_gemv",
+]

@@ -1,0 +1,66 @@
+"""Ozaki-scheme BLAS extensions: dot products and GEMV.
+
+Sec. IV-B notes the scheme "can be used to compute dot-product and
+matrix-vector multiplication" (Mukunoki et al., PPAM 2019) — in which
+case "matrix engines could be used for the internal computations of the
+BLAS calls".  These wrappers express both operations as degenerate
+GEMMs over the same error-free splitting machinery, inheriting its
+accuracy bounds and bit-reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OzakiError
+from repro.ozaki.gemm import ozaki_gemm
+
+__all__ = ["ozaki_dot", "ozaki_gemv"]
+
+
+def ozaki_dot(
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    accuracy: str = "dgemm",
+    **kwargs,
+) -> float:
+    """Reproducible high-precision inner product via the Ozaki scheme.
+
+    ``x . y`` computed as a (1 x n) @ (n x 1) emulated GEMM: every slice
+    product is exact on the engine, so the result is bit-reproducible
+    and honours the same ``u_target``-relative error bound as
+    :func:`repro.ozaki.gemm.ozaki_gemm`.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.ndim != 1 or y.ndim != 1 or x.shape != y.shape:
+        raise OzakiError(
+            f"dot requires equal-length vectors, got {x.shape} and {y.shape}"
+        )
+    result = ozaki_gemm(x[None, :], y[:, None], accuracy=accuracy, **kwargs)
+    return float(result.c[0, 0])
+
+
+def ozaki_gemv(
+    a: np.ndarray,
+    x: np.ndarray,
+    *,
+    accuracy: str = "dgemm",
+    **kwargs,
+) -> np.ndarray:
+    """Reproducible high-precision matrix-vector product.
+
+    ``A @ x`` as an (m x n) @ (n x 1) emulated GEMM.  On hardware this
+    shape underuses a systolic array (the Sec. V-B1 inefficiency), but
+    numerically it delivers GEMV results independent of thread count and
+    blocking — the reproducibility use-case the paper highlights.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    if a.ndim != 2 or x.ndim != 1 or a.shape[1] != x.shape[0]:
+        raise OzakiError(
+            f"gemv requires conformable (m,n) and (n,), got {a.shape} @ {x.shape}"
+        )
+    result = ozaki_gemm(a, x[:, None], accuracy=accuracy, **kwargs)
+    return result.c[:, 0]

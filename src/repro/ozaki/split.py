@@ -1,0 +1,149 @@
+"""Error-free splitting of a matrix into narrow-significand slices.
+
+Splitting A row-wise (``axis=0``; B is split column-wise with ``axis=1``)
+produces slices ``A = A_1 + A_2 + ...`` such that, for each row ``r`` of
+each slice ``i``, the scaled values ``A_i[r, :] / g_i[r]`` are integers
+of magnitude <= 2^beta.  Because the scales are powers of two, the
+scaled slices are *exactly* representable in binary16 (for beta <= 11)
+and the subtraction producing the next residual is exact in binary64 —
+the error-free-transformation property everything else rests on.
+
+The extraction is vectorized: one :func:`numpy.round` at a per-row grid
+per slice, no Python loops over elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import OzakiError
+
+__all__ = ["SplitMatrix", "split_matrix"]
+
+
+@dataclass(frozen=True)
+class SplitMatrix:
+    """The outcome of :func:`split_matrix`.
+
+    Attributes
+    ----------
+    scaled:
+        List of slices, each already divided by its scale: integer-valued
+        float64 arrays with ``|value| <= 2**beta`` — what gets fed to the
+        matrix engine.
+    scales:
+        Per-slice scale vectors (powers of two): slice ``i`` of the
+        original matrix is ``scaled[i] * scales[i][:, None]`` for
+        ``axis=0`` (rows) or ``scaled[i] * scales[i][None, :]`` for
+        ``axis=1`` (columns).
+    beta:
+        Significand width each slice honours.
+    axis:
+        0 for row-wise scaling (left operand), 1 for column-wise (right).
+    exhausted:
+        True when the residual reached exactly zero — the split is a
+        lossless decomposition of the input.
+    """
+
+    scaled: tuple[np.ndarray, ...]
+    scales: tuple[np.ndarray, ...]
+    beta: int
+    axis: int
+    exhausted: bool
+
+    @property
+    def num_slices(self) -> int:
+        return len(self.scaled)
+
+    def slice_dense(self, i: int) -> np.ndarray:
+        """Reconstruct slice ``i`` in original magnitude."""
+        s = self.scales[i]
+        if self.axis == 0:
+            return self.scaled[i] * s[:, None]
+        return self.scaled[i] * s[None, :]
+
+    def reconstruct(self) -> np.ndarray:
+        """Sum of all slices; equals the input exactly when exhausted."""
+        out = np.zeros_like(self.scaled[0])
+        for i in range(self.num_slices):
+            out += self.slice_dense(i)
+        return out
+
+
+def split_matrix(
+    a: np.ndarray,
+    beta: int,
+    *,
+    axis: int = 0,
+    max_slices: int = 64,
+) -> SplitMatrix:
+    """Split ``a`` into <= ``max_slices`` error-free slices of width
+    ``beta`` bits.
+
+    Parameters
+    ----------
+    a:
+        2-D float64 matrix (finite values only).
+    beta:
+        Significand bits each scaled slice may use; must be >= 1.  For a
+        V100-style engine with length-``k`` dot products this is
+        ``MatrixEngineGemm(FP16, FP32).exact_slice_bits(k)``.
+    axis:
+        0 => per-row scaling (split the left GEMM operand),
+        1 => per-column scaling (split the right operand).
+    max_slices:
+        Safety cap; splitting stops early once the residual is exactly
+        zero.
+
+    Raises
+    ------
+    OzakiError
+        On non-finite input, bad ``beta``/``axis``, or non-2-D input.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2:
+        raise OzakiError(f"expected a matrix, got shape {a.shape}")
+    if not np.isfinite(a).all():
+        raise OzakiError("Ozaki splitting requires finite input")
+    if beta < 1:
+        raise OzakiError(f"beta must be >= 1, got {beta}")
+    if axis not in (0, 1):
+        raise OzakiError(f"axis must be 0 or 1, got {axis}")
+    if max_slices < 1:
+        raise OzakiError("max_slices must be >= 1")
+
+    work = a.T.copy() if axis == 1 else a.copy()
+    n_lines = work.shape[0]
+    scaled: list[np.ndarray] = []
+    scales: list[np.ndarray] = []
+    exhausted = False
+
+    for _ in range(max_slices):
+        mu = np.abs(work).max(axis=1)
+        live = mu > 0.0
+        if not live.any():
+            exhausted = True
+            break
+        # Grid exponent per row: tau = floor(log2(mu)); grid g = 2^(tau+1-beta)
+        # so |work| < 2^(tau+1) = 2^beta * g => scaled magnitudes <= 2^beta.
+        _, e = np.frexp(mu[live])
+        g_live = np.ldexp(np.ones(e.shape), e - beta)  # 2^(tau + 1 - beta)
+        g = np.ones(n_lines)
+        g[live] = g_live
+        q = np.round(work / g[:, None])  # integer-valued, |q| <= 2^beta
+        q[~live, :] = 0.0
+        # Exact residual update (both operands dyadic on the same grid).
+        work -= q * g[:, None]
+        scaled.append(q.T.copy() if axis == 1 else q)
+        scales.append(g)
+    else:
+        exhausted = not np.abs(work).max() > 0.0
+
+    if not scaled:
+        # All-zero input: a single zero slice keeps downstream code simple.
+        zero = np.zeros_like(a)
+        one = np.ones(n_lines)
+        return SplitMatrix((zero,), (one,), beta, axis, True)
+    return SplitMatrix(tuple(scaled), tuple(scales), beta, axis, exhausted)

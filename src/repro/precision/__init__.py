@@ -1,0 +1,53 @@
+"""Software-defined floating-point formats and matrix-engine numerics.
+
+This subpackage is the numerical foundation of the reproduction: it models
+the reduced-precision formats that matrix engines operate on (IEEE-754
+binary16, bfloat16, NVIDIA's TF32, binary32, binary64), provides exact
+round-to-nearest-even quantization onto those formats, and implements the
+semantics of a *hybrid* matrix engine — one that multiplies in a narrow
+format and accumulates in a wider one (Sec. II-B of the paper).
+"""
+
+from repro.precision.formats import (
+    BF16,
+    FP16,
+    FP32,
+    FP64,
+    TF32,
+    FloatFormat,
+    parse_format,
+)
+from repro.precision.rounding import quantize, representable, ulp
+from repro.precision.megemm import MatrixEngineGemm, me_gemm
+from repro.precision.analysis import (
+    max_relative_error,
+    max_ulp_error,
+    relative_frobenius_error,
+)
+from repro.precision.refinement import (
+    RefinementResult,
+    lu_iterative_refinement,
+)
+from repro.precision.markidis import MarkidisResult, markidis_gemm
+
+__all__ = [
+    "FloatFormat",
+    "FP16",
+    "BF16",
+    "TF32",
+    "FP32",
+    "FP64",
+    "parse_format",
+    "quantize",
+    "representable",
+    "ulp",
+    "MatrixEngineGemm",
+    "me_gemm",
+    "max_relative_error",
+    "max_ulp_error",
+    "relative_frobenius_error",
+    "RefinementResult",
+    "lu_iterative_refinement",
+    "MarkidisResult",
+    "markidis_gemm",
+]

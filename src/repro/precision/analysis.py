@@ -1,0 +1,68 @@
+"""Error metrics for comparing reduced-precision results against references.
+
+Used by the Ozaki-scheme tests and the Table VIII accuracy verification to
+state claims like "DGEMM-equivalent accuracy" precisely: the DGEMM-TC
+result must match a binary64 GEMM to within a few ulp of binary64, whereas
+a plain fp16-multiply engine is off by orders of magnitude for wide-range
+inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.precision.formats import FP64, FloatFormat
+from repro.precision.rounding import ulp
+
+__all__ = [
+    "max_relative_error",
+    "relative_frobenius_error",
+    "max_ulp_error",
+]
+
+
+def max_relative_error(
+    approx: np.ndarray, exact: np.ndarray, *, floor: float = 0.0
+) -> float:
+    """Largest element-wise relative error ``|approx - exact| / |exact|``.
+
+    Elements where ``|exact| <= floor`` are compared absolutely against
+    ``floor`` instead (avoiding division blow-up at exact zeros); with the
+    default ``floor=0`` such elements contribute 0 if they match exactly
+    and ``inf`` otherwise.
+    """
+    approx = np.asarray(approx, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    diff = np.abs(approx - exact)
+    denom = np.abs(exact)
+    small = denom <= floor
+    out = np.zeros_like(diff)
+    np.divide(diff, denom, out=out, where=~small)
+    if floor > 0.0:
+        out[small] = diff[small] / floor
+    else:
+        out[small] = np.where(diff[small] == 0.0, 0.0, np.inf)
+    return float(out.max()) if out.size else 0.0
+
+
+def relative_frobenius_error(approx: np.ndarray, exact: np.ndarray) -> float:
+    """``||approx - exact||_F / ||exact||_F`` — the norm-wise error used in
+    the GEMM-emulation literature (Mukunoki et al., ISC 2020)."""
+    approx = np.asarray(approx, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    denom = float(np.linalg.norm(exact))
+    if denom == 0.0:
+        return float(np.linalg.norm(approx))
+    return float(np.linalg.norm(approx - exact)) / denom
+
+
+def max_ulp_error(
+    approx: np.ndarray, exact: np.ndarray, fmt: FloatFormat = FP64
+) -> float:
+    """Largest element-wise error measured in ulps of ``fmt`` at the exact
+    value.  A correctly-rounded result scores <= 0.5."""
+    approx = np.asarray(approx, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    spacing = ulp(exact, fmt)
+    err = np.abs(approx - exact) / spacing
+    return float(err.max()) if err.size else 0.0

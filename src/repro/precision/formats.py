@@ -1,0 +1,155 @@
+"""Floating-point format descriptors.
+
+A :class:`FloatFormat` captures the three parameters that matter for
+matrix-engine numerics: the significand precision ``p`` (number of
+significand bits *including* the hidden leading bit), and the exponent
+range ``[emin, emax]`` of the *normalised* representation, following the
+IEEE-754 conventions (binary64 has ``p=53, emax=1023, emin=-1022``).
+
+The standard formats used by the paper's hardware (Table I) are provided
+as module-level singletons:
+
+====== ====== ===== ===== =====================================
+name   p      emax  emin  used by
+====== ====== ===== ===== =====================================
+fp16   11     15    -14   V100/A100 Tensor Core multiply input
+bf16   8      127   -126  Intel AMX, TPU, Ascend 910
+tf32   11     127   -126  A100 "TensorFloat-32" hybrid format
+fp32   24     127   -126  Tensor Core accumulator, SGEMM
+fp64   53     1023  -1022 DGEMM, A100 FP64 Tensor Core
+====== ====== ===== ===== =====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import FormatError
+
+__all__ = ["FloatFormat", "FP16", "BF16", "TF32", "FP32", "FP64", "parse_format"]
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """A binary floating-point format.
+
+    Parameters
+    ----------
+    name:
+        Short identifier, e.g. ``"fp16"``.
+    precision:
+        Significand bits including the implicit leading one.  IEEE-754
+        calls this ``p`` (binary32: 24, binary64: 53).
+    emax:
+        Largest exponent of a normal number (value range is
+        ``[2^emin, (2 - 2^(1-p)) * 2^emax]``).
+    emin:
+        Smallest exponent of a normal number.
+    supports_subnormals:
+        Whether gradual underflow is modelled.  All formats shipped here
+        support subnormals, matching IEEE-754 and the NVIDIA hardware.
+    """
+
+    name: str
+    precision: int
+    emax: int
+    emin: int
+    supports_subnormals: bool = field(default=True)
+
+    def __post_init__(self) -> None:
+        if self.precision < 1:
+            raise FormatError(f"precision must be >= 1, got {self.precision}")
+        if self.emax <= self.emin:
+            raise FormatError(
+                f"emax ({self.emax}) must exceed emin ({self.emin})"
+            )
+
+    # -- derived properties -------------------------------------------------
+
+    @property
+    def machine_epsilon(self) -> float:
+        """Distance from 1.0 to the next larger representable number."""
+        return 2.0 ** (1 - self.precision)
+
+    @property
+    def unit_roundoff(self) -> float:
+        """Half of machine epsilon: the round-to-nearest error bound."""
+        return 2.0 ** (-self.precision)
+
+    @property
+    def max_value(self) -> float:
+        """Largest finite representable magnitude."""
+        return (2.0 - 2.0 ** (1 - self.precision)) * 2.0**self.emax
+
+    @property
+    def min_normal(self) -> float:
+        """Smallest positive normal magnitude."""
+        return 2.0**self.emin
+
+    @property
+    def min_subnormal(self) -> float:
+        """Smallest positive subnormal magnitude (== min_normal if the
+        format does not support subnormals)."""
+        if not self.supports_subnormals:
+            return self.min_normal
+        return 2.0 ** (self.emin - self.precision + 1)
+
+    @property
+    def mantissa_bits(self) -> int:
+        """Explicitly stored significand bits (``p - 1``)."""
+        return self.precision - 1
+
+    # -- behaviour -----------------------------------------------------------
+
+    def quantize(self, x: np.ndarray | float) -> np.ndarray:
+        """Round ``x`` (element-wise) to the nearest value representable in
+        this format, ties to even.  See :func:`repro.precision.rounding.quantize`.
+        """
+        from repro.precision.rounding import quantize
+
+        return quantize(x, self)
+
+    def bits_total(self) -> int | None:
+        """Total storage bits for the *standard* formats; ``None`` for
+        custom formats without a defined interchange encoding."""
+        known = {
+            ("fp16", 11, 15): 16,
+            ("bf16", 8, 127): 16,
+            ("tf32", 11, 127): 19,
+            ("fp32", 24, 127): 32,
+            ("fp64", 53, 1023): 64,
+        }
+        return known.get((self.name, self.precision, self.emax))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+FP16 = FloatFormat("fp16", precision=11, emax=15, emin=-14)
+BF16 = FloatFormat("bf16", precision=8, emax=127, emin=-126)
+TF32 = FloatFormat("tf32", precision=11, emax=127, emin=-126)
+FP32 = FloatFormat("fp32", precision=24, emax=127, emin=-126)
+FP64 = FloatFormat("fp64", precision=53, emax=1023, emin=-1022)
+
+_BY_NAME = {f.name: f for f in (FP16, BF16, TF32, FP32, FP64)}
+
+
+def parse_format(spec: str | FloatFormat) -> FloatFormat:
+    """Resolve a format name (``"fp16"``, ``"bf16"``, …) or pass through a
+    :class:`FloatFormat` instance.
+
+    Raises
+    ------
+    FormatError
+        If the name is not one of the registered standard formats.
+    """
+    if isinstance(spec, FloatFormat):
+        return spec
+    try:
+        return _BY_NAME[spec.lower()]
+    except KeyError:
+        raise FormatError(
+            f"unknown format {spec!r}; known: {sorted(_BY_NAME)}"
+        ) from None

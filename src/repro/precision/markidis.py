@@ -1,0 +1,74 @@
+"""Markidis-style precision-refined Tensor-Core GEMM (related work [57]).
+
+Markidis et al. (IPDPSW 2018) proposed recovering (near-)SGEMM accuracy
+from fp16 Tensor Cores with a *single* residual split per operand:
+
+    A = A16 + dA,  B = B16 + dB   (A16 = fl16(A), dA = fl16(A - A16))
+    C = A16 B16 + A16 dB + dA B16        (4th term dA dB is negligible)
+
+— three engine products instead of the Ozaki scheme's input-dependent
+many.  The paper positions this as the lightweight end of the emulation
+spectrum: cheaper, but only ~binary32 accuracy for well-scaled inputs
+and no help for wide exponent ranges (fp16's range still binds).  It is
+implemented here as the natural baseline the Ozaki scheme is compared
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import OzakiError
+from repro.precision.formats import FP16, FP32
+from repro.precision.megemm import MatrixEngineGemm
+from repro.precision.rounding import quantize
+
+__all__ = ["MarkidisResult", "markidis_gemm"]
+
+_DEFAULT_ENGINE = MatrixEngineGemm(FP16, FP32)
+
+
+@dataclass(frozen=True)
+class MarkidisResult:
+    """Result + cost of one precision-refined GEMM."""
+
+    c: np.ndarray
+    num_products: int  # always 3 (the refinement terms)
+
+
+def markidis_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    engine: MatrixEngineGemm = _DEFAULT_ENGINE,
+) -> MarkidisResult:
+    """One-step precision-refined GEMM on a hybrid matrix engine.
+
+    Inputs must be finite and within the multiply format's range (the
+    method has no scaling machinery — its documented limitation vs the
+    Ozaki scheme).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise OzakiError(f"non-conformable operands: {a.shape} @ {b.shape}")
+    if not (np.isfinite(a).all() and np.isfinite(b).all()):
+        raise OzakiError("markidis_gemm requires finite input")
+    fmt = engine.multiply
+    a16 = quantize(a, fmt)
+    b16 = quantize(b, fmt)
+    if not (np.isfinite(a16).all() and np.isfinite(b16).all()):
+        raise OzakiError(
+            f"input exceeds the {fmt.name} range; use ozaki_gemm (which "
+            "scales per row/column) for wide-range data"
+        )
+    da = quantize(a - a16, fmt)
+    db = quantize(b - b16, fmt)
+    c = (
+        engine(a16, b16, pre_rounded=True)
+        + engine(a16, db, pre_rounded=True)
+        + engine(da, b16, pre_rounded=True)
+    )
+    return MarkidisResult(c=c, num_products=3)

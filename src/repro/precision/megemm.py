@@ -1,0 +1,150 @@
+"""Matrix-engine GEMM semantics: multiply narrow, accumulate wide.
+
+The matrix engines surveyed in the paper (Sec. II-B) are *hybrid*: the
+V100 Tensor Core multiplies IEEE binary16 operands and accumulates into
+binary32; IBM Power10's MMA multiplies fp16/fp32 and accumulates into
+fp32/fp64.  :class:`MatrixEngineGemm` models exactly that contract:
+
+1. operands are rounded (to nearest, ties to even) onto the multiply
+   format's grid — this is the conversion the hardware performs when
+   loading fragments;
+2. element products and the running dot-product sums are carried in the
+   accumulate format.
+
+Emulation strategy: products of two ``p``-bit significands need ``2p``
+bits; when the accumulate format is binary32 or binary64 we can run the
+matrix product natively in ``numpy.float32`` / ``numpy.float64``, which
+*is* arithmetic in the accumulate format.  This reproduces Tensor Core
+behaviour bit-exactly whenever every partial sum is exactly representable
+in the accumulator — the property the Ozaki scheme (Sec. IV-B) is built
+on — and to within summation-order effects otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.precision.formats import FP16, FP32, FloatFormat, parse_format
+from repro.precision.rounding import quantize
+
+__all__ = ["MatrixEngineGemm", "me_gemm", "exact_dot_bits"]
+
+
+def exact_dot_bits(k: int, accumulate: FloatFormat) -> int:
+    """Largest significand width ``beta`` (bits) such that a length-``k``
+    dot product of ``beta``-bit operands is *exact* in the accumulate
+    format.
+
+    A product of two ``beta``-bit integers needs ``2*beta`` bits; summing
+    ``k`` of them adds ``ceil(log2(k))`` carry bits.  Exactness therefore
+    requires ``2*beta + ceil(log2(k)) <= p_acc``.  This is the bound that
+    determines the Ozaki scheme's slice width (Mukunoki et al., ISC 2020).
+    """
+    if k < 1:
+        raise FormatError(f"dot length must be positive, got {k}")
+    carry = math.ceil(math.log2(k)) if k > 1 else 0
+    return max(0, (accumulate.precision - carry) // 2)
+
+
+@dataclass(frozen=True)
+class MatrixEngineGemm:
+    """Callable implementing ``C = A @ B`` with matrix-engine numerics.
+
+    Parameters
+    ----------
+    multiply:
+        Format the operands are rounded to before multiplication
+        (e.g. :data:`~repro.precision.formats.FP16` for V100 TCs).
+    accumulate:
+        Format of the products and running sums.  Must be ``fp32`` or
+        ``fp64`` (the only accumulator widths in shipping hardware,
+        cf. Table I).
+    """
+
+    multiply: FloatFormat
+    accumulate: FloatFormat
+
+    def __post_init__(self) -> None:
+        if self.accumulate.name not in ("fp32", "fp64"):
+            raise FormatError(
+                "accumulate format must be fp32 or fp64, got "
+                f"{self.accumulate.name}"
+            )
+        if self.accumulate.precision < self.multiply.precision:
+            raise FormatError(
+                "accumulator narrower than multiplier: "
+                f"{self.accumulate.name} < {self.multiply.name}"
+            )
+
+    @property
+    def _acc_dtype(self) -> type:
+        return np.float32 if self.accumulate.name == "fp32" else np.float64
+
+    def round_operand(self, x: np.ndarray) -> np.ndarray:
+        """Round an operand onto the multiply format grid (as the hardware
+        does on fragment load), returned as float64 holding exact values."""
+        return quantize(x, self.multiply)
+
+    def __call__(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        pre_rounded: bool = False,
+    ) -> np.ndarray:
+        """Compute ``A @ B`` under this engine's numerics.
+
+        Parameters
+        ----------
+        a, b:
+            2-D operands (any float dtype).  Shapes must be conformable.
+        pre_rounded:
+            Skip the operand rounding step when the caller guarantees the
+            inputs already lie on the multiply format's grid (the Ozaki
+            splitter constructs such slices).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``float64`` result whose values are exactly those the engine
+            would produce (the accumulate-format values embed in fp64).
+        """
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise FormatError(
+                f"non-conformable GEMM operands: {a.shape} @ {b.shape}"
+            )
+        if not pre_rounded:
+            a = self.round_operand(a)
+            b = self.round_operand(b)
+        dt = self._acc_dtype
+        c = np.matmul(a.astype(dt), b.astype(dt))
+        return c.astype(np.float64)
+
+    def exact_slice_bits(self, k: int) -> int:
+        """Slice significand width usable for error-free products of
+        length-``k`` dot products on this engine (bounded additionally by
+        the multiply format's own precision)."""
+        return min(self.multiply.precision, exact_dot_bits(k, self.accumulate))
+
+
+def me_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    multiply: str | FloatFormat = FP16,
+    accumulate: str | FloatFormat = FP32,
+) -> np.ndarray:
+    """Convenience wrapper: one-shot matrix-engine GEMM.
+
+    ``me_gemm(a, b)`` reproduces a V100 Tensor Core HGEMM with fp32
+    accumulation; pass ``multiply="bf16"`` for an AMX/TPU-style engine or
+    ``accumulate="fp64"`` for Power10/A100 double-precision engines.
+    """
+    eng = MatrixEngineGemm(parse_format(multiply), parse_format(accumulate))
+    return eng(a, b)

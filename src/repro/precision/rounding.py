@@ -1,0 +1,108 @@
+"""Vectorized round-to-nearest-even quantization onto a :class:`FloatFormat`.
+
+The implementation works entirely in IEEE-754 binary64 and exploits that
+every format modelled here (p <= 53, |emax| <= 1023) embeds exactly into
+binary64: a binary64 value is representable in the target format iff its
+significand fits in ``p`` bits and its exponent lies in range.  Rounding is
+performed by rescaling each element so that the target grid spacing becomes
+1.0 and applying :func:`numpy.round` (which rounds half to even), then
+rescaling back — the classic exact-scaling construction, fully vectorized.
+
+Overflow follows the IEEE round-to-nearest rule: magnitudes at or above
+``2^emax * (2 - 2^-p)`` become infinite, anything between the largest finite
+value and that threshold rounds down to the largest finite value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.precision.formats import FloatFormat
+
+__all__ = ["quantize", "representable", "ulp"]
+
+
+def _grid_exponents(x: np.ndarray, fmt: FloatFormat) -> np.ndarray:
+    """Exponent ``g`` such that the representable grid around each ``x`` is
+    ``{k * 2^g : k integer}``.
+
+    For a normal target value with IEEE exponent ``e`` the grid is
+    ``2^(e - p + 1)``; inside the subnormal range the grid is the fixed
+    ``2^(emin - p + 1)``.
+    """
+    _, e = np.frexp(x)
+    ieee_e = e - 1  # frexp yields x = m * 2^e with 0.5 <= |m| < 1
+    if fmt.supports_subnormals:
+        floor_e = fmt.emin
+    else:
+        floor_e = fmt.emin
+    return np.maximum(ieee_e, floor_e) - (fmt.precision - 1)
+
+
+def quantize(x: np.ndarray | float, fmt: FloatFormat) -> np.ndarray:
+    """Round ``x`` element-wise to the nearest ``fmt``-representable value.
+
+    Ties round to even, matching IEEE-754 default rounding and NVIDIA
+    Tensor Core input conversion.  NaN propagates; signed zeros and
+    infinities are preserved; overflow saturates to ±inf per the IEEE
+    threshold rule.
+
+    Returns a new ``float64`` array (or 0-d array for scalar input) whose
+    values all lie exactly on the target format's grid.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = x.copy()
+    finite = np.isfinite(x) & (x != 0.0)
+    if finite.any():
+        xf = x[finite]
+        g = _grid_exponents(xf, fmt)
+        with np.errstate(over="ignore"):
+            # ldexp may overflow to inf when a value at the top of the fp64
+            # range rounds up a binade — exactly IEEE overflow behaviour.
+            scaled = np.ldexp(xf, -g)
+            rounded = np.round(scaled)  # half-to-even
+            yf = np.ldexp(rounded, g)
+        y[finite] = yf
+
+    # Overflow handling (round-to-nearest threshold).
+    thresh = (2.0 - 2.0 ** (-fmt.precision)) * 2.0**fmt.emax
+    over = np.isfinite(x) & (np.abs(x) >= thresh)
+    y[over] = np.sign(x[over]) * np.inf
+    big = np.isfinite(y) & (np.abs(y) > fmt.max_value)
+    y[big] = np.sign(y[big]) * fmt.max_value
+
+    if not fmt.supports_subnormals:
+        # Flush-to-zero semantics below the normal range, with round to
+        # nearest between 0 and min_normal.
+        small = np.isfinite(y) & (y != 0.0) & (np.abs(y) < fmt.min_normal)
+        half = fmt.min_normal / 2.0
+        flush = small & (np.abs(x) < half)
+        y[flush] = np.sign(x[flush]) * 0.0
+        keep = small & (np.abs(x) >= half)
+        y[keep] = np.sign(x[keep]) * fmt.min_normal
+    return y
+
+
+def representable(x: np.ndarray | float, fmt: FloatFormat) -> np.ndarray:
+    """Boolean mask: is each element exactly representable in ``fmt``?
+
+    NaN and ±inf count as representable (every format here has them).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    q = quantize(x, fmt)
+    return ~np.isfinite(x) | (q == x)
+
+
+def ulp(x: np.ndarray | float, fmt: FloatFormat) -> np.ndarray:
+    """Unit in the last place of ``fmt`` at each ``|x|``.
+
+    Defined as the grid spacing of the format at the magnitude of ``x``;
+    for ``x == 0`` this is the subnormal spacing ``2^(emin - p + 1)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    out = np.full(x.shape, 2.0 ** (fmt.emin - fmt.precision + 1))
+    finite = np.isfinite(x) & (x != 0.0)
+    if finite.any():
+        g = _grid_exponents(x[finite], fmt)
+        out[finite] = np.ldexp(np.ones(g.shape), g)
+    return out

@@ -1,0 +1,28 @@
+"""Score-P-like measurement infrastructure.
+
+The paper's Fig. 3 methodology wraps every dense-linear-algebra entry
+point of MKL with Score-P, adds compiler instrumentation for hand-written
+GEMM loops, excludes initialization/post-processing phases, and then
+classifies region runtime into four buckets: GEMM, other BLAS,
+(Sca)LAPACK, and everything else.  This subpackage reproduces that
+pipeline on simulated time: a :class:`~repro.profiling.scorep.Profiler`
+attributes every kernel's duration to the innermost open region, the
+classifier maps region names onto the paper's buckets, and the report
+layer computes the utilization fractions Fig. 3 plots.
+"""
+
+from repro.profiling.regions import RegionClass, RegionStats
+from repro.profiling.scorep import Profiler
+from repro.profiling.classify import classify_region
+from repro.profiling.report import UtilizationReport
+from repro.profiling.advisor import RooflineScan, scan_trace
+
+__all__ = [
+    "RegionClass",
+    "RegionStats",
+    "Profiler",
+    "classify_region",
+    "UtilizationReport",
+    "RooflineScan",
+    "scan_trace",
+]

@@ -1,0 +1,72 @@
+"""Intel-Advisor-style roofline hotspot scan.
+
+For the SPEC suites the paper could not wrap a BLAS library (the
+benchmarks are self-contained), so it ran Intel Advisor, kept source
+locations with arithmetic intensity >= 7 flop/byte (System 1's machine
+balance) and point weight >= 1 % of elapsed time, and manually inspected
+those for GEMM patterns.  :func:`scan_trace` reproduces the mechanical
+part of that pipeline over a simulated trace: it surfaces the kernels a
+human would have had to inspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.roofline import arithmetic_intensity
+from repro.sim.kernels import KernelKind
+from repro.sim.trace import Trace
+
+__all__ = ["RooflineScan", "scan_trace"]
+
+
+@dataclass(frozen=True)
+class RooflineScan:
+    """One compute-intensive location surfaced by the scan."""
+
+    name: str
+    kind: KernelKind
+    total_time: float
+    point_weight: float  # fraction of elapsed time (paper: PtW >= 1 %)
+    intensity: float  # flop/byte (paper: AI >= 7)
+    looks_like_gemm: bool
+
+
+def scan_trace(
+    trace: Trace,
+    *,
+    intensity_threshold: float = 7.0,
+    point_weight_threshold: float = 0.01,
+) -> list[RooflineScan]:
+    """Aggregate a trace by kernel name and return the locations passing
+    both Advisor thresholds, sorted by time descending."""
+    total = trace.total_time
+    if total <= 0.0:
+        return []
+    groups: dict[str, list] = {}
+    for r in trace:
+        groups.setdefault(r.launch.name, []).append(r)
+    out: list[RooflineScan] = []
+    for name, recs in groups.items():
+        t = sum(r.duration for r in recs)
+        flops = sum(r.launch.flops for r in recs)
+        nbytes = sum(r.launch.nbytes for r in recs)
+        ai = arithmetic_intensity(flops, nbytes)
+        ptw = t / total
+        if ai >= intensity_threshold and ptw >= point_weight_threshold:
+            kind = recs[0].launch.kind
+            out.append(
+                RooflineScan(
+                    name=name,
+                    kind=kind,
+                    total_time=t,
+                    point_weight=ptw,
+                    intensity=ai,
+                    looks_like_gemm=(
+                        kind is KernelKind.GEMM or "gemm" in name.lower()
+                        or "matmul" in name.lower()
+                    ),
+                )
+            )
+    out.sort(key=lambda s: s.total_time, reverse=True)
+    return out

@@ -1,0 +1,88 @@
+"""Region-name classification onto the paper's Fig. 3 buckets.
+
+Mirrors the paper's measurement design:
+
+* anything whose name contains ``gemm`` or ``matmul`` (the Fortran
+  intrinsic) is **GEMM** — including PBLAS ``p[sd]gemm`` and hand-written
+  kernels the authors instrumented in Nekbone/SPEC sources;
+* the remaining (C)BLAS/PBLAS L1/L2/L3 entry points are **BLAS**;
+* (C)LAPACK and ScaLAPACK routines are **LAPACK**;
+* ``MPI_Init``/``MPI_Finalize`` and declared init/post phases are
+  **EXCLUDED**;
+* everything else is **OTHER**.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.profiling.regions import RegionClass
+
+__all__ = ["classify_region", "BLAS_ROUTINES", "LAPACK_ROUTINES"]
+
+# Non-GEMM BLAS entry points (level 1, 2 and 3), without precision prefix.
+BLAS_ROUTINES = frozenset(
+    {
+        # level 1
+        "axpy", "dot", "dotu", "dotc", "nrm2", "asum", "scal", "copy",
+        "swap", "rot", "rotg", "iamax",
+        # level 2
+        "gemv", "gbmv", "symv", "sbmv", "spmv2", "trmv", "trsv", "ger",
+        "syr", "syr2", "hemv", "her", "her2",
+        # level 3 (matrix-matrix but not GEMM proper)
+        "trsm", "trmm", "syrk", "syr2k", "herk", "her2k", "symm", "hemm",
+    }
+)
+
+LAPACK_ROUTINES = frozenset(
+    {
+        "getrf", "getrs", "gesv", "potrf", "potrs", "posv", "geqrf",
+        "orgqr", "ormqr", "gesvd", "gesdd", "syev", "syevd", "syevr",
+        "syevx", "heev", "heevd", "heevr", "geev", "getri", "trtri",
+        "gels", "laswp", "larfb", "larft", "geqr2", "getf2", "potf2",
+    }
+)
+
+_PRECISION_PREFIX = re.compile(r"^(?:p?)(?:[sdczh])(?=[a-z])")
+_EXCLUDED_NAMES = frozenset(
+    {"mpi_init", "mpi_finalize", "init", "initialize", "initialization",
+     "post", "post-processing", "postprocessing", "finalize", "setup",
+     "io_read_input", "io_write_output", "checkpoint"}
+)
+
+
+def _strip_prefix(base: str) -> str:
+    """Drop a ScaLAPACK ``p`` and/or precision letter prefix: ``pdgemm`` ->
+    ``gemm``, ``dtrsm`` -> ``trsm``.  Conservative: only strips when the
+    remainder is a known routine or contains one."""
+    for candidate in (
+        _PRECISION_PREFIX.sub("", base),
+        base[1:] if base[:1] in "psdczh" else base,
+        base[2:] if base[:1] == "p" and base[1:2] in "sdczh" else base,
+    ):
+        if candidate in BLAS_ROUTINES or candidate in LAPACK_ROUTINES:
+            return candidate
+    return base
+
+
+def classify_region(name: str) -> RegionClass:
+    """Map a region name onto the paper's Fig. 3 buckets.
+
+    Names are matched case-insensitively on their last path component
+    (``"hpl/update/dgemm"`` classifies as GEMM).
+    """
+    base = name.lower().rsplit("/", 1)[-1].strip()
+    if base in _EXCLUDED_NAMES:
+        return RegionClass.EXCLUDED
+    if "gemm" in base or "matmul" in base:
+        return RegionClass.GEMM
+    stripped = _strip_prefix(base)
+    if stripped in LAPACK_ROUTINES:
+        return RegionClass.LAPACK
+    if stripped in BLAS_ROUTINES:
+        return RegionClass.BLAS
+    # ScaLAPACK driver names like "pdgetrf" or "pzheevd" already handled by
+    # the prefix stripper; LAPACK auxiliary (xLA*) routines:
+    if re.match(r"^p?[sdcz]?la[a-z0-9_]+$", base):
+        return RegionClass.LAPACK
+    return RegionClass.OTHER

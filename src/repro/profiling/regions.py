@@ -1,0 +1,50 @@
+"""Region classes and per-region statistics.
+
+The four buckets are exactly the paper's Fig. 3 legend; ``EXCLUDED``
+covers what the paper strips before computing fractions (MPI_Init/
+Finalize plus instrumented initialization and post-processing phases,
+cf. its footnote 13).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["RegionClass", "RegionStats"]
+
+
+class RegionClass(enum.Enum):
+    """Fig. 3 runtime buckets."""
+
+    GEMM = "gemm"  # directly ME-acceleratable
+    BLAS = "blas"  # BLAS L1/L2/L3 except matrix-matrix multiply
+    LAPACK = "lapack"  # LAPACK + ScaLAPACK (potentially indirect)
+    OTHER = "other"  # most probably not accelerated
+    EXCLUDED = "excluded"  # init/post phases, MPI_Init/Finalize
+
+    @property
+    def countable(self) -> bool:
+        """Whether this class participates in the fraction denominator."""
+        return self is not RegionClass.EXCLUDED
+
+
+@dataclass
+class RegionStats:
+    """Accumulated exclusive statistics of one named region."""
+
+    name: str
+    region_class: RegionClass
+    visits: int = 0
+    exclusive_time: float = 0.0
+    flops: float = 0.0
+    nbytes: float = 0.0
+    kernel_count: int = 0
+
+    def merge(self, other: "RegionStats") -> None:
+        """Fold another stats record (same name) into this one."""
+        self.visits += other.visits
+        self.exclusive_time += other.exclusive_time
+        self.flops += other.flops
+        self.nbytes += other.nbytes
+        self.kernel_count += other.kernel_count

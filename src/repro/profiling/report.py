@@ -1,0 +1,83 @@
+"""Utilization reports: the Fig. 3 data structure.
+
+A :class:`UtilizationReport` captures one benchmark's GEMM / BLAS /
+LAPACK / other runtime split plus bookkeeping (total time, top regions),
+and renders itself the way the paper's figure annotates bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.profiling.regions import RegionClass, RegionStats
+from repro.profiling.scorep import Profiler
+
+__all__ = ["UtilizationReport"]
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Per-workload runtime split across the paper's four buckets."""
+
+    workload: str
+    suite: str
+    domain: str
+    total_time: float
+    fractions: dict[RegionClass, float]
+    excluded_time: float = 0.0
+    top_regions: tuple[RegionStats, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def from_profiler(
+        cls,
+        profiler: Profiler,
+        *,
+        workload: str,
+        suite: str = "",
+        domain: str = "",
+    ) -> "UtilizationReport":
+        """Snapshot a profiler into a report."""
+        by_class = profiler.time_by_class()
+        return cls(
+            workload=workload,
+            suite=suite,
+            domain=domain,
+            total_time=profiler.included_time(),
+            fractions=profiler.fractions(),
+            excluded_time=by_class[RegionClass.EXCLUDED],
+            top_regions=tuple(profiler.top_regions(5)),
+        )
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def gemm_fraction(self) -> float:
+        return self.fractions.get(RegionClass.GEMM, 0.0)
+
+    @property
+    def blas_fraction(self) -> float:
+        return self.fractions.get(RegionClass.BLAS, 0.0)
+
+    @property
+    def lapack_fraction(self) -> float:
+        return self.fractions.get(RegionClass.LAPACK, 0.0)
+
+    @property
+    def other_fraction(self) -> float:
+        return self.fractions.get(RegionClass.OTHER, 0.0)
+
+    @property
+    def accelerable_fraction(self) -> float:
+        """Directly (GEMM) plus potentially indirectly (BLAS, LAPACK)
+        ME-acceleratable runtime — the paper's optimistic ceiling."""
+        return self.gemm_fraction + self.blas_fraction + self.lapack_fraction
+
+    def row(self) -> str:
+        """One aligned text row for the Fig. 3 listing."""
+        return (
+            f"{self.workload:<14s} {self.suite:<9s} "
+            f"GEMM {self.gemm_fraction * 100:6.2f}%  "
+            f"BLAS {self.blas_fraction * 100:6.2f}%  "
+            f"LAPACK {self.lapack_fraction * 100:6.2f}%  "
+            f"other {self.other_fraction * 100:6.2f}%"
+        )

@@ -1,0 +1,196 @@
+"""The profiler: attribute simulated kernel time to instrumented regions.
+
+Semantics follow Score-P's profiling mode as the paper uses it:
+
+* **exclusive attribution** — a kernel's duration accrues to the
+  *innermost* open region, so a ``dgemm`` called from inside ``dgetrf``
+  counts as GEMM, not LAPACK (this is why HPL's LU shows 76.8 % GEMM);
+* **phase exclusion** — regions opened via :meth:`Profiler.phase` (or any
+  region classified ``EXCLUDED``) put the profiler in excluded mode;
+  everything measured inside is dropped from the denominators, the way
+  the paper strips init/post-processing and ``MPI_Init``/``Finalize``;
+* **filters** — name patterns that render a region transparent, mirroring
+  Score-P's compile-time filter lists for the GNU toolchain (its
+  footnote 11).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import fnmatch
+from typing import Iterator
+
+from repro.errors import ProfilingError
+from repro.profiling.classify import classify_region
+from repro.profiling.regions import RegionClass, RegionStats
+from repro.sim.trace import KernelRecord
+
+__all__ = ["Profiler"]
+
+
+class _Frame:
+    __slots__ = ("name", "region_class", "transparent")
+
+    def __init__(
+        self, name: str, region_class: RegionClass, transparent: bool = False
+    ) -> None:
+        self.name = name
+        self.region_class = region_class
+        self.transparent = transparent
+
+
+class Profiler:
+    """Region-based profiler over simulated kernel time.
+
+    Parameters
+    ----------
+    ignore:
+        fnmatch-style patterns; matching region names are not pushed
+        (their time flows to the parent region).
+    root_name:
+        Label for time measured outside any region.
+    """
+
+    def __init__(
+        self,
+        *,
+        ignore: tuple[str, ...] = (),
+        root_name: str = "<root>",
+    ) -> None:
+        self._ignore = tuple(ignore)
+        self._root_name = root_name
+        self._stack: list[_Frame] = []
+        self._stats: dict[str, RegionStats] = {}
+        self._recording = True
+
+    # -- region management -------------------------------------------------
+
+    def _filtered(self, name: str) -> bool:
+        return any(fnmatch.fnmatch(name, pat) for pat in self._ignore)
+
+    def enter(self, name: str, region_class: RegionClass | None = None) -> None:
+        """Open a region (explicitly; prefer the :meth:`region` manager)."""
+        if self._filtered(name):
+            # Transparent sentinel: keeps enter/exit balanced while
+            # attribution flows to the nearest non-filtered ancestor.
+            parent = self._stack[-1] if self._stack else None
+            cls = parent.region_class if parent else RegionClass.OTHER
+            self._stack.append(_Frame(name, cls, transparent=True))
+            return
+        cls = region_class if region_class is not None else classify_region(name)
+        self._stack.append(_Frame(name, cls))
+        self._stat_for(name, cls).visits += 1
+
+    def exit(self, name: str) -> None:
+        """Close the innermost region; must match the last :meth:`enter`."""
+        if not self._stack:
+            raise ProfilingError(f"exit({name!r}) with empty region stack")
+        top = self._stack.pop()
+        if top.name != name:
+            self._stack.append(top)
+            raise ProfilingError(
+                f"unbalanced regions: exiting {name!r} but innermost is "
+                f"{top.name!r}"
+            )
+
+    @contextlib.contextmanager
+    def region(
+        self, name: str, region_class: RegionClass | None = None
+    ) -> Iterator[None]:
+        """Scoped instrumented region."""
+        self.enter(name, region_class)
+        try:
+            yield
+        finally:
+            self.exit(name)
+
+    @contextlib.contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Scoped *excluded* phase (initialization, post-processing)."""
+        self.enter(name, RegionClass.EXCLUDED)
+        try:
+            yield
+        finally:
+            self.exit(name)
+
+    @contextlib.contextmanager
+    def recording_off(self) -> Iterator[None]:
+        """Score-P's SCOREP_RECORDING_OFF: measured time is excluded."""
+        prev = self._recording
+        self._recording = False
+        try:
+            yield
+        finally:
+            self._recording = prev
+
+    # -- measurement -------------------------------------------------------
+
+    def _attribution(self) -> tuple[str, RegionClass]:
+        if not self._recording:
+            return "<recording-off>", RegionClass.EXCLUDED
+        for frame in self._stack:
+            if frame.region_class is RegionClass.EXCLUDED:
+                return frame.name, RegionClass.EXCLUDED
+        for frame in reversed(self._stack):
+            if not frame.transparent:
+                return frame.name, frame.region_class
+        return self._root_name, RegionClass.OTHER
+
+    def _stat_for(self, name: str, cls: RegionClass) -> RegionStats:
+        st = self._stats.get(name)
+        if st is None:
+            st = RegionStats(name=name, region_class=cls)
+            self._stats[name] = st
+        return st
+
+    def on_kernel(self, record: KernelRecord) -> None:
+        """ExecutionContext hook: attribute one kernel to the open region."""
+        name, cls = self._attribution()
+        st = self._stat_for(name, cls)
+        st.exclusive_time += record.duration
+        st.flops += record.launch.flops
+        st.nbytes += record.launch.nbytes
+        st.kernel_count += 1
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def stats(self) -> dict[str, RegionStats]:
+        """Per-region accumulated statistics (live view)."""
+        return self._stats
+
+    @property
+    def open_regions(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self._stack)
+
+    def time_by_class(self) -> dict[RegionClass, float]:
+        """Exclusive time per Fig. 3 bucket (EXCLUDED reported separately)."""
+        out = {cls: 0.0 for cls in RegionClass}
+        for st in self._stats.values():
+            out[st.region_class] += st.exclusive_time
+        return out
+
+    def included_time(self) -> float:
+        """Denominator for the paper's fractions: all non-excluded time."""
+        return sum(
+            t for cls, t in self.time_by_class().items() if cls.countable
+        )
+
+    def fractions(self) -> dict[RegionClass, float]:
+        """Fraction of included runtime per countable bucket (sums to 1
+        when any time was measured)."""
+        total = self.included_time()
+        by_class = self.time_by_class()
+        if total <= 0.0:
+            return {cls: 0.0 for cls in RegionClass if cls.countable}
+        return {
+            cls: by_class[cls] / total
+            for cls in RegionClass
+            if cls.countable
+        }
+
+    def top_regions(self, n: int = 10) -> list[RegionStats]:
+        """The ``n`` regions with the most exclusive time."""
+        return sorted(
+            self._stats.values(), key=lambda s: s.exclusive_time, reverse=True
+        )[:n]

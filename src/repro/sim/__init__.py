@@ -1,0 +1,33 @@
+"""Execution simulator: kernels, a simulated device clock, traces, power.
+
+This is the stand-in for the paper's physical testbeds.  Workloads and
+the BLAS substrate emit :class:`~repro.sim.kernels.KernelLaunch`
+descriptors; a :class:`~repro.sim.engine.SimulatedDevice` turns each into
+a timed, power-annotated :class:`~repro.sim.trace.KernelRecord` using the
+roofline and energy models of :mod:`repro.hardware`.  The
+:class:`~repro.sim.power.PowerSampler` replays a trace the way the paper
+sampled NVML/PCM counters (Fig. 1, Table II).
+"""
+
+from repro.sim.kernels import KernelKind, KernelLaunch
+from repro.sim.trace import KernelRecord, Trace
+from repro.sim.engine import SimulatedDevice
+from repro.sim.power import PowerSampler, PowerSample
+from repro.sim.context import (
+    ExecutionContext,
+    current_context,
+    execution_context,
+)
+
+__all__ = [
+    "KernelKind",
+    "KernelLaunch",
+    "KernelRecord",
+    "Trace",
+    "SimulatedDevice",
+    "PowerSampler",
+    "PowerSample",
+    "ExecutionContext",
+    "current_context",
+    "execution_context",
+]

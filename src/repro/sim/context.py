@@ -1,0 +1,133 @@
+"""Execution context: the ambient (device, profiler) pair.
+
+The instrumented BLAS (:mod:`repro.blas`) and the workloads need to know
+where their kernels run and who is observing them — exactly the role the
+runtime environment (MKL + Score-P) plays in the paper's methodology.
+A context is installed with :func:`execution_context` and looked up with
+:func:`current_context`; contexts nest (``contextvars``-based), so a
+workload can run an inner region on a different device model.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from typing import Any, Iterator
+
+from repro.errors import DispatchError
+from repro.hardware.specs import DeviceSpec
+from repro.sim.engine import SimulatedDevice
+from repro.sim.kernels import KernelLaunch
+from repro.sim.trace import KernelRecord
+
+__all__ = ["ExecutionContext", "execution_context", "current_context"]
+
+_current: ContextVar["ExecutionContext | None"] = ContextVar(
+    "repro_execution_context", default=None
+)
+
+
+class ExecutionContext:
+    """Ambient execution state for instrumented code.
+
+    Parameters
+    ----------
+    device:
+        The simulated device kernels are priced on.
+    profiler:
+        Optional observer with ``on_kernel(record)`` — usually a
+        :class:`repro.profiling.scorep.Profiler`.
+    compute_numerics:
+        When False, the BLAS layer skips the real NumPy arithmetic and
+        only emits kernels (used by large parameter sweeps where the
+        numeric results are irrelevant and only timing matters).
+    default_unit:
+        When set, compute kernels launched without an explicit unit are
+        routed to this unit — how the Table II harness pins GEMMs to the
+        Xeon's ``"sse"`` vs ``"avx2"`` pipes.
+    """
+
+    def __init__(
+        self,
+        device: SimulatedDevice,
+        *,
+        profiler: Any | None = None,
+        compute_numerics: bool = True,
+        default_unit: str | None = None,
+    ) -> None:
+        self.device = device
+        self.profiler = profiler
+        self.compute_numerics = compute_numerics
+        self.default_unit = default_unit
+
+    def launch(self, kernel: KernelLaunch) -> KernelRecord:
+        """Run a kernel on the context's device, notifying the profiler."""
+        if (
+            self.default_unit is not None
+            and kernel.unit is None
+            and kernel.kind.is_compute
+        ):
+            import dataclasses
+
+            kernel = dataclasses.replace(kernel, unit=self.default_unit)
+        record = self.device.launch(kernel)
+        if self.profiler is not None:
+            self.profiler.on_kernel(record)
+        return record
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.device.clock
+
+
+@contextlib.contextmanager
+def execution_context(
+    device: SimulatedDevice | DeviceSpec | str,
+    *,
+    profiler: Any | None = None,
+    allow_matrix_engine: bool = True,
+    compute_numerics: bool = True,
+    default_unit: str | None = None,
+) -> Iterator[ExecutionContext]:
+    """Install an execution context for the enclosed block.
+
+    ``device`` may be an existing :class:`SimulatedDevice`, a
+    :class:`DeviceSpec`, or a registry name (``"v100"``, ``"system1"``).
+    """
+    if isinstance(device, str):
+        from repro.hardware.registry import get_device
+
+        device = get_device(device)
+    if isinstance(device, DeviceSpec):
+        device = SimulatedDevice(
+            device, allow_matrix_engine=allow_matrix_engine
+        )
+    ctx = ExecutionContext(
+        device,
+        profiler=profiler,
+        compute_numerics=compute_numerics,
+        default_unit=default_unit,
+    )
+    token = _current.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _current.reset(token)
+
+
+def current_context() -> ExecutionContext:
+    """The innermost active context.
+
+    Raises
+    ------
+    DispatchError
+        When called outside any :func:`execution_context` block.
+    """
+    ctx = _current.get()
+    if ctx is None:
+        raise DispatchError(
+            "no active execution context; wrap the call in "
+            "`with execution_context(device): ...`"
+        )
+    return ctx

@@ -1,0 +1,192 @@
+"""The simulated device: turns kernel launches into timed records.
+
+:class:`SimulatedDevice` owns a monotonically advancing clock and a
+:class:`~repro.sim.trace.Trace`.  Each :meth:`launch` call places the
+kernel on a compute unit (honouring an explicit request, otherwise
+picking the fastest eligible unit), prices it with the roofline model,
+annotates package power from the energy model, and advances the clock.
+
+Matrix engines are auto-selected only for GEMM-shaped kinds and only when
+``allow_matrix_engine`` is on — this single switch is how the harness
+runs the paper's "with TCs" vs "without TCs" configurations.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DeviceError
+from repro.hardware.energy import kernel_power, memcpy_power
+from repro.hardware.roofline import roofline_time
+from repro.hardware.specs import ComputeUnitSpec, DeviceSpec
+from repro.sim.kernels import KernelKind, KernelLaunch
+from repro.sim.trace import KernelRecord, Trace
+
+__all__ = ["SimulatedDevice"]
+
+# Kernel kinds a matrix engine may be auto-selected for.  The paper's
+# challenge list (Sec. V-B1) explains why BLAS-1/2 shapes stay off the
+# systolic array.
+_ME_ELIGIBLE_KINDS = frozenset(
+    {KernelKind.GEMM, KernelKind.CONV2D, KernelKind.SPMM}
+)
+
+_DEFAULT_IO_BPS = 2.0e9  # node-local filesystem stream rate
+_DEFAULT_COMM_LATENCY_S = 2.0e-6  # MPI pt2pt latency
+
+
+class SimulatedDevice:
+    """A device executing kernels on a simulated clock.
+
+    Parameters
+    ----------
+    spec:
+        The hardware model to execute on.
+    allow_matrix_engine:
+        Whether GEMM-shaped kernels may be placed on the matrix engine
+        automatically.  Explicit ``unit=`` requests bypass this switch.
+    io_bps, comm_bps:
+        Byte rates for the IO and COMM kernel kinds (the spec's host link
+        is used for COMM when ``comm_bps`` is None).
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        *,
+        allow_matrix_engine: bool = True,
+        io_bps: float = _DEFAULT_IO_BPS,
+        comm_bps: float | None = None,
+    ) -> None:
+        self.spec = spec
+        self.allow_matrix_engine = allow_matrix_engine
+        self.io_bps = io_bps
+        self.comm_bps = comm_bps if comm_bps is not None else spec.memory.host_link_bps
+        self.clock = 0.0
+        self.trace = Trace()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero the clock and clear the trace."""
+        self.clock = 0.0
+        self.trace = Trace()
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated seconds since reset."""
+        return self.clock
+
+    @property
+    def energy(self) -> float:
+        """Joules consumed by traced kernels."""
+        return self.trace.total_energy
+
+    # -- placement -----------------------------------------------------------
+
+    def select_unit(self, kernel: KernelLaunch) -> ComputeUnitSpec:
+        """Resolve the compute unit a kernel runs on."""
+        if kernel.unit is not None:
+            unit = self.spec.unit(kernel.unit)
+            if kernel.flops > 0.0 and not unit.supports(kernel.fmt):
+                raise DeviceError(
+                    f"unit {unit.name!r} on {self.spec.name!r} does not "
+                    f"support {kernel.fmt!r} (kernel {kernel.name!r})"
+                )
+            return unit
+        allow_me = (
+            self.allow_matrix_engine and kernel.kind in _ME_ELIGIBLE_KINDS
+        )
+        return self.spec.best_unit(kernel.fmt, allow_matrix=allow_me)
+
+    # -- execution -------------------------------------------------------------
+
+    def launch(self, kernel: KernelLaunch) -> KernelRecord:
+        """Execute one kernel: price it, record it, advance the clock."""
+        if kernel.kind.is_memcpy:
+            record = self._run_transfer(
+                kernel, self.spec.memory.host_link_bps, memcpy_power(self.spec)
+            )
+        elif kernel.kind is KernelKind.IO:
+            record = self._run_transfer(kernel, self.io_bps, self.spec.idle_w)
+        elif kernel.kind is KernelKind.COMM:
+            record = self._run_transfer(
+                kernel,
+                self.comm_bps,
+                self.spec.idle_w,
+                latency=_DEFAULT_COMM_LATENCY_S,
+            )
+        elif kernel.kind is KernelKind.MEMSET:
+            dur = kernel.nbytes / self.spec.memory.sustained_bps
+            dur = max(dur, kernel.min_seconds) + self.spec.launch_latency_s
+            record = KernelRecord(
+                launch=kernel,
+                unit="copy-engine",
+                start=self.clock,
+                duration=dur,
+                power_w=memcpy_power(self.spec),
+                t_memory=dur,
+            )
+        else:
+            record = self._run_compute(kernel)
+        self.trace.append(record)
+        self.clock = record.end
+        return record
+
+    def launch_many(self, kernels: list[KernelLaunch]) -> list[KernelRecord]:
+        """Execute kernels back-to-back (the simulator is in-order; the
+        paper's single-GPU runs serialise kernels the same way)."""
+        return [self.launch(k) for k in kernels]
+
+    # -- internals -----------------------------------------------------------
+
+    def _run_transfer(
+        self,
+        kernel: KernelLaunch,
+        bps: float,
+        power: float,
+        *,
+        latency: float = 0.0,
+    ) -> KernelRecord:
+        if bps <= 0.0:
+            raise DeviceError(f"non-positive transfer rate for {kernel.name!r}")
+        dur = kernel.nbytes / bps + latency
+        dur = max(dur, kernel.min_seconds) + self.spec.launch_latency_s
+        return KernelRecord(
+            launch=kernel,
+            unit="copy-engine",
+            start=self.clock,
+            duration=dur,
+            power_w=min(power, self.spec.tdp_w),
+            t_memory=dur,
+        )
+
+    def _run_compute(self, kernel: KernelLaunch) -> KernelRecord:
+        unit = self.select_unit(kernel)
+        dur, t_comp, t_mem = roofline_time(
+            self.spec,
+            unit,
+            flops=kernel.flops,
+            nbytes=kernel.nbytes,
+            fmt=kernel.fmt,
+            kind=kernel.kind.value,
+        )
+        dur = max(dur, kernel.min_seconds) + self.spec.launch_latency_s
+        if dur <= 0.0:
+            # Degenerate zero-work kernel on a zero-latency device: record
+            # it with an infinitesimal duration so traces stay ordered.
+            dur = 1e-12
+        power = kernel_power(
+            self.spec,
+            unit,
+            kernel.fmt,
+            compute_utilization=t_comp / dur if dur > 0 else 0.0,
+            memory_utilization=t_mem / dur if dur > 0 else 0.0,
+        )
+        return KernelRecord(
+            launch=kernel,
+            unit=unit.name,
+            start=self.clock,
+            duration=dur,
+            power_w=power,
+            t_compute=t_comp,
+            t_memory=t_mem,
+        )

@@ -1,0 +1,340 @@
+"""Kernel launch descriptors.
+
+A :class:`KernelLaunch` is the unit of simulated work: a named operation
+with a flop count, a device-memory traffic estimate, a numeric format and
+an optional explicit target unit.  Convenience constructors cover the
+kernel shapes that appear across the paper's workloads (GEMM, GEMV,
+convolutions, element-wise maps, SpMV, FFT, stencils, host<->device
+copies).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+from repro.units import gemm_flops, gemv_flops
+
+__all__ = ["KernelKind", "KernelLaunch"]
+
+_FMT_BYTES = {"fp64": 8, "fp32": 4, "tf32": 4, "fp16": 2, "bf16": 2}
+
+
+class KernelKind(enum.Enum):
+    """Taxonomy of simulated kernels.
+
+    The names double as the roofline efficiency keys in
+    :data:`repro.hardware.roofline.KIND_EFFICIENCY`.
+    """
+
+    GEMM = "gemm"
+    GEMV = "gemv"
+    BLAS1 = "blas1"
+    CONV2D = "conv2d"
+    CONV3D = "conv3d"
+    ELEMENTWISE = "elementwise"
+    REDUCTION = "reduction"
+    SPMV = "spmv"
+    SPMM = "spmm"
+    FFT = "fft"
+    STENCIL = "stencil"
+    RNG = "rng"
+    SORT = "sort"
+    SCAN = "scan"
+    BRANCHY = "branchy"
+    TABLE_LOOKUP = "table_lookup"
+    MEMCPY_H2D = "memcpy_h2d"
+    MEMCPY_D2H = "memcpy_d2h"
+    MEMSET = "memset"
+    IO = "io"
+    COMM = "comm"
+    OTHER = "other"
+
+    @property
+    def is_memcpy(self) -> bool:
+        return self in (KernelKind.MEMCPY_H2D, KernelKind.MEMCPY_D2H)
+
+    @property
+    def is_compute(self) -> bool:
+        return not self.is_memcpy and self not in (
+            KernelKind.IO,
+            KernelKind.COMM,
+            KernelKind.MEMSET,
+        )
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """One unit of simulated device work.
+
+    Parameters
+    ----------
+    kind:
+        The :class:`KernelKind`; drives the roofline efficiency and the
+        power model.
+    name:
+        Human-readable label, e.g. ``"dgemm"`` or ``"resnet50/conv1_fwd"``.
+    flops:
+        Floating-point operations performed.
+    nbytes:
+        Device-memory traffic in bytes (reads + writes).
+    fmt:
+        Numeric-format name of the arithmetic (``"fp64"`` …).
+    unit:
+        Target compute unit name; ``None`` selects the fastest eligible
+        unit (matrix engines only when the execution context permits).
+    min_seconds:
+        Lower bound on the kernel's duration, for work that is neither
+        flop- nor bandwidth-shaped (I/O waits, latency-bound loops).
+    tag:
+        Free-form grouping label used by the profilers (layer name,
+        benchmark phase).
+    """
+
+    kind: KernelKind
+    name: str
+    flops: float = 0.0
+    nbytes: float = 0.0
+    fmt: str = "fp64"
+    unit: str | None = None
+    min_seconds: float = 0.0
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.nbytes < 0 or self.min_seconds < 0:
+            raise DeviceError(
+                f"kernel {self.name!r}: negative work/duration"
+            )
+
+    # -- constructors ----------------------------------------------------
+
+    @staticmethod
+    def element_bytes(fmt: str) -> int:
+        """Storage bytes per element of a format (tf32 is stored as fp32)."""
+        return _FMT_BYTES.get(fmt, 8)
+
+    @classmethod
+    def gemm(
+        cls,
+        m: int,
+        n: int,
+        k: int,
+        *,
+        fmt: str = "fp64",
+        name: str = "gemm",
+        unit: str | None = None,
+        tag: str = "",
+    ) -> "KernelLaunch":
+        """Dense matrix multiply ``C(m,n) += A(m,k) @ B(k,n)``.
+
+        Traffic model: read A, B, read+write C once each (a well-blocked
+        GEMM; the compute bound dominates for large sizes anyway).
+        """
+        e = cls.element_bytes(fmt)
+        nbytes = e * (m * k + k * n + 2 * m * n)
+        return cls(
+            KernelKind.GEMM,
+            name,
+            flops=gemm_flops(m, n, k),
+            nbytes=float(nbytes),
+            fmt=fmt,
+            unit=unit,
+            tag=tag,
+        )
+
+    @classmethod
+    def gemv(
+        cls,
+        m: int,
+        n: int,
+        *,
+        fmt: str = "fp64",
+        name: str = "gemv",
+        tag: str = "",
+    ) -> "KernelLaunch":
+        """Dense matrix-vector product; bandwidth bound (streams the matrix)."""
+        e = cls.element_bytes(fmt)
+        return cls(
+            KernelKind.GEMV,
+            name,
+            flops=gemv_flops(m, n),
+            nbytes=float(e * (m * n + n + 2 * m)),
+            fmt=fmt,
+            tag=tag,
+        )
+
+    @classmethod
+    def blas1(
+        cls,
+        n: int,
+        *,
+        flops_per_element: float = 2.0,
+        streams: int = 3,
+        fmt: str = "fp64",
+        name: str = "axpy",
+        tag: str = "",
+    ) -> "KernelLaunch":
+        """Vector-vector operation streaming ``streams`` arrays of length n."""
+        e = cls.element_bytes(fmt)
+        return cls(
+            KernelKind.BLAS1,
+            name,
+            flops=flops_per_element * n,
+            nbytes=float(e * streams * n),
+            fmt=fmt,
+            tag=tag,
+        )
+
+    @classmethod
+    def conv2d(
+        cls,
+        batch: int,
+        cin: int,
+        cout: int,
+        hout: int,
+        wout: int,
+        kh: int,
+        kw: int,
+        *,
+        fmt: str = "fp32",
+        name: str = "conv2d",
+        tag: str = "",
+    ) -> "KernelLaunch":
+        """2-D convolution, direct/implicit-GEMM flop count."""
+        flops = 2.0 * batch * cout * hout * wout * cin * kh * kw
+        e = cls.element_bytes(fmt)
+        nbytes = e * (
+            batch * cin * hout * wout  # input (approx, stride-1)
+            + cout * cin * kh * kw
+            + 2 * batch * cout * hout * wout
+        )
+        return cls(
+            KernelKind.CONV2D, name, flops=flops, nbytes=float(nbytes),
+            fmt=fmt, tag=tag,
+        )
+
+    @classmethod
+    def conv3d(
+        cls,
+        batch: int,
+        cin: int,
+        cout: int,
+        dout: int,
+        hout: int,
+        wout: int,
+        kd: int,
+        kh: int,
+        kw: int,
+        *,
+        fmt: str = "fp32",
+        name: str = "conv3d",
+        tag: str = "",
+    ) -> "KernelLaunch":
+        """3-D convolution (Cosmoflow's kernel; no TC implementation exists
+        per the paper, so it never targets a matrix engine)."""
+        flops = 2.0 * batch * cout * dout * hout * wout * cin * kd * kh * kw
+        e = cls.element_bytes(fmt)
+        nbytes = e * (
+            batch * cin * dout * hout * wout
+            + cout * cin * kd * kh * kw
+            + 2 * batch * cout * dout * hout * wout
+        )
+        return cls(
+            KernelKind.CONV3D, name, flops=flops, nbytes=float(nbytes),
+            fmt=fmt, tag=tag,
+        )
+
+    @classmethod
+    def elementwise(
+        cls,
+        n: int,
+        *,
+        flops_per_element: float = 1.0,
+        streams: int = 2,
+        fmt: str = "fp32",
+        name: str = "eltwise",
+        tag: str = "",
+    ) -> "KernelLaunch":
+        """Map over ``n`` elements touching ``streams`` arrays."""
+        e = cls.element_bytes(fmt)
+        return cls(
+            KernelKind.ELEMENTWISE,
+            name,
+            flops=flops_per_element * n,
+            nbytes=float(e * streams * n),
+            fmt=fmt,
+            tag=tag,
+        )
+
+    @classmethod
+    def spmv(
+        cls,
+        nnz: int,
+        nrows: int,
+        *,
+        fmt: str = "fp64",
+        name: str = "spmv",
+        tag: str = "",
+    ) -> "KernelLaunch":
+        """CSR sparse matrix-vector product: 2 flop and ~12-16 bytes/nnz."""
+        e = cls.element_bytes(fmt)
+        nbytes = nnz * (e + 4) + nrows * (2 * e + 4)
+        return cls(
+            KernelKind.SPMV, name, flops=2.0 * nnz, nbytes=float(nbytes),
+            fmt=fmt, tag=tag,
+        )
+
+    @classmethod
+    def fft(
+        cls,
+        n_total: int,
+        *,
+        fmt: str = "fp64",
+        name: str = "fft",
+        tag: str = "",
+    ) -> "KernelLaunch":
+        """Complex FFT over ``n_total`` points: ``5 n log2 n`` flops."""
+        import math
+
+        flops = 5.0 * n_total * max(1.0, math.log2(max(n_total, 2)))
+        e = cls.element_bytes(fmt)
+        return cls(
+            KernelKind.FFT, name, flops=flops,
+            nbytes=float(4 * e * n_total), fmt=fmt, tag=tag,
+        )
+
+    @classmethod
+    def stencil(
+        cls,
+        n_points: int,
+        *,
+        flops_per_point: float = 10.0,
+        bytes_per_point: float = 24.0,
+        fmt: str = "fp64",
+        name: str = "stencil",
+        tag: str = "",
+    ) -> "KernelLaunch":
+        """Structured-grid sweep (the dominant pattern of the CFD and
+        geoscience benchmarks in Table V)."""
+        return cls(
+            KernelKind.STENCIL,
+            name,
+            flops=flops_per_point * n_points,
+            nbytes=bytes_per_point * n_points,
+            fmt=fmt,
+            tag=tag,
+        )
+
+    @classmethod
+    def memcpy(
+        cls,
+        nbytes: float,
+        *,
+        direction: str = "h2d",
+        name: str | None = None,
+        tag: str = "",
+    ) -> "KernelLaunch":
+        """Host<->device transfer over the host link."""
+        kind = KernelKind.MEMCPY_H2D if direction == "h2d" else KernelKind.MEMCPY_D2H
+        return cls(kind, name or f"memcpy_{direction}", nbytes=float(nbytes), tag=tag)

@@ -1,0 +1,180 @@
+"""Execution traces: the timeline a simulated device produces.
+
+A :class:`Trace` is an append-only list of :class:`KernelRecord` entries
+with aggregate queries (total time/energy, per-tag and per-unit
+breakdowns).  The Fig. 1 power sampler and the nvprof-style DL profiler
+both operate on traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.sim.kernels import KernelKind, KernelLaunch
+
+__all__ = ["KernelRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """A completed kernel: its launch, placement, timing and power."""
+
+    launch: KernelLaunch
+    unit: str  # executing unit name, or "copy-engine"/"host"
+    start: float  # simulated seconds since device reset
+    duration: float
+    power_w: float
+    t_compute: float = 0.0
+    t_memory: float = 0.0
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def energy_j(self) -> float:
+        return self.power_w * self.duration
+
+    @property
+    def achieved_flops(self) -> float:
+        """Sustained flop/s of this kernel (0 for pure data movement)."""
+        if self.duration <= 0.0:
+            return 0.0
+        return self.launch.flops / self.duration
+
+
+class Trace:
+    """Append-only kernel timeline with aggregate queries."""
+
+    def __init__(self) -> None:
+        self._records: list[KernelRecord] = []
+
+    def append(self, record: KernelRecord) -> None:
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[KernelRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, idx: int) -> KernelRecord:
+        return self._records[idx]
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    # -- aggregates -------------------------------------------------------
+
+    @property
+    def records(self) -> tuple[KernelRecord, ...]:
+        return tuple(self._records)
+
+    @property
+    def total_time(self) -> float:
+        """End timestamp of the last kernel (0 for an empty trace)."""
+        return self._records[-1].end if self._records else 0.0
+
+    @property
+    def busy_time(self) -> float:
+        """Sum of kernel durations."""
+        return sum(r.duration for r in self._records)
+
+    @property
+    def total_energy(self) -> float:
+        """Joules integrated over all kernels (idle gaps excluded)."""
+        return sum(r.energy_j for r in self._records)
+
+    @property
+    def total_flops(self) -> float:
+        return sum(r.launch.flops for r in self._records)
+
+    def filter(self, pred: Callable[[KernelRecord], bool]) -> "Trace":
+        """New trace containing the records satisfying ``pred`` (same
+        timestamps)."""
+        t = Trace()
+        for r in self._records:
+            if pred(r):
+                t.append(r)
+        return t
+
+    def time_by(self, key: Callable[[KernelRecord], str]) -> dict[str, float]:
+        """Sum durations grouped by an arbitrary key function."""
+        out: dict[str, float] = {}
+        for r in self._records:
+            k = key(r)
+            out[k] = out.get(k, 0.0) + r.duration
+        return out
+
+    def time_by_kind(self) -> dict[KernelKind, float]:
+        """Durations grouped by kernel kind."""
+        out: dict[KernelKind, float] = {}
+        for r in self._records:
+            out[r.launch.kind] = out.get(r.launch.kind, 0.0) + r.duration
+        return out
+
+    def time_by_unit(self) -> dict[str, float]:
+        """Durations grouped by executing unit."""
+        return self.time_by(lambda r: r.unit)
+
+    def time_by_tag(self) -> dict[str, float]:
+        """Durations grouped by launch tag."""
+        return self.time_by(lambda r: r.launch.tag)
+
+    def memcpy_time(self) -> float:
+        """Total host<->device transfer time (Table IV's %Mem numerator)."""
+        return sum(
+            r.duration for r in self._records if r.launch.kind.is_memcpy
+        )
+
+    def unit_time(self, unit_name: str) -> float:
+        """Total time spent executing on a named unit."""
+        return sum(r.duration for r in self._records if r.unit == unit_name)
+
+    # -- export ------------------------------------------------------------
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Chrome-tracing "complete" events (open in chrome://tracing or
+        Perfetto).  One track per executing unit; timestamps in us."""
+        units = sorted({r.unit for r in self._records})
+        tid = {u: i for i, u in enumerate(units)}
+        events: list[dict] = [
+            {
+                "name": u,
+                "ph": "M",
+                "pid": 0,
+                "tid": tid[u],
+                "args": {"name": u},
+                "cat": "__metadata",
+                "ts": 0,
+            }
+            for u in units
+        ]
+        for r in self._records:
+            events.append(
+                {
+                    "name": r.launch.name,
+                    "cat": r.launch.kind.value,
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": tid[r.unit],
+                    "ts": r.start * 1e6,
+                    "dur": r.duration * 1e6,
+                    "args": {
+                        "flops": r.launch.flops,
+                        "bytes": r.launch.nbytes,
+                        "fmt": r.launch.fmt,
+                        "power_w": r.power_w,
+                        "tag": r.launch.tag,
+                    },
+                }
+            )
+        return events
+
+    def save_chrome_trace(self, path: str) -> None:
+        """Write the Chrome-tracing JSON file."""
+        import json
+
+        with open(path, "w") as fh:
+            json.dump({"traceEvents": self.to_chrome_trace()}, fh)

@@ -1,0 +1,24 @@
+"""Spack dependency-analysis substrate (Table III).
+
+The paper walks Spack 0.15.1's package index: 14 packages *provide*
+dense linear algebra (BLAS "distance 0"), and successive dependency
+shells measure how much of the ecosystem could even reach a matrix
+engine through a library.  We rebuild that experiment on a synthetic,
+seeded package index shaped like Spack's (4,371 packages, the real 14
+BLAS provider names, py-*/r-* sub-package skew) and run the *real*
+analysis: multi-source BFS over the reversed dependency DAG, with and
+without merging language sub-packages into their parents.
+"""
+
+from repro.spackdep.graph import DependencyGraph, Package
+from repro.spackdep.generator import BLAS_PROVIDERS, generate_spack_index
+from repro.spackdep.analysis import DistanceTable, dependency_distances
+
+__all__ = [
+    "Package",
+    "DependencyGraph",
+    "BLAS_PROVIDERS",
+    "generate_spack_index",
+    "DistanceTable",
+    "dependency_distances",
+]

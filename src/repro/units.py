@@ -1,0 +1,132 @@
+"""Unit helpers: flop, byte, time, power and energy quantities.
+
+The paper reports results in a mix of units — Tflop/s for peak rates,
+Gflop/s/mm^2 for compute density, Gflop/J for energy efficiency, walltime
+seconds, and Watts.  This module centralises the conversion constants and
+the pretty-printers used by the harness so that every table renders with
+the same conventions as the paper.
+
+All internal computation in the library uses *base SI units*: flop,
+bytes, seconds, Watts, Joules.  Prefixed values only appear at the
+formatting boundary.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "TERA",
+    "PETA",
+    "KIB",
+    "MIB",
+    "GIB",
+    "gemm_flops",
+    "gemv_flops",
+    "axpy_flops",
+    "dot_flops",
+    "format_si",
+    "format_flops",
+    "format_rate",
+    "format_bytes",
+    "format_time",
+    "format_percent",
+]
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+PETA = 1e15
+
+KIB = 1024.0
+MIB = 1024.0**2
+GIB = 1024.0**3
+
+
+def gemm_flops(m: int, n: int, k: int) -> float:
+    """Flop count of ``C += A @ B`` for A(m×k), B(k×n).
+
+    Uses the conventional ``2·m·n·k`` count (one multiply + one add per
+    inner-product element), matching the paper's ``2·n^3`` for square
+    GEMM.
+    """
+    return 2.0 * m * n * k
+
+
+def gemv_flops(m: int, n: int) -> float:
+    """Flop count of a dense matrix-vector product ``y += A @ x``."""
+    return 2.0 * m * n
+
+
+def axpy_flops(n: int) -> float:
+    """Flop count of ``y += a*x`` (BLAS-1 axpy)."""
+    return 2.0 * n
+
+
+def dot_flops(n: int) -> float:
+    """Flop count of an inner product of length ``n``."""
+    return 2.0 * n
+
+
+_SI_PREFIXES = [
+    (PETA, "P"),
+    (TERA, "T"),
+    (GIGA, "G"),
+    (MEGA, "M"),
+    (KILO, "k"),
+    (1.0, ""),
+]
+
+
+def format_si(value: float, unit: str, *, digits: int = 2) -> str:
+    """Render ``value`` with an SI prefix, e.g. ``format_si(1.25e13, 'flop/s')
+    -> '12.50 Tflop/s'``.
+
+    Zero, negative and non-finite values are rendered without a prefix.
+    """
+    if not math.isfinite(value) or value <= 0.0:
+        return f"{value:.{digits}f} {unit}"
+    for factor, prefix in _SI_PREFIXES:
+        if value >= factor:
+            return f"{value / factor:.{digits}f} {prefix}{unit}"
+    return f"{value:.{digits}e} {unit}"
+
+
+def format_flops(flops: float, *, digits: int = 2) -> str:
+    """Render a flop *count* (e.g. ``7.50 Tflop``)."""
+    return format_si(flops, "flop", digits=digits)
+
+
+def format_rate(flops_per_s: float, *, digits: int = 2) -> str:
+    """Render a flop *rate* (e.g. ``125.00 Tflop/s``)."""
+    return format_si(flops_per_s, "flop/s", digits=digits)
+
+
+def format_bytes(nbytes: float, *, digits: int = 2) -> str:
+    """Render a byte count using binary prefixes (KiB/MiB/GiB)."""
+    if not math.isfinite(nbytes) or nbytes < 0:
+        return f"{nbytes} B"
+    for factor, prefix in [(GIB, "GiB"), (MIB, "MiB"), (KIB, "KiB")]:
+        if nbytes >= factor:
+            return f"{nbytes / factor:.{digits}f} {prefix}"
+    return f"{nbytes:.0f} B"
+
+
+def format_time(seconds: float, *, digits: int = 2) -> str:
+    """Render a duration; switches to ms/us below one second."""
+    if not math.isfinite(seconds):
+        return f"{seconds} s"
+    if seconds >= 1.0 or seconds == 0.0:
+        return f"{seconds:.{digits}f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.{digits}f} ms"
+    return f"{seconds * 1e6:.{digits}f} us"
+
+
+def format_percent(fraction: float, *, digits: int = 2) -> str:
+    """Render a 0..1 fraction as a percentage string."""
+    return f"{fraction * 100.0:.{digits}f}%"

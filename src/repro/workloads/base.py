@@ -1,0 +1,179 @@
+"""Workload base classes and the profiling entry point."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.hardware.specs import DeviceSpec
+from repro.profiling.regions import RegionClass
+from repro.profiling.report import UtilizationReport
+from repro.profiling.scorep import Profiler
+from repro.sim.context import current_context, execution_context
+from repro.sim.kernels import KernelKind, KernelLaunch
+
+__all__ = [
+    "WorkloadMeta",
+    "Workload",
+    "PhaseSpec",
+    "KernelMixWorkload",
+    "profile_workload",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadMeta:
+    """Catalogue entry (one row of Table V)."""
+
+    name: str
+    suite: str  # "TOP500" | "ECP" | "RIKEN" | "SPEC CPU" | "SPEC OMP" | "SPEC MPI"
+    domain: str  # Table V science/engineering/AI domain label
+    description: str = ""
+    openmp: bool = True  # SPEC CPU "(R)" rows lack OpenMP parallelisation
+    notes: str = ""
+
+
+class Workload(abc.ABC):
+    """A runnable mini-application.
+
+    Subclasses implement :meth:`run`, which must execute inside an active
+    :func:`repro.sim.context.execution_context`; instrumented regions are
+    opened on the context's profiler (when present) and all simulated
+    work flows through kernel launches.
+    """
+
+    meta: WorkloadMeta
+
+    @abc.abstractmethod
+    def run(self, *, scale: float = 1.0) -> None:
+        """Execute the workload's kernel stream.
+
+        ``scale`` multiplies the iteration counts (not the per-kernel
+        sizes), so fractions are scale-invariant but total work isn't —
+        handy for benchmarking.
+        """
+
+    # Common helpers -------------------------------------------------------
+
+    @staticmethod
+    def _ctx():
+        return current_context()
+
+    def _emit(self, kernel: KernelLaunch):
+        return current_context().launch(kernel)
+
+    def _region(self, name: str, region_class: RegionClass | None = None):
+        ctx = current_context()
+        if ctx.profiler is not None:
+            return ctx.profiler.region(name, region_class)
+        import contextlib
+
+        return contextlib.nullcontext()
+
+    def _phase(self, name: str):
+        ctx = current_context()
+        if ctx.profiler is not None:
+            return ctx.profiler.phase(name)
+        import contextlib
+
+        return contextlib.nullcontext()
+
+    def standard_init(self, nbytes: float = 256e6) -> None:
+        """Initialization phase (excluded from profiles, like the paper's
+        Score-P API-based exclusion): read input, allocate, fill."""
+        with self._phase("initialization"):
+            self._emit(KernelLaunch(KernelKind.IO, "read_input", nbytes=nbytes))
+            self._emit(KernelLaunch(KernelKind.MEMSET, "allocate", nbytes=nbytes))
+
+    def standard_post(self, nbytes: float = 64e6) -> None:
+        """Post-processing phase (excluded): write results."""
+        with self._phase("post-processing"):
+            self._emit(KernelLaunch(KernelKind.IO, "write_output", nbytes=nbytes))
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One declarative phase of a :class:`KernelMixWorkload`.
+
+    ``region`` names the instrumented region the kernels run under (it is
+    classified by name, so call it ``"dgemm"`` to land in the GEMM
+    bucket); ``repeat`` replays the kernel list that many times.
+    """
+
+    region: str
+    kernels: tuple[KernelLaunch, ...]
+    repeat: int = 1
+    region_class: RegionClass | None = None
+
+    def __post_init__(self) -> None:
+        if self.repeat < 1:
+            raise WorkloadError(f"phase {self.region!r}: repeat must be >= 1")
+        if not self.kernels:
+            raise WorkloadError(f"phase {self.region!r}: no kernels")
+
+
+class KernelMixWorkload(Workload):
+    """Declarative workload: metadata plus an iterated list of phases.
+
+    The main loop replays ``phases`` ``iterations`` times between the
+    standard (excluded) init/post phases.
+    """
+
+    def __init__(
+        self,
+        meta: WorkloadMeta,
+        phases: tuple[PhaseSpec, ...],
+        *,
+        iterations: int = 10,
+        init_bytes: float = 256e6,
+    ) -> None:
+        if iterations < 1:
+            raise WorkloadError("iterations must be >= 1")
+        if not phases:
+            raise WorkloadError(f"workload {meta.name!r} has no phases")
+        self.meta = meta
+        self.phases = phases
+        self.iterations = iterations
+        self.init_bytes = init_bytes
+
+    def run(self, *, scale: float = 1.0) -> None:
+        iters = max(1, round(self.iterations * scale))
+        self.standard_init(self.init_bytes)
+        for _ in range(iters):
+            for phase in self.phases:
+                with self._region(phase.region, phase.region_class):
+                    for _ in range(phase.repeat):
+                        for kernel in phase.kernels:
+                            self._emit(kernel)
+        self.standard_post()
+
+
+def profile_workload(
+    workload: Workload,
+    device: DeviceSpec | str = "system1",
+    *,
+    scale: float = 1.0,
+    compute_numerics: bool = False,
+    allow_matrix_engine: bool = False,
+) -> UtilizationReport:
+    """Run one workload under a fresh profiler and return its Fig. 3 row.
+
+    Defaults mirror the paper's setup: a CPU testbed (System 1) without
+    a matrix engine, numerics off (the fractions depend on the kernel
+    stream, not the values).
+    """
+    prof = Profiler()
+    with execution_context(
+        device,
+        profiler=prof,
+        compute_numerics=compute_numerics,
+        allow_matrix_engine=allow_matrix_engine,
+    ):
+        workload.run(scale=scale)
+    return UtilizationReport.from_profiler(
+        prof,
+        workload=workload.meta.name,
+        suite=workload.meta.suite,
+        domain=workload.meta.domain,
+    )

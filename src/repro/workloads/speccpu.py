@@ -1,0 +1,78 @@
+"""SPEC CPU 2017 (train inputs, peak runs) — 24 benchmarks.
+
+None of them show measurable GEMM in Fig. 3: SPEC CPU is deliberately
+self-contained (no external BLAS), and the paper's Advisor + manual-
+inspection pipeline found no hot GEMM-like regions that its inputs
+exercise.  blender could not be measured at all (unresolvable runtime
+errors) although its source contains GEMM calls — mirrored here by a
+catalogue note.  '(R)' rows lack OpenMP parallelisation.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import patterns
+from repro.workloads.base import KernelMixWorkload, Workload, WorkloadMeta
+
+__all__ = ["SPEC_CPU_WORKLOADS"]
+
+_M = 1.0e6
+
+
+def _mix(name, domain, phases, *, openmp=True, notes="", iterations=10):
+    return KernelMixWorkload(
+        WorkloadMeta(name=name, suite="SPEC CPU", domain=domain,
+                     openmp=openmp, notes=notes),
+        phases,
+        iterations=iterations,
+    )
+
+
+SPEC_CPU_WORKLOADS: tuple[Workload, ...] = (
+    _mix("blender", "Math/Computer Science", patterns.media_processing(),
+         openmp=False,
+         notes="Fig. 3 data missing (runtime errors); source contains GEMM calls."),
+    _mix("cam4", "Geoscience/Earthscience", patterns.climate_model(),
+         openmp=False),
+    _mix("namd", "Material Science/Engineering",
+         patterns.nbody_md(particles=1 * _M, neighbors=90.0), openmp=False),
+    _mix("parest", "Bioscience",
+         patterns.implicit_sparse(nnz=60 * _M, nrows=3 * _M), openmp=False),
+    _mix("povray", "Math/Computer Science", patterns.media_processing(),
+         openmp=False),
+    _mix("bwaves", "Physics", patterns.stencil_grid(points=80 * _M)),
+    _mix("cactuBSSN", "Physics",
+         patterns.stencil_grid(points=48 * _M, flops_per_point=120.0,
+                               bytes_per_point=96.0)),
+    _mix("deepsjeng", "Artificial Intelligence", patterns.integer_search()),
+    _mix("exchange2", "Artificial Intelligence",
+         patterns.integer_search(nodes=120 * _M)),
+    _mix("fotonik3d", "Physics", patterns.wave_propagation(points=64 * _M)),
+    _mix("gcc", "Math/Computer Science",
+         patterns.integer_search(nodes=80 * _M)),
+    _mix("imagick", "Math/Computer Science", patterns.media_processing()),
+    _mix("lbm", "Engineering (Mechanics, CFD)",
+         patterns.stencil_grid(points=100 * _M, flops_per_point=80.0,
+                               bytes_per_point=150.0)),
+    _mix("leela", "Artificial Intelligence",
+         patterns.integer_search(nodes=150 * _M)),
+    _mix("mcf", "Math/Computer Science",
+         patterns.graph_analytics(edges=60 * _M)),
+    _mix("nab", "Material Science/Engineering",
+         patterns.nbody_md(particles=0.5 * _M, neighbors=120.0)),
+    _mix("omnetpp", "Math/Computer Science",
+         patterns.graph_analytics(edges=40 * _M)),
+    _mix("perlbench", "Math/Computer Science",
+         patterns.integer_search(nodes=100 * _M)),
+    _mix("pop2", "Geoscience/Earthscience", patterns.climate_model(
+        columns=4 * _M)),
+    _mix("wrf", "Geoscience/Earthscience", patterns.climate_model(
+        columns=6 * _M)),
+    _mix("roms", "Geoscience/Earthscience", patterns.climate_model(
+        columns=5 * _M)),
+    _mix("x264", "Math/Computer Science",
+         patterns.media_processing(pixels=700 * _M)),
+    _mix("xalancbmk", "Math/Computer Science",
+         patterns.graph_analytics(edges=50 * _M)),
+    _mix("xz", "Math/Computer Science",
+         patterns.integer_search(nodes=90 * _M)),
+)

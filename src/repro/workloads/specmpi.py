@@ -1,0 +1,172 @@
+"""SPEC MPI 2007 (mtrain inputs, 48 ranks) — 18 benchmarks.
+
+The lattice-QCD pair milc/dmilc carries the suite's biggest GEMM signal
+(40.16 % / 35.57 %): their SU(3) link products are 3x3 complex matrix
+multiplies the paper's inspection flagged.  socorro (plane-wave DFT)
+adds 9.52 % GEMM + 0.99 % BLAS + 0.73 % LAPACK.
+"""
+
+from __future__ import annotations
+
+from repro.profiling.regions import RegionClass
+from repro.sim.kernels import KernelKind, KernelLaunch
+from repro.workloads import patterns
+from repro.workloads.base import KernelMixWorkload, Workload, WorkloadMeta
+
+__all__ = ["Milc", "Socorro", "SPEC_MPI_WORKLOADS"]
+
+_M = 1.0e6
+
+
+class Milc(Workload):
+    """MILC / su3imp: staggered-fermion lattice QCD.
+
+    The conjugate-gradient Dirac solve multiplies SU(3) gauge links
+    (3x3 complex ``mult_su3`` routines — instrumented as GEMM) against
+    colour vectors; gauge-force and gather phases are plain lattice
+    code.  ``gemm_share`` is CALIBRATED: 40.16 % for milc and 35.57 %
+    for its double-precision twin dmilc (Fig. 3).
+    """
+
+    def __init__(self, name: str = "milc", sites: int = 16 * 16**3,
+                 cg_iters: int = 40, gemm_weight: float = 1.0) -> None:
+        self.meta = WorkloadMeta(
+            name=name,
+            suite="SPEC MPI",
+            domain="Lattice QCD",
+            description="Staggered lattice QCD CG solver",
+        )
+        self.sites = sites
+        self.cg_iters = cg_iters
+        self.gemm_weight = gemm_weight
+
+    def run(self, *, scale: float = 1.0) -> None:
+        iters = max(1, round(self.cg_iters * scale))
+        sites = self.sites
+        # 8 directions x (3x3)@(3x3 or 3x1) complex products per site:
+        # 66-198 flop each; aggregated per CG iteration.
+        su3 = KernelLaunch(
+            KernelKind.GEMM,
+            "mult_su3_matmul",
+            flops=8 * 120.0 * sites * self.gemm_weight,
+            nbytes=8 * 16.0 * sites,
+            fmt="fp64",
+        )
+        gather = KernelLaunch(
+            KernelKind.TABLE_LOOKUP, "site_gather",
+            flops=2.0 * sites * 24, nbytes=30.0 * sites,
+        )
+        linalg = KernelLaunch.blas1(
+            int(sites * 6), flops_per_element=2.0, streams=3,
+            name="lattice_vec_ops",
+        )
+        halo = KernelLaunch(KernelKind.COMM, "halo_exchange",
+                            nbytes=6.0 * sites)
+        force = KernelLaunch(
+            KernelKind.ELEMENTWISE, "gauge_force",
+            flops=180.0 * sites, nbytes=70.0 * sites, fmt="fp64",
+        )
+        self.standard_init(8.0 * sites * 40)
+        for _ in range(iters):
+            with self._region("cg_dirac", RegionClass.OTHER):
+                with self._region("mult_su3_matmul"):
+                    self._emit(su3)
+                self._emit(gather)
+                self._emit(linalg)
+                self._emit(halo)
+            with self._region("gauge_update", RegionClass.OTHER):
+                self._emit(force)
+        self.standard_post()
+
+
+class Socorro(Workload):
+    """Plane-wave pseudopotential DFT.
+
+    Subspace rotations call library ``dgemm`` (9.52 %), projector
+    applications use ``dgemv`` (0.99 %), the subspace eigenproblem is a
+    ``dsyev`` (0.73 %), and the FFT-based density/potential cycle
+    dominates.  Sizes CALIBRATED.
+    """
+
+    def __init__(self, nbands: int = 256, npw: int = 12000,
+                 scf_cycles: int = 12) -> None:
+        self.meta = WorkloadMeta(
+            name="socorro",
+            suite="SPEC MPI",
+            domain="Material Science/Engineering",
+            description="Plane-wave DFT SCF cycle",
+        )
+        self.nbands = nbands
+        self.npw = npw
+        self.scf_cycles = scf_cycles
+
+    def run(self, *, scale: float = 1.0) -> None:
+        cycles = max(1, round(self.scf_cycles * scale))
+        nb, npw = self.nbands, self.npw
+        rotate = KernelLaunch.gemm(npw, nb, nb, fmt="fp64", name="dgemm")
+        project = KernelLaunch.gemv(nb * 8, nb, fmt="fp64", name="dgemv")
+        diag = KernelLaunch(
+            KernelKind.GEMM, "dsyev",
+            flops=9.0 * float(nb) ** 3, nbytes=8.0 * 3 * nb * nb,
+            fmt="fp64",
+        )
+        ffts = KernelLaunch.fft(nb * npw * 2, name="wavefunction_fft")
+        density = KernelLaunch(
+            KernelKind.ELEMENTWISE, "density_update",
+            flops=60.0 * nb * npw / 4, nbytes=24.0 * nb * npw / 4,
+            fmt="fp64",
+        )
+        self.standard_init(16.0 * nb * npw)
+        for _ in range(cycles):
+            with self._region("scf_cycle", RegionClass.OTHER):
+                for _ in range(12):
+                    self._emit(ffts)
+                    self._emit(density)
+                with self._region("dgemv"):
+                    for _ in range(8):
+                        self._emit(project)
+                with self._region("dgemm"):
+                    self._emit(rotate)
+                with self._region("dsyev"):
+                    self._emit(diag)
+        self.standard_post()
+
+
+def _mix(name, domain, phases, iterations: int = 10):
+    return KernelMixWorkload(
+        WorkloadMeta(name=name, suite="SPEC MPI", domain=domain),
+        phases,
+        iterations=iterations,
+    )
+
+
+SPEC_MPI_WORKLOADS: tuple[Workload, ...] = (
+    _mix("leslie3d", "Engineering (Mechanics, CFD)",
+         patterns.stencil_grid(points=60 * _M, flops_per_point=85.0)),
+    _mix("dleslie3d", "Engineering (Mechanics, CFD)",
+         patterns.stencil_grid(points=60 * _M, flops_per_point=85.0)),
+    Milc(name="dmilc", gemm_weight=0.80),
+    _mix("fds4", "Engineering (Mechanics, CFD)",
+         patterns.wave_propagation(points=48 * _M)),
+    _mix("GAPgeofem", "Physics",
+         patterns.implicit_sparse(nnz=90 * _M, nrows=4 * _M)),
+    _mix("lammps", "Material Science/Engineering",
+         patterns.nbody_md(particles=3 * _M)),
+    _mix("GemsFDTD", "Physics", patterns.wave_propagation(points=80 * _M)),
+    _mix("lGemsFDTD", "Physics", patterns.wave_propagation(points=120 * _M)),
+    _mix("lu", "Engineering (Mechanics, CFD)",
+         patterns.stencil_grid(points=48 * _M, flops_per_point=110.0)),
+    _mix("wrf2", "Geoscience/Earthscience", patterns.climate_model()),
+    _mix("lwrf2", "Geoscience/Earthscience",
+         patterns.climate_model(columns=12 * _M)),
+    _mix("pop2", "Geoscience/Earthscience",
+         patterns.climate_model(columns=5 * _M)),
+    _mix("RAxML", "Bioscience", patterns.genomics_alignment(cells=6.0e9)),
+    Socorro(),
+    _mix("tachyon", "Math/Computer Science", patterns.media_processing()),
+    _mix("tera_tf", "Geoscience/Earthscience",
+         patterns.stencil_grid(points=70 * _M, flops_per_point=60.0)),
+    _mix("zeusmp2", "Engineering (Mechanics, CFD)",
+         patterns.stencil_grid(points=64 * _M, flops_per_point=75.0)),
+    Milc(name="milc", gemm_weight=1.0),
+)

@@ -1,0 +1,158 @@
+"""TOP500 benchmarks: HPL and HPCG.
+
+HPL is the paper's showcase ME beneficiary (76.81 % GEMM, 0.14 % other
+BLAS in Fig. 3); HPCG is its antithesis — the same ranking list, yet a
+kernel stream with no dense linear algebra at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.profiling.regions import RegionClass
+from repro.sim.kernels import KernelKind, KernelLaunch
+from repro.workloads.base import Workload, WorkloadMeta
+
+__all__ = ["HPL", "HPCG"]
+
+
+class HPL(Workload):
+    """High Performance Linpack: right-looking blocked LU.
+
+    The region structure mirrors the real code: the O(n^3) trailing
+    update is a library ``dgemm`` (GEMM bucket) and the row-panel solve a
+    ``dtrsm`` (BLAS bucket), while panel factorization, row swaps and
+    panel broadcasts are HPL's own code (OTHER) — this is why Fig. 3
+    shows HPL at ~77 % GEMM rather than ~99 %: the panel path is
+    latency/bandwidth-bound, not flop-bound.
+
+    ``PANEL_TRAFFIC_FACTOR`` is CALIBRATED: the fraction of the panel's
+    rank-1-update traffic that actually reaches DRAM (the rest is
+    cache-resident).  0.25 lands the System 1 GEMM share at the paper's
+    76.8 %.
+    """
+
+    PANEL_TRAFFIC_FACTOR = 0.25
+
+    def __init__(self, n: int = 8192, block: int = 128) -> None:
+        self.meta = WorkloadMeta(
+            name="HPL",
+            suite="TOP500",
+            domain="Math/Computer Science",
+            description="Dense LU solve, the TOP500 yardstick",
+        )
+        self.n = n
+        self.block = block
+
+    def run(self, *, scale: float = 1.0) -> None:
+        n = max(self.block * 2, round(self.n * scale ** (1 / 3)))
+        nb = self.block
+        self.standard_init(8.0 * n * n)
+        for j in range(0, n, nb):
+            jb = min(nb, n - j)
+            rows = n - j
+            cols = n - j - jb
+            # Panel factorization: HPL's own code — pivot search plus
+            # rank-1 updates with partially cache-resident traffic.
+            with self._region("panel_factorization", RegionClass.OTHER):
+                self._emit(
+                    KernelLaunch(
+                        KernelKind.REDUCTION,
+                        "pivot_search",
+                        flops=float(rows * jb),
+                        nbytes=8.0 * rows * jb,
+                        fmt="fp64",
+                    )
+                )
+                self._emit(
+                    KernelLaunch(
+                        KernelKind.GEMV,
+                        "panel_rank1_updates",
+                        flops=float(rows) * jb * jb,
+                        nbytes=16.0 * rows * jb * jb * self.PANEL_TRAFFIC_FACTOR,
+                        fmt="fp64",
+                    )
+                )
+            with self._region("row_swaps", RegionClass.OTHER):
+                self._emit(
+                    KernelLaunch(
+                        KernelKind.ELEMENTWISE,
+                        "laswp_own",
+                        nbytes=16.0 * jb * n,
+                        fmt="fp64",
+                    )
+                )
+            with self._region("panel_broadcast", RegionClass.OTHER):
+                self._emit(
+                    KernelLaunch(
+                        KernelKind.COMM, "panel_bcast", nbytes=8.0 * rows * jb
+                    )
+                )
+            if cols > 0:
+                with self._region("dtrsm"):
+                    self._emit(
+                        KernelLaunch(
+                            KernelKind.GEMM,
+                            "dtrsm",
+                            flops=float(cols) * jb * jb,
+                            nbytes=8.0 * (jb * jb / 2 + 2.0 * jb * cols),
+                            fmt="fp64",
+                        )
+                    )
+                with self._region("dgemm"):
+                    self._emit(
+                        KernelLaunch.gemm(cols, cols, jb, fmt="fp64", name="dgemm")
+                    )
+        self.standard_post()
+
+    @staticmethod
+    def solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Numerically solve ``A x = b`` with the instrumented blocked LU
+        (for validation in examples); requires an active context with
+        numerics enabled."""
+        from repro.blas import gesv
+
+        return gesv(a, b)
+
+
+class HPCG(Workload):
+    """High Performance Conjugate Gradients.
+
+    Everything is hand-written in the real benchmark (SpMV, symmetric
+    Gauss-Seidel multigrid, fused vector ops), so nothing lands in the
+    BLAS buckets — matching its all-"other" Fig. 3 bar.
+    """
+
+    def __init__(self, nrows: int = 4_000_000, iterations: int = 50) -> None:
+        self.meta = WorkloadMeta(
+            name="HPCG",
+            suite="TOP500",
+            domain="Math/Computer Science",
+            description="Preconditioned CG on a 27-point stencil",
+        )
+        self.nrows = nrows
+        self.iterations = iterations
+
+    def run(self, *, scale: float = 1.0) -> None:
+        iters = max(1, round(self.iterations * scale))
+        nrows = self.nrows
+        nnz = 27 * nrows
+        self.standard_init(12.0 * nnz)
+        spmv = KernelLaunch.spmv(nnz, nrows, name="spmv_own")
+        mg = KernelLaunch.spmv(int(nnz * 1.5), nrows, name="symgs_sweep")
+        vec = KernelLaunch.blas1(
+            nrows, flops_per_element=2.0, streams=3, name="waxpby"
+        )
+        dot = KernelLaunch.blas1(
+            nrows, flops_per_element=2.0, streams=2, name="dot_local"
+        )
+        allred = KernelLaunch(KernelKind.COMM, "allreduce", nbytes=8.0 * 64)
+        for _ in range(iters):
+            with self._region("cg_iteration", RegionClass.OTHER):
+                self._emit(spmv)
+                self._emit(mg)
+                for _ in range(3):
+                    self._emit(vec)
+                self._emit(dot)
+                self._emit(allred)
+        self.standard_post()

@@ -1,0 +1,253 @@
+"""Tests for the instrumented BLAS/LAPACK/ScaLAPACK substrate."""
+
+import numpy as np
+import pytest
+
+from repro import blas
+from repro.errors import DispatchError
+from repro.profiling import Profiler, RegionClass
+from repro.sim import execution_context
+
+
+@pytest.fixture
+def ctx_v100():
+    with execution_context("v100") as ctx:
+        yield ctx
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestLevel1:
+    def test_axpy(self, ctx_v100, rng):
+        x, y = rng.normal(size=50), rng.normal(size=50)
+        np.testing.assert_allclose(blas.axpy(2.0, x, y), 2.0 * x + y)
+
+    def test_dot_nrm2_asum_scal_copy(self, ctx_v100, rng):
+        x, y = rng.normal(size=64), rng.normal(size=64)
+        assert blas.dot(x, y) == pytest.approx(float(x @ y))
+        assert blas.nrm2(x) == pytest.approx(float(np.linalg.norm(x)))
+        assert blas.asum(x) == pytest.approx(float(np.abs(x).sum()))
+        np.testing.assert_allclose(blas.scal(0.5, x), 0.5 * x)
+        np.testing.assert_array_equal(blas.copy(x), x)
+
+    def test_requires_context(self, rng):
+        with pytest.raises(DispatchError):
+            blas.dot(rng.normal(size=8), rng.normal(size=8))
+
+    def test_shape_validation(self, ctx_v100):
+        with pytest.raises(DispatchError):
+            blas.dot(np.ones((2, 2)), np.ones(4))
+
+
+class TestLevel2:
+    def test_gemv(self, ctx_v100, rng):
+        a, x = rng.normal(size=(20, 30)), rng.normal(size=30)
+        np.testing.assert_allclose(blas.gemv(a, x), a @ x)
+
+    def test_gemv_with_beta(self, ctx_v100, rng):
+        a, x, y = rng.normal(size=(8, 8)), rng.normal(size=8), rng.normal(size=8)
+        np.testing.assert_allclose(
+            blas.gemv(a, x, alpha=2.0, beta=3.0, y=y), 2 * a @ x + 3 * y
+        )
+
+    def test_ger(self, ctx_v100, rng):
+        a = rng.normal(size=(5, 7))
+        x, y = rng.normal(size=5), rng.normal(size=7)
+        np.testing.assert_allclose(blas.ger(1.5, x, y, a), a + 1.5 * np.outer(x, y))
+
+    def test_trsv(self, ctx_v100, rng):
+        L = np.tril(rng.normal(size=(10, 10))) + 10 * np.eye(10)
+        b = rng.normal(size=10)
+        x = blas.trsv(L, b, lower=True)
+        np.testing.assert_allclose(L @ x, b, atol=1e-10)
+
+
+class TestLevel3:
+    def test_dgemm_exact(self, ctx_v100, rng):
+        a, b = rng.normal(size=(16, 24)), rng.normal(size=(24, 12))
+        np.testing.assert_array_equal(blas.gemm(a, b), a @ b)
+
+    def test_gemm_alpha_beta(self, ctx_v100, rng):
+        a, b = rng.normal(size=(8, 8)), rng.normal(size=(8, 8))
+        c = rng.normal(size=(8, 8))
+        np.testing.assert_allclose(
+            blas.gemm(a, b, c=c, alpha=-1.0, beta=1.0), c - a @ b
+        )
+
+    def test_hgemm_has_fp16_grade_error(self, ctx_v100, rng):
+        a, b = rng.normal(size=(64, 64)), rng.normal(size=(64, 64))
+        h = blas.gemm(a, b, fmt="fp16")
+        err = np.abs(h - a @ b).max() / np.abs(a @ b).max()
+        assert 1e-7 < err < 0.05
+
+    def test_hgemm_runs_on_tensorcore(self, rng):
+        with execution_context("v100") as ctx:
+            blas.gemm(rng.normal(size=(32, 32)), rng.normal(size=(32, 32)), fmt="fp16")
+            assert ctx.device.trace[-1].unit == "tensorcore"
+
+    def test_sgemm_fp32_rounding(self, ctx_v100, rng):
+        a, b = rng.normal(size=(32, 32)), rng.normal(size=(32, 32))
+        s = blas.gemm(a, b, fmt="fp32")
+        err = np.abs(s - a @ b).max() / np.abs(a @ b).max()
+        assert 0 < err < 1e-5
+
+    def test_trsm_left_and_right(self, ctx_v100, rng):
+        L = np.tril(rng.normal(size=(12, 12))) + 12 * np.eye(12)
+        B = rng.normal(size=(12, 5))
+        X = blas.trsm(L, B, side="left", lower=True)
+        np.testing.assert_allclose(L @ X, B, atol=1e-9)
+        U = np.triu(rng.normal(size=(5, 5))) + 5 * np.eye(5)
+        B2 = rng.normal(size=(12, 5))
+        X2 = blas.trsm(U, B2, side="right", lower=False)
+        np.testing.assert_allclose(X2 @ U, B2, atol=1e-9)
+
+    def test_syrk(self, ctx_v100, rng):
+        a = rng.normal(size=(9, 4))
+        np.testing.assert_allclose(blas.syrk(a), a @ a.T)
+
+    def test_numerics_off_returns_none_but_emits_kernels(self, rng):
+        with execution_context("v100", compute_numerics=False) as ctx:
+            out = blas.gemm(rng.normal(size=(64, 64)), rng.normal(size=(64, 64)))
+            assert out is None
+            assert len(ctx.device.trace) == 1
+
+
+class TestProfiledBlas:
+    def test_regions_bucketed_correctly(self, rng):
+        prof = Profiler()
+        with execution_context("v100", profiler=prof):
+            a = rng.normal(size=(128, 128))
+            blas.gemm(a, a)
+            blas.gemv(a, a[0])
+            blas.axpy(1.0, a[0], a[1])
+        by_class = prof.time_by_class()
+        assert by_class[RegionClass.GEMM] > 0
+        assert by_class[RegionClass.BLAS] > 0
+        assert by_class[RegionClass.LAPACK] == 0.0
+        assert "dgemm" in prof.stats and "dgemv" in prof.stats
+
+    def test_default_unit_routing(self, rng):
+        with execution_context("system1", default_unit="sse") as ctx:
+            a = rng.normal(size=(32, 32))
+            blas.gemm(a, a)
+            assert ctx.device.trace[-1].unit == "sse"
+
+
+class TestLapack:
+    def test_getrf_reconstructs_input(self, ctx_v100, rng):
+        a = rng.normal(size=(96, 96))
+        lu, piv = blas.getrf(a, block=32)
+        L = np.tril(lu, -1) + np.eye(96)
+        U = np.triu(lu)
+        # Apply the recorded swaps to a copy of A: should equal L @ U.
+        pa = a.copy()
+        for k, p in enumerate(piv):
+            if p != k:
+                pa[[k, p], :] = pa[[p, k], :]
+        np.testing.assert_allclose(L @ U, pa, atol=1e-9)
+
+    def test_getrf_rectangular(self, ctx_v100, rng):
+        a = rng.normal(size=(50, 30))
+        lu, piv = blas.getrf(a, block=16)
+        L = np.tril(lu, -1)[:, :30] + np.eye(50, 30)
+        U = np.triu(lu)[:30, :]
+        pa = a.copy()
+        for k, p in enumerate(piv):
+            if p != k:
+                pa[[k, p], :] = pa[[p, k], :]
+        np.testing.assert_allclose(L @ U, pa, atol=1e-9)
+
+    def test_gesv_solves(self, ctx_v100, rng):
+        a = rng.normal(size=(40, 40)) + 40 * np.eye(40)
+        b = rng.normal(size=40)
+        x = blas.gesv(a, b, block=16)
+        np.testing.assert_allclose(a @ x, b, atol=1e-8)
+
+    def test_getrs_multiple_rhs(self, ctx_v100, rng):
+        a = rng.normal(size=(24, 24)) + 24 * np.eye(24)
+        b = rng.normal(size=(24, 3))
+        lu, piv = blas.getrf(a, block=8)
+        x = blas.getrs(lu, piv, b)
+        np.testing.assert_allclose(a @ x, b, atol=1e-8)
+
+    def test_potrf(self, ctx_v100, rng):
+        g = rng.normal(size=(30, 30))
+        a = g @ g.T + 30 * np.eye(30)
+        L = blas.potrf(a, block=8)
+        np.testing.assert_allclose(L @ L.T, a, atol=1e-8)
+
+    def test_geqrf(self, ctx_v100, rng):
+        a = rng.normal(size=(20, 12))
+        q, r = blas.geqrf(a, block=6)
+        np.testing.assert_allclose(q @ r, a, atol=1e-10)
+
+    def test_getrf_gemm_dominates_for_large_n(self, rng):
+        # The Fig. 3 mechanism: blocked LU spends most time in dgemm.
+        prof = Profiler()
+        with execution_context(
+            "system1", profiler=prof, compute_numerics=False
+        ):
+            import numpy as np
+
+            blas.getrf(np.zeros((4096, 4096)), block=128)
+        fr = prof.fractions()
+        assert fr[RegionClass.GEMM] > 0.60
+        assert fr[RegionClass.GEMM] + fr[RegionClass.BLAS] + fr[
+            RegionClass.LAPACK
+        ] == pytest.approx(1.0)
+
+    def test_numerics_off_paths(self, rng):
+        with execution_context("system1", compute_numerics=False):
+            lu, piv = blas.getrf(np.zeros((256, 256)), block=64)
+            assert lu is None and piv is None
+            assert blas.gesv(np.zeros((128, 128)), np.zeros(128)) is None
+            assert blas.potrf(np.zeros((128, 128)), block=64) is None
+            q, r = blas.geqrf(np.zeros((128, 64)), block=32)
+            assert q is None and r is None
+
+    def test_potrf_requires_square(self, ctx_v100):
+        with pytest.raises(DispatchError):
+            blas.potrf(np.zeros((4, 6)))
+
+
+class TestScalapack:
+    def test_grid_validation(self):
+        with pytest.raises(DispatchError):
+            blas.ProcessGrid(0, 2)
+        g = blas.ProcessGrid(4, 4, block=64)
+        assert g.size == 16
+        assert g.local_rows(1000) == 250
+
+    def test_pdgemm_numerics_match_serial(self, ctx_v100, rng):
+        a, b = rng.normal(size=(64, 48)), rng.normal(size=(48, 32))
+        c = blas.pdgemm(a, b, blas.ProcessGrid(2, 2, block=16))
+        np.testing.assert_allclose(c, a @ b)
+
+    def test_pdgemm_emits_comm_and_gemm(self, rng):
+        prof = Profiler()
+        with execution_context("system1", profiler=prof, compute_numerics=False) as ctx:
+            blas.pdgemm(
+                np.zeros((256, 256)), np.zeros((256, 256)),
+                blas.ProcessGrid(2, 2, block=64),
+            )
+        from repro.sim import KernelKind
+
+        kinds = {r.launch.kind for r in ctx.device.trace}
+        assert KernelKind.COMM in kinds and KernelKind.GEMM in kinds
+        # GEMM time lands in the GEMM bucket even under the pdgemm region.
+        assert prof.time_by_class()[RegionClass.GEMM] > 0
+
+    def test_pdgetrf_runs_and_emits_lapack_and_gemm(self, rng):
+        prof = Profiler()
+        with execution_context("system1", profiler=prof, compute_numerics=False):
+            blas.pdgetrf(np.zeros((512, 512)), blas.ProcessGrid(2, 2, block=64))
+        by = prof.time_by_class()
+        assert by[RegionClass.GEMM] > 0 and by[RegionClass.LAPACK] > 0
+
+    def test_pdgetrf_numerics(self, ctx_v100, rng):
+        a = rng.normal(size=(32, 32)) + 32 * np.eye(32)
+        lu, piv = blas.pdgetrf(a, blas.ProcessGrid(2, 2, block=8))
+        assert lu is not None and lu.shape == (32, 32)

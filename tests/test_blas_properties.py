@@ -1,0 +1,121 @@
+"""Property-based tests over the instrumented BLAS/LAPACK substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import blas
+from repro.sim import execution_context
+
+sizes = st.integers(2, 40)
+seeds = st.integers(0, 2**32 - 1)
+
+
+def _mat(seed, m, n, diag_boost=0.0):
+    r = np.random.default_rng(seed)
+    a = r.normal(size=(m, n))
+    if diag_boost and m == n:
+        a = a + diag_boost * np.eye(m)
+    return a
+
+
+class TestLevel3Properties:
+    @given(sizes, sizes, sizes, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_gemm_matches_numpy(self, m, n, k, seed):
+        with execution_context("system1"):
+            a = _mat(seed, m, k)
+            b = _mat(seed + 1, k, n)
+            np.testing.assert_array_equal(blas.gemm(a, b), a @ b)
+
+    @given(sizes, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_trsm_inverts_triangular_product(self, n, seed):
+        with execution_context("system1"):
+            L = np.tril(_mat(seed, n, n)) + n * np.eye(n)
+            B = _mat(seed + 2, n, max(1, n // 2))
+            X = blas.trsm(L, B, side="left", lower=True)
+            np.testing.assert_allclose(L @ X, B, atol=1e-8 * n)
+
+    @given(sizes, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_syrk_is_symmetric(self, n, seed):
+        with execution_context("system1"):
+            a = _mat(seed, n, max(1, n // 2))
+            c = blas.syrk(a)
+            np.testing.assert_allclose(c, c.T, atol=1e-12)
+
+
+class TestLapackProperties:
+    @given(sizes, st.integers(4, 64), seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_getrf_solves_for_any_block_size(self, n, block, seed):
+        with execution_context("system1"):
+            a = _mat(seed, n, n, diag_boost=n)
+            b = _mat(seed + 5, n, 1)[:, 0]
+            lu, piv = blas.getrf(a, block=block)
+            x = blas.getrs(lu, piv, b)
+            np.testing.assert_allclose(a @ x, b, atol=1e-7 * n)
+
+    @given(sizes, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_getrf_block_size_does_not_change_factors(self, n, seed):
+        # Partial pivoting is deterministic: any block size produces the
+        # same P, L, U (up to fp roundoff of the update order).
+        with execution_context("system1"):
+            a = _mat(seed, n, n, diag_boost=1.0)
+            lu1, piv1 = blas.getrf(a, block=2)
+            lu2, piv2 = blas.getrf(a, block=max(4, n))
+            np.testing.assert_array_equal(piv1, piv2)
+            np.testing.assert_allclose(lu1, lu2, atol=1e-10)
+
+    @given(sizes, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_potrf_reconstructs_spd_matrix(self, n, seed):
+        with execution_context("system1"):
+            g = _mat(seed, n, n)
+            a = g @ g.T + n * np.eye(n)
+            L = blas.potrf(a, block=8)
+            np.testing.assert_allclose(L @ L.T, a, atol=1e-8 * n)
+            assert np.allclose(np.triu(L, 1), 0.0)
+
+    @given(sizes, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_geqrf_orthogonality(self, n, seed):
+        with execution_context("system1"):
+            m = n + 3
+            a = _mat(seed, m, n)
+            q, r_mat = blas.geqrf(a, block=4)
+            np.testing.assert_allclose(q.T @ q, np.eye(n), atol=1e-10)
+            np.testing.assert_allclose(q @ r_mat, a, atol=1e-10)
+
+
+class TestScalapackProperties:
+    @given(sizes, st.integers(1, 3), st.integers(1, 3), seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_pdgemm_distribution_invariant(self, n, pr, pc, seed):
+        # The grid shape must never change the numerical result.
+        with execution_context("system1"):
+            a = _mat(seed, n, n)
+            b = _mat(seed + 9, n, n)
+            c = blas.pdgemm(a, b, blas.ProcessGrid(pr, pc, block=8))
+            np.testing.assert_allclose(c, a @ b, atol=1e-12)
+
+    @given(st.integers(2, 4), st.integers(2, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_bigger_grids_cost_less_rank_time(self, p_small, p_big):
+        assume(p_small < p_big)
+        from repro.sim import SimulatedDevice
+        from repro.hardware import get_device
+
+        times = {}
+        for p in (p_small, p_big):
+            sim = SimulatedDevice(get_device("system1"))
+            with execution_context(sim, compute_numerics=False):
+                blas.pdgetrf(
+                    np.broadcast_to(np.zeros(1), (2048, 2048)),
+                    blas.ProcessGrid(p, p, block=128),
+                )
+            times[p] = sim.elapsed
+        assert times[p_big] < times[p_small]

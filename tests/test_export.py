@@ -1,0 +1,110 @@
+"""Tests for the artefact export layer and the bar-chart renderer."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.harness.export import export_all, export_artifact, to_jsonable
+from repro.harness.textfmt import bar_chart
+
+
+class TestToJsonable:
+    def test_primitives_pass_through(self):
+        assert to_jsonable(3) == 3
+        assert to_jsonable("x") == "x"
+        assert to_jsonable(None) is None
+        assert to_jsonable(True) is True
+
+    def test_special_floats(self):
+        assert to_jsonable(math.inf) == "inf"
+        assert to_jsonable(-math.inf) == "-inf"
+        assert to_jsonable(math.nan) == "nan"
+
+    def test_numpy_types(self):
+        assert to_jsonable(np.float64(1.5)) == 1.5
+        assert to_jsonable(np.int32(7)) == 7
+        assert to_jsonable(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_dataclasses_and_nesting(self):
+        from repro.extrapolate import DomainWorkload
+
+        d = DomainWorkload("Physics", 0.5, "Laghos", 0.41)
+        out = to_jsonable({"domains": [d]})
+        assert out["domains"][0]["domain"] == "Physics"
+        json.dumps(out)  # round-trippable
+
+    def test_harness_results_are_serialisable(self):
+        from repro.harness import fig4, table_i
+
+        json.dumps(to_jsonable({k: v for k, v in table_i().items()
+                                if k != "text"}))
+        json.dumps(to_jsonable({k: v for k, v in fig4().items()
+                                if k != "text"}))
+
+
+class TestExport:
+    def test_export_artifact_writes_all_formats(self, tmp_path):
+        result = {
+            "text": "hello",
+            "rows": [{"a": 1, "b": 2.5}, {"a": 3, "b": math.inf}],
+        }
+        written = export_artifact("demo", result, tmp_path)
+        names = {p.name for p in written}
+        assert names == {"demo.txt", "demo.json", "demo.csv"}
+        assert (tmp_path / "demo.txt").read_text().strip() == "hello"
+        payload = json.loads((tmp_path / "demo.json").read_text())
+        assert payload["rows"][1]["b"] == "inf"
+        csv_text = (tmp_path / "demo.csv").read_text()
+        assert "a,b" in csv_text
+
+    def test_export_without_rows_skips_csv(self, tmp_path):
+        written = export_artifact("x", {"text": "t", "value": 1}, tmp_path)
+        assert {p.suffix for p in written} == {".txt", ".json"}
+
+    def test_export_all_real_artifacts(self, tmp_path):
+        from repro.harness import run_all
+
+        results = run_all(["table1", "fig4"])
+        written = export_all(results, tmp_path)
+        assert (tmp_path / "table1.csv").exists()
+        assert (tmp_path / "fig4.json").exists()
+        assert len(written) >= 5
+
+    def test_runner_output_flag(self, tmp_path, capsys):
+        from repro.harness.runner import main
+
+        assert main(["table1", "--output", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert (tmp_path / "table1.txt").exists()
+
+    def test_runner_output_flag_requires_dir(self):
+        from repro.harness.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["table1", "--output"])
+
+
+class TestBarChart:
+    def test_renders_bars_proportionally(self):
+        out = bar_chart([("a", 50.0), ("b", 100.0)], width=10,
+                        max_value=100.0)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 5
+        assert lines[1].count("█") == 10
+
+    def test_half_block_for_fractions(self):
+        out = bar_chart([("x", 7.5)], width=10, max_value=100.0)
+        assert "▌" in out
+
+    def test_empty_and_zero(self):
+        assert bar_chart([], title="t") == "t"
+        out = bar_chart([("z", 0.0)], width=10)
+        assert "0.00" in out
+
+    def test_title_and_units(self):
+        out = bar_chart([("a", 1.0)], title="T", unit="img/J")
+        assert out.startswith("T")
+        assert "img/J" in out

@@ -1,0 +1,179 @@
+"""Tests for the Sec. V 'opportunities' extensions: Ozaki dot/GEMV,
+mixed-precision iterative refinement, and tiled SpGEMM on the engine."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import crossover_density, spgemm_time_model, tiled_spgemm
+from repro.errors import DeviceError, FormatError, OzakiError
+from repro.ozaki import ozaki_dot, ozaki_gemv
+from repro.precision import lu_iterative_refinement
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(321)
+
+
+class TestOzakiBlasExt:
+    def test_dot_matches_fsum_reference(self, rng):
+        import math
+
+        x = rng.normal(size=200) * np.exp(rng.uniform(-10, 10, 200))
+        y = rng.normal(size=200) * np.exp(rng.uniform(-10, 10, 200))
+        ours = ozaki_dot(x, y, accuracy="full")
+        exact = math.fsum(float(a) * float(b) for a, b in zip(x, y))
+        scale = float(np.abs(x) @ np.abs(y))
+        assert abs(ours - exact) <= 2.0**-48 * scale
+
+    def test_dot_is_reproducible(self, rng):
+        x, y = rng.normal(size=64), rng.normal(size=64)
+        assert ozaki_dot(x, y) == ozaki_dot(x, y)
+
+    def test_dot_validation(self):
+        with pytest.raises(OzakiError):
+            ozaki_dot(np.ones(3), np.ones(4))
+        with pytest.raises(OzakiError):
+            ozaki_dot(np.ones((2, 2)), np.ones((2, 2)))
+
+    def test_gemv_matches_reference(self, rng):
+        a = rng.normal(size=(30, 20))
+        x = rng.normal(size=20)
+        out = ozaki_gemv(a, x, accuracy="dgemm")
+        scale = np.abs(a) @ np.abs(x)
+        assert (np.abs(out - a @ x) <= 8 * 20 * 2.0**-53 * scale).all()
+
+    def test_gemv_validation(self):
+        with pytest.raises(OzakiError):
+            ozaki_gemv(np.ones((3, 4)), np.ones(3))
+
+    @given(st.integers(2, 24), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_dot_property_full_accuracy(self, n, seed):
+        import math
+
+        r = np.random.default_rng(seed)
+        x = r.normal(size=n) * np.exp(r.uniform(-15, 15, n))
+        y = r.normal(size=n) * np.exp(r.uniform(-15, 15, n))
+        ours = ozaki_dot(x, y, accuracy="full")
+        exact = math.fsum(float(a) * float(b) for a, b in zip(x, y))
+        scale = float(np.abs(x) @ np.abs(y)) or 1.0
+        assert abs(ours - exact) <= 2.0**-45 * scale
+
+
+class TestIterativeRefinement:
+    @pytest.mark.parametrize("fmt", ["fp16", "bf16", "fp32"])
+    def test_converges_to_fp64_accuracy(self, rng, fmt):
+        n = 80
+        a = rng.normal(size=(n, n)) + n * np.eye(n)
+        b = rng.normal(size=n)
+        res = lu_iterative_refinement(a, b, factorization=fmt)
+        assert res.converged
+        assert res.final_residual < 1e-12
+        assert np.linalg.norm(a @ res.x - b) / np.linalg.norm(b) < 1e-11
+
+    def test_lower_precision_needs_no_more_than_few_extra_iterations(self, rng):
+        n = 64
+        a = rng.normal(size=(n, n)) + n * np.eye(n)
+        b = rng.normal(size=n)
+        fp16 = lu_iterative_refinement(a, b, factorization="fp16")
+        fp32 = lu_iterative_refinement(a, b, factorization="fp32")
+        assert fp32.iterations <= fp16.iterations <= fp16.iterations + 10
+        assert fp32.converged and fp16.converged
+
+    def test_residual_history_decreases(self, rng):
+        n = 48
+        a = rng.normal(size=(n, n)) + n * np.eye(n)
+        res = lu_iterative_refinement(a, rng.normal(size=n))
+        hist = res.residual_history
+        assert hist[-1] < hist[0]
+
+    def test_wide_magnitude_matrix_is_equilibrated(self, rng):
+        # Entries far outside fp16's range still work thanks to the
+        # power-of-two scaling.
+        n = 32
+        a = (rng.normal(size=(n, n)) + n * np.eye(n)) * 1e12
+        b = rng.normal(size=n) * 1e12
+        res = lu_iterative_refinement(a, b, factorization="fp16")
+        assert res.converged
+
+    def test_zero_rhs(self, rng):
+        a = np.eye(8)
+        res = lu_iterative_refinement(a, np.zeros(8))
+        assert res.converged
+        np.testing.assert_array_equal(res.x, np.zeros(8))
+
+    def test_non_convergence_reported_honestly(self, rng):
+        # A severely ill-conditioned system: IR with fp16 factors stalls.
+        n = 24
+        u, _ = np.linalg.qr(rng.normal(size=(n, n)))
+        v, _ = np.linalg.qr(rng.normal(size=(n, n)))
+        a = u @ np.diag(np.logspace(0, -14, n)) @ v
+        res = lu_iterative_refinement(
+            a, rng.normal(size=n), factorization="fp16", max_iterations=8
+        )
+        assert not res.converged
+
+    def test_validation(self):
+        with pytest.raises(FormatError):
+            lu_iterative_refinement(np.ones((2, 3)), np.ones(2))
+        with pytest.raises(FormatError):
+            lu_iterative_refinement(np.eye(3), np.ones(4))
+
+
+class TestTiledSpGemm:
+    def _pair(self, rng, density=0.05):
+        a = sp.random(90, 70, density=density, random_state=rng, format="csr")
+        b = sp.random(70, 60, density=density, random_state=rng, format="csr")
+        return a, b
+
+    def test_matches_reference_to_fp16_grade(self, rng):
+        a, b = self._pair(rng)
+        res = tiled_spgemm(a, b, tile=16)
+        ref = (a @ b).toarray()
+        got = res.c.toarray()
+        denom = max(np.abs(ref).max(), 1e-30)
+        assert np.abs(got - ref).max() / denom < 5e-3
+
+    def test_sparsity_pattern_is_superset_free(self, rng):
+        # No spurious values outside the true product's tiles.
+        a, b = self._pair(rng, density=0.02)
+        res = tiled_spgemm(a, b, tile=8)
+        ref = (a @ b).toarray()
+        got = res.c.toarray()
+        assert (np.abs(got[ref == 0.0]) < 1e-6 * max(np.abs(ref).max(), 1)).all()
+
+    def test_tile_products_bounded_by_grid(self, rng):
+        a, b = self._pair(rng)
+        res = tiled_spgemm(a, b, tile=16)
+        assert 0 < res.tile_products <= res.dense_tile_products_possible
+        assert 0.0 < res.product_fraction <= 1.0
+
+    def test_empty_inputs(self):
+        a = sp.csr_matrix((32, 32))
+        res = tiled_spgemm(a, a, tile=8)
+        assert res.tile_products == 0
+        assert res.c.nnz == 0
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            tiled_spgemm(sp.eye(4), sp.eye(5))
+        with pytest.raises(DeviceError):
+            tiled_spgemm(sp.eye(4), sp.eye(4), tile=0)
+
+    def test_time_model_requires_engine(self, rng):
+        a, b = self._pair(rng)
+        with pytest.raises(DeviceError):
+            spgemm_time_model(a, b, "gtx1060")
+
+    def test_crossover_with_density(self):
+        rows = crossover_density(n=256, densities=(0.002, 0.3, 0.6))
+        speedups = [r["speedup"] for r in rows]
+        # CSR wins when hyper-sparse; the engine wins when dense-ish —
+        # the Sec. V-A2 opportunity has a crossover.
+        assert speedups[0] < 1.0
+        assert speedups[-1] > 1.0
+        assert max(speedups) == speedups[-1]

@@ -1,0 +1,162 @@
+"""Tests for the Fig. 4 extrapolation engine and the cost-benefit layer."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    assess_scenario,
+    dark_silicon_analysis,
+    me_speedup_estimate,
+)
+from repro.errors import DeviceError, ScenarioError
+from repro.extrapolate import (
+    DomainWorkload,
+    NodeHourModel,
+    amdahl_time_fraction,
+    anl_scenario,
+    future_scenario,
+    k_computer_scenario,
+)
+
+
+class TestAmdahl:
+    def test_no_accelerable_work(self):
+        assert amdahl_time_fraction(0.0, 4.0) == 1.0
+
+    def test_full_acceleration(self):
+        assert amdahl_time_fraction(1.0, 4.0) == 0.25
+        assert amdahl_time_fraction(1.0, math.inf) == 0.0
+
+    def test_infinite_speedup_leaves_serial_part(self):
+        assert amdahl_time_fraction(0.3, math.inf) == pytest.approx(0.7)
+
+    def test_validation(self):
+        with pytest.raises(ScenarioError):
+            amdahl_time_fraction(1.5, 4.0)
+        with pytest.raises(ScenarioError):
+            amdahl_time_fraction(0.5, 0.5)
+
+    @given(
+        st.floats(0.0, 1.0),
+        st.floats(1.0, 1e6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_fraction_bounded_and_monotone(self, f, s):
+        t = amdahl_time_fraction(f, s)
+        assert 0.0 <= t <= 1.0
+        assert t >= amdahl_time_fraction(f, s * 2)
+
+
+class TestNodeHourModel:
+    def _model(self):
+        return NodeHourModel(
+            "toy",
+            (
+                DomainWorkload("a", 0.5, "x", 0.8),
+                DomainWorkload("b", 0.5, "y", 0.0),
+            ),
+            total_node_hours=100.0,
+        )
+
+    def test_reduction_and_throughput(self):
+        m = self._model()
+        # 50% of hours get 0.8 accelerable at 4x: saving = .5*.8*.75 = .3
+        assert m.reduction(4.0) == pytest.approx(0.30)
+        assert m.node_hours_saved(4.0) == pytest.approx(30.0)
+        assert m.throughput_improvement(4.0) == pytest.approx(1 / 0.7)
+
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ScenarioError):
+            NodeHourModel("bad", (DomainWorkload("a", 0.5, "x", 0.1),))
+
+    def test_sweep_is_monotone(self):
+        m = self._model()
+        reductions = [r for _, r in m.sweep()]
+        assert reductions == sorted(reductions)
+
+
+class TestPaperScenarios:
+    def test_k_computer_matches_fig4a(self):
+        k = k_computer_scenario()
+        assert k.reduction(4.0) * 100 == pytest.approx(5.3, abs=0.7)
+        assert k.reduction(math.inf) * 100 == pytest.approx(7.1, abs=0.7)
+
+    def test_anl_matches_fig4b(self):
+        anl = anl_scenario()
+        assert anl.reduction(4.0) * 100 == pytest.approx(11.5, abs=1.5)
+
+    def test_future_matches_fig4c(self):
+        fut = future_scenario()
+        assert fut.reduction(4.0) * 100 == pytest.approx(23.8, abs=1.5)
+        assert fut.reduction(math.inf) * 100 == pytest.approx(32.8, abs=1.5)
+
+    def test_ai_share_drives_the_future_gain(self):
+        # Ordering of the three machines' potential (Fig. 4's message).
+        k = k_computer_scenario().reduction(4.0)
+        anl = anl_scenario().reduction(4.0)
+        fut = future_scenario().reduction(4.0)
+        assert k < anl < fut
+
+    def test_k_computer_node_hours(self):
+        assert k_computer_scenario().total_node_hours == pytest.approx(543e6)
+
+
+class TestCostBenefit:
+    def test_me_speedup_estimate_v100_fp16(self):
+        # TC fp16 peak over CUDA-core fp16 peak: 125/31.4 ~ 4x.
+        assert me_speedup_estimate("v100", "fp16") == pytest.approx(3.98, abs=0.1)
+
+    def test_me_speedup_requires_engine(self):
+        with pytest.raises(DeviceError):
+            me_speedup_estimate("gtx1060", "fp16")
+        with pytest.raises(DeviceError):
+            me_speedup_estimate("v100", "fp64")
+
+    def test_existing_machines_give_about_1_1x(self):
+        # The conclusion's "~1.1x science throughput" claim.
+        k = assess_scenario(k_computer_scenario())
+        anl = assess_scenario(anl_scenario())
+        assert 1.0 < k.throughput_improvement < 1.10
+        assert 1.05 < anl.throughput_improvement < 1.20
+        assert not k.worthwhile
+        assert anl.verdict()
+
+    def test_future_machine_clears_the_bar(self):
+        fut = assess_scenario(future_scenario())
+        assert fut.worthwhile
+        assert "justify" in fut.verdict()
+
+    def test_node_hours_saved(self):
+        k = assess_scenario(k_computer_scenario())
+        assert k.node_hours_saved == pytest.approx(
+            543e6 * k.node_hour_reduction
+        )
+
+
+class TestDarkSilicon:
+    def test_v100_me_area_is_effectively_free(self):
+        # Sec. V-A1: DGEMM already runs at ~287 W of the 300 W TDP, so
+        # reclaiming TC area gains < 5 % sustained fp64 throughput.
+        rep = dark_silicon_analysis("v100", fmt="fp64")
+        assert rep.effectively_free
+        assert rep.power_limited_gain < rep.area_gain
+        assert "TDP caps" in rep.summary()
+
+    def test_headroom_factor(self):
+        rep = dark_silicon_analysis("v100", fmt="fp64")
+        assert rep.headroom == pytest.approx(300.0 / 287.0, abs=0.01)
+
+    def test_invalid_area_fraction(self):
+        with pytest.raises(DeviceError):
+            dark_silicon_analysis("v100", me_area_fraction=0.0)
+
+    def test_underpowered_device_would_benefit(self):
+        # A hypothetical low-power device has TDP headroom, so the swap
+        # would actually pay there — the paper's Sec. V-B4 caveat that
+        # the dark-silicon effect may not generalise.
+        rep = dark_silicon_analysis("gtx1060", fmt="fp32",
+                                    me_area_fraction=0.3)
+        assert rep.area_gain == pytest.approx(1.3)

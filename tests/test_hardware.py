@@ -1,0 +1,238 @@
+"""Tests for the hardware models: specs, registry, roofline, energy, density."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.hardware import (
+    ComputeUnitSpec,
+    DeviceSpec,
+    MemorySpec,
+    UnitKind,
+    all_devices,
+    compute_density,
+    get_device,
+    list_device_names,
+    table_i_devices,
+)
+from repro.hardware.registry import TABLE_I_PUBLISHED
+from repro.hardware.roofline import achievable_flops, machine_balance, roofline_time
+from repro.hardware.energy import kernel_power
+from repro.units import TERA
+
+
+class TestRegistry:
+    def test_lookup_by_name_and_alias(self):
+        assert get_device("v100").name == "v100"
+        assert get_device("SYSTEM1").name == "xeon-e5-2650v4-2s"
+        assert get_device("Tesla-V100") is get_device("v100")
+
+    def test_unknown_device(self):
+        with pytest.raises(DeviceError, match="unknown device"):
+            get_device("mi300")
+
+    def test_all_devices_contains_paper_testbeds(self):
+        names = {d.name for d in all_devices()}
+        for required in (
+            "v100", "a100", "p100", "gtx1060", "gtx1080ti", "rtx2070",
+            "rtx2080ti", "xeon-e5-2650v4-2s", "xeon-gold-6148", "power10",
+            "ascend910",
+        ):
+            assert required in names
+
+    def test_list_names_sorted(self):
+        names = list_device_names()
+        assert names == sorted(names)
+
+    def test_table_i_has_eight_devices(self):
+        assert len(table_i_devices()) == 8
+        assert len(TABLE_I_PUBLISHED) == 8
+
+
+class TestV100Calibration:
+    """The V100 model must reproduce the paper's own measurements."""
+
+    def test_peaks_match_table_i(self):
+        v = get_device("v100")
+        assert v.peak("fp16") == pytest.approx(125 * TERA)
+        assert v.peak("fp32") == pytest.approx(15.7 * TERA)
+        assert v.peak("fp64") == pytest.approx(7.8 * TERA)
+
+    def test_tc_only_reachable_when_matrix_allowed(self):
+        v = get_device("v100")
+        assert v.peak("fp16", allow_matrix=False) == pytest.approx(31.4 * TERA)
+
+    def test_sustained_gemm_rates_match_table_viii(self):
+        v = get_device("v100")
+        assert achievable_flops(v.unit("cuda"), "fp64") == pytest.approx(
+            7.20 * TERA, rel=0.01
+        )
+        assert achievable_flops(v.unit("cuda"), "fp32") == pytest.approx(
+            14.54 * TERA, rel=0.01
+        )
+        assert achievable_flops(v.unit("tensorcore"), "fp16") == pytest.approx(
+            92.28 * TERA, rel=0.01
+        )
+
+    def test_tc_is_hybrid_fp16_multiply_fp32_accumulate(self):
+        tc = get_device("v100").matrix_engine
+        assert tc is not None
+        assert tc.multiply_format == "fp16"
+        assert tc.accumulate_format == "fp32"
+        assert tc.tile == (4, 4, 4)
+
+    def test_v100_has_no_fp64_matrix_engine_but_a100_does(self):
+        assert not get_device("v100").matrix_engine.supports("fp64")
+        assert get_device("a100").matrix_engine.supports("fp64")
+
+
+class TestSystem1Calibration:
+    """Table II: the Xeon E5-2650v4 scalar-vs-AVX2 energy experiment."""
+
+    def test_avx2_dgemm_walltime(self):
+        s1 = get_device("system1")
+        rate = achievable_flops(s1.unit("avx2"), "fp64")
+        assert 7.5e12 / rate == pytest.approx(12.49, rel=0.05)
+
+    def test_sse_dgemm_walltime(self):
+        s1 = get_device("system1")
+        rate = achievable_flops(s1.unit("sse"), "fp64")
+        assert 7.5e12 / rate == pytest.approx(34.22, rel=0.05)
+
+    def test_avx2_beats_sse_energy_efficiency_by_about_2_3x(self):
+        s1 = get_device("system1")
+        eff = {}
+        for unit in ("sse", "avx2"):
+            u = s1.unit(unit)
+            rate = achievable_flops(u, "fp64")
+            eff[unit] = rate / u.power("fp64")
+        assert eff["avx2"] / eff["sse"] == pytest.approx(2.3, rel=0.15)
+
+
+class TestSpecValidation:
+    def _mem(self):
+        return MemorySpec(capacity_bytes=1e9, bandwidth_bps=1e11)
+
+    def _unit(self, name="u"):
+        return ComputeUnitSpec(
+            name=name, kind=UnitKind.VECTOR, peak_flops={"fp64": 1e12}
+        )
+
+    def test_rejects_idle_above_tdp(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec(
+                name="x", vendor="v", category="cpu", process_nm=7,
+                die_mm2=100, me_size=None, tdp_w=100, idle_w=100,
+                memory=self._mem(), units=(self._unit(),),
+            )
+
+    def test_rejects_duplicate_units(self):
+        with pytest.raises(DeviceError, match="duplicate"):
+            DeviceSpec(
+                name="x", vendor="v", category="cpu", process_nm=7,
+                die_mm2=100, me_size=None, tdp_w=100, idle_w=10,
+                memory=self._mem(), units=(self._unit(), self._unit()),
+            )
+
+    def test_unit_rejects_bad_efficiency(self):
+        with pytest.raises(DeviceError):
+            ComputeUnitSpec(
+                name="u", kind=UnitKind.VECTOR,
+                peak_flops={"fp64": 1e12}, gemm_efficiency=1.5,
+            )
+
+    def test_matrix_unit_needs_multiply_format(self):
+        with pytest.raises(DeviceError):
+            ComputeUnitSpec(
+                name="me", kind=UnitKind.MATRIX, peak_flops={"fp16": 1e12}
+            )
+
+    def test_unsupported_format_raises(self):
+        v = get_device("gtx1060")
+        with pytest.raises(DeviceError):
+            v.unit("cuda").peak("fp16")
+        with pytest.raises(DeviceError):
+            v.best_unit("fp16")
+
+
+class TestRoofline:
+    def test_compute_bound_gemm(self):
+        v = get_device("v100")
+        dur, t_c, t_m = roofline_time(
+            v, v.unit("cuda"), flops=2 * 8192**3, nbytes=8 * 4 * 8192**2,
+            fmt="fp64", kind="gemm",
+        )
+        assert dur == t_c > t_m
+
+    def test_memory_bound_blas1(self):
+        v = get_device("v100")
+        dur, t_c, t_m = roofline_time(
+            v, v.unit("cuda"), flops=2e6, nbytes=24e6, fmt="fp64",
+            kind="blas1",
+        )
+        assert dur == t_m > t_c
+
+    def test_machine_balance_of_system1_near_advisor_threshold(self):
+        # The paper used AI >= 7 flop/byte as "compute intensive" on System 1.
+        assert machine_balance(get_device("system1")) == pytest.approx(7, rel=0.2)
+
+    def test_negative_work_rejected(self):
+        v = get_device("v100")
+        with pytest.raises(DeviceError):
+            roofline_time(v, v.unit("cuda"), flops=-1, nbytes=0, fmt="fp64")
+
+
+class TestEnergy:
+    def test_power_between_idle_and_tdp(self):
+        v = get_device("v100")
+        for cu in np.linspace(0, 1.5, 7):
+            p = kernel_power(
+                v, v.unit("cuda"), "fp64",
+                compute_utilization=float(cu), memory_utilization=0.2,
+            )
+            assert v.idle_w <= p <= v.tdp_w
+
+    def test_full_load_dgemm_power_matches_table_viii(self):
+        v = get_device("v100")
+        p = kernel_power(
+            v, v.unit("cuda"), "fp64",
+            compute_utilization=1.0, memory_utilization=0.0,
+        )
+        assert p == pytest.approx(286.5, abs=4.0)
+
+    def test_tc_draws_less_than_fpu_gemm(self):
+        # The "dark silicon" observation: TC GEMM power < SGEMM/DGEMM power.
+        v = get_device("v100")
+        p_tc = kernel_power(v, v.unit("tensorcore"), "fp16",
+                            compute_utilization=1.0, memory_utilization=0.1)
+        p_fp = kernel_power(v, v.unit("cuda"), "fp64",
+                            compute_utilization=1.0, memory_utilization=0.1)
+        assert p_tc < p_fp
+
+
+class TestDensity:
+    def test_v100_fp16_density_matches_table_i(self):
+        # 125 Tflop/s over 815 mm^2 = 153.4 Gflop/s/mm^2.
+        assert compute_density(125.0, 815.0) == pytest.approx(153.4, rel=0.01)
+
+    def test_unknown_inputs_give_none(self):
+        assert compute_density(None, 815.0) is None
+        assert compute_density(125.0, None) is None
+
+    def test_power10_is_18_percent_of_v100_density(self):
+        # Sec. II-B: "IBM Power10 only reaches 18% of the compute-density
+        # of an NVIDIA V100".
+        p10 = compute_density(16.4, 602.0)
+        v100 = compute_density(125.0, 815.0)
+        assert p10 / v100 == pytest.approx(0.18, abs=0.01)
+
+    def test_ascend_is_7_7x_power10_density(self):
+        ascend = compute_density(256.0, 1228.0)
+        p10 = compute_density(16.4, 602.0)
+        assert ascend / p10 == pytest.approx(7.7, rel=0.02)
+
+    def test_ascend_is_55_percent_of_a100_density(self):
+        # Paper: Ascend reaches 208 Gflop/s/mm^2, "only 55% of the A100's".
+        ascend = compute_density(256.0, 1228.0)
+        a100 = compute_density(312.0, 826.0)
+        assert ascend / a100 == pytest.approx(0.55, abs=0.02)

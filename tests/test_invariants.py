@@ -1,0 +1,133 @@
+"""Cross-cutting invariant and property tests over the simulator stack.
+
+These pin the conservation laws everything else relies on: time
+attributed by the profiler equals time spent by the device; more work
+never takes less time; energies integrate consistently; workload streams
+are deterministic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import get_device
+from repro.profiling import Profiler, RegionClass
+from repro.sim import (
+    KernelKind,
+    KernelLaunch,
+    PowerSampler,
+    SimulatedDevice,
+    execution_context,
+)
+from repro.workloads import all_workloads, get_workload, profile_workload
+
+
+class TestTimeConservation:
+    def test_profiler_time_equals_device_time(self):
+        """Every simulated second lands in exactly one region bucket."""
+        prof = Profiler()
+        with execution_context("system1", profiler=prof) as ctx:
+            w = get_workload("RIKEN/NTChem")
+            w.run(scale=0.5)
+            device_time = ctx.device.clock
+        by_class = prof.time_by_class()
+        attributed = sum(by_class.values())
+        assert attributed == pytest.approx(device_time, rel=1e-12)
+
+    @pytest.mark.parametrize("name", ["HPL", "TOP500/HPCG", "ECP/Laghos",
+                                      "RIKEN/mVMC", "SPEC MPI/milc"])
+    def test_conservation_across_workloads(self, name):
+        prof = Profiler()
+        with execution_context("system1", profiler=prof) as ctx:
+            get_workload(name).run(scale=0.3)
+            device_time = ctx.device.clock
+        assert sum(prof.time_by_class().values()) == pytest.approx(
+            device_time, rel=1e-12
+        )
+
+    def test_trace_records_are_contiguous(self):
+        d = SimulatedDevice(get_device("v100"))
+        for i in range(10):
+            d.launch(KernelLaunch.gemm(256, 256, 256, fmt="fp32"))
+        records = d.trace.records
+        for prev, nxt in zip(records, records[1:]):
+            assert nxt.start == pytest.approx(prev.end, rel=1e-12)
+        assert d.trace.total_time == pytest.approx(d.clock)
+
+
+class TestEngineMonotonicity:
+    @given(
+        st.integers(64, 1024),
+        st.integers(64, 1024),
+        st.sampled_from(["fp64", "fp32"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_more_flops_never_faster(self, n_small, n_big, fmt):
+        lo, hi = sorted((n_small, n_big))
+        d = SimulatedDevice(get_device("v100"))
+        t_lo = d.launch(KernelLaunch.gemm(lo, lo, lo, fmt=fmt)).duration
+        t_hi = d.launch(KernelLaunch.gemm(hi, hi, hi, fmt=fmt)).duration
+        assert t_hi >= t_lo * 0.999
+
+    @given(st.floats(1e6, 1e13), st.floats(0.0, 1e10))
+    @settings(max_examples=60, deadline=None)
+    def test_duration_positive_and_energy_consistent(self, flops, nbytes):
+        d = SimulatedDevice(get_device("system1"))
+        rec = d.launch(
+            KernelLaunch(KernelKind.OTHER, "k", flops=flops, nbytes=nbytes)
+        )
+        assert rec.duration > 0
+        assert rec.energy_j == pytest.approx(rec.power_w * rec.duration)
+        assert d.spec.idle_w <= rec.power_w <= d.spec.tdp_w
+
+    def test_sampler_energy_close_to_trace_energy(self):
+        d = SimulatedDevice(get_device("v100"))
+        for _ in range(6):
+            d.launch(KernelLaunch.gemm(2048, 2048, 2048, fmt="fp64"))
+        sampler = PowerSampler(d.spec, period_s=d.clock / 500)
+        samples = sampler.sample(d.trace)
+        riemann = sum(s.power_w for s in samples) * (d.clock / 500)
+        assert riemann == pytest.approx(d.trace.total_energy, rel=0.02)
+
+
+class TestDeterminism:
+    def test_workload_kernel_streams_are_deterministic(self):
+        def fingerprint():
+            with execution_context("system1") as ctx:
+                get_workload("ECP/Nekbone").run(scale=0.2)
+                return [
+                    (r.launch.name, r.launch.flops, r.duration)
+                    for r in ctx.device.trace
+                ]
+
+        assert fingerprint() == fingerprint()
+
+    def test_profile_reports_are_deterministic(self):
+        w = get_workload("SPEC MPI/socorro")
+        r1 = profile_workload(w)
+        r2 = profile_workload(w)
+        assert r1.fractions == r2.fractions
+        assert r1.total_time == r2.total_time
+
+    def test_all_77_reports_stable_under_repetition(self):
+        # Spot-check a subset for speed.
+        for w in all_workloads()[::13]:
+            a = profile_workload(w, scale=0.2)
+            b = profile_workload(w, scale=0.2)
+            assert a.gemm_fraction == b.gemm_fraction
+
+
+class TestFractionsWellFormed:
+    def test_every_workload_fraction_in_unit_interval(self):
+        for w in all_workloads():
+            r = profile_workload(w, scale=0.2)
+            for cls in (RegionClass.GEMM, RegionClass.BLAS,
+                        RegionClass.LAPACK, RegionClass.OTHER):
+                assert 0.0 <= r.fractions[cls] <= 1.0, (w.meta.name, cls)
+            assert sum(r.fractions.values()) == pytest.approx(1.0)
+
+    def test_excluded_time_never_negative(self):
+        for w in all_workloads()[::7]:
+            r = profile_workload(w, scale=0.2)
+            assert r.excluded_time >= 0.0

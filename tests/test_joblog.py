@@ -1,0 +1,93 @@
+"""Tests for the K-computer accounting substrate (Sec. III-A)."""
+
+import pytest
+
+from repro.joblog import (
+    JobRecord,
+    SymbolTable,
+    attribute_gemm_node_hours,
+    generate_k_year,
+    looks_like_gemm_symbol,
+)
+from repro.joblog.generator import K_DOMAIN_MIX
+
+
+class TestSymbolMatching:
+    @pytest.mark.parametrize(
+        "symbol", ["dgemm_", "sgemm_", "zgemm_", "cblas_dgemm",
+                   "fjblas_gemm_kernel", "my_matmul"]
+    )
+    def test_gemm_symbols_match(self, symbol):
+        assert looks_like_gemm_symbol(symbol)
+
+    @pytest.mark.parametrize(
+        "symbol", ["main", "mpi_init_", "dgemv_", "daxpy_", "solver_step_",
+                   "gemmology_read"]
+    )
+    def test_non_gemm_symbols_do_not(self, symbol):
+        assert not looks_like_gemm_symbol(symbol)
+
+    def test_symbol_table(self):
+        t = SymbolTable(frozenset({"main", "dgemm_"}))
+        assert t.has_gemm()
+        assert len(t) == 2
+        assert not SymbolTable(frozenset({"main"})).has_gemm()
+
+
+class TestJobRecord:
+    def test_gemm_linked_requires_symbols(self):
+        job = JobRecord(1, "app", "Physics", 100.0, None)
+        assert not job.has_symbol_data
+        assert not job.gemm_linked
+
+    def test_gemm_linked(self):
+        job = JobRecord(
+            1, "app", "Physics", 100.0,
+            SymbolTable(frozenset({"dgemm_"})),
+        )
+        assert job.gemm_linked
+
+
+@pytest.fixture(scope="module")
+def year():
+    return generate_k_year()
+
+
+@pytest.fixture(scope="module")
+def attribution(year):
+    return attribute_gemm_node_hours(year.jobs)
+
+
+class TestKYearStatistics:
+    def test_nominal_totals(self, year):
+        assert year.nominal_jobs == 487_563
+        assert year.total_node_hours == pytest.approx(543e6, rel=1e-6)
+
+    def test_domain_mix_sums_to_one(self):
+        assert sum(K_DOMAIN_MIX.values()) == pytest.approx(1.0)
+
+    def test_coverage_near_96_percent(self, attribution):
+        assert attribution.coverage == pytest.approx(0.96, abs=0.015)
+
+    def test_gemm_share_near_53_4_percent(self, attribution):
+        # The paper's 53.4 % / 277,258,182 node-hours result.
+        assert attribution.gemm_fraction == pytest.approx(0.534, abs=0.02)
+        assert attribution.gemm_node_hours == pytest.approx(277e6, rel=0.05)
+
+    def test_best_case_halving_claim(self, attribution):
+        assert attribution.best_case_halving
+
+    def test_deterministic(self):
+        a = attribute_gemm_node_hours(generate_k_year(seed=5).jobs)
+        b = attribute_gemm_node_hours(generate_k_year(seed=5).jobs)
+        assert a == b
+
+    def test_scaling_preserves_statistics(self):
+        small = attribute_gemm_node_hours(generate_k_year(jobs=4000).jobs)
+        assert small.gemm_fraction == pytest.approx(0.534, abs=0.04)
+        assert small.total_node_hours == pytest.approx(543e6, rel=1e-6)
+
+    def test_empty_population(self):
+        a = attribute_gemm_node_hours([])
+        assert a.gemm_fraction == 0.0
+        assert a.coverage == 0.0

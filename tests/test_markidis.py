@@ -1,0 +1,102 @@
+"""Tests for the Markidis-style refined GEMM and the emulation spectrum."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OzakiError
+from repro.ozaki import ozaki_gemm
+from repro.precision import (
+    BF16,
+    FP32,
+    MatrixEngineGemm,
+    markidis_gemm,
+    me_gemm,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(55)
+
+
+class TestMarkidisGemm:
+    def test_roughly_sgemm_accuracy_on_wellscaled_input(self, rng):
+        a, b = rng.normal(size=(48, 48)), rng.normal(size=(48, 48))
+        res = markidis_gemm(a, b)
+        scale = np.abs(a) @ np.abs(b)
+        err = (np.abs(res.c - a @ b) / scale).max()
+        assert err < 1e-6  # ~binary32-grade
+        assert res.num_products == 3
+
+    def test_improves_on_raw_engine_by_orders_of_magnitude(self, rng):
+        a, b = rng.normal(size=(32, 32)), rng.normal(size=(32, 32))
+        scale = np.abs(a) @ np.abs(b)
+        raw = (np.abs(me_gemm(a, b) - a @ b) / scale).max()
+        refined = (np.abs(markidis_gemm(a, b).c - a @ b) / scale).max()
+        assert refined < raw / 100
+
+    def test_emulation_accuracy_spectrum(self, rng):
+        # raw fp16 << markidis << ozaki-sgemm << ozaki-dgemm: the ladder
+        # the paper's Sec. IV-B / related-work discussion spans.
+        a, b = rng.normal(size=(40, 40)), rng.normal(size=(40, 40))
+        ref = a @ b
+        scale = np.abs(a) @ np.abs(b)
+
+        def err(c):
+            return (np.abs(c - ref) / scale).max()
+
+        raw = err(me_gemm(a, b))
+        mark = err(markidis_gemm(a, b).c)
+        oz_s = err(ozaki_gemm(a, b, accuracy="sgemm").c)
+        oz_d = err(ozaki_gemm(a, b, accuracy="dgemm").c)
+        assert oz_d < oz_s < mark < raw
+
+    def test_rejects_out_of_range_input(self, rng):
+        # fp16 overflows at 65504; Markidis has no scaling — its
+        # documented limitation vs the Ozaki scheme.
+        a = rng.normal(size=(8, 8)) * 1e10
+        with pytest.raises(OzakiError, match="range"):
+            markidis_gemm(a, np.eye(8))
+
+    def test_ozaki_handles_what_markidis_cannot(self, rng):
+        a = rng.normal(size=(16, 16)) * 1e10
+        b = rng.normal(size=(16, 16)) * 1e-10
+        res = ozaki_gemm(a, b, accuracy="dgemm")
+        scale = np.abs(a) @ np.abs(b)
+        assert (np.abs(res.c - a @ b) <= 8 * 16 * 2.0**-53 * scale).all()
+
+    def test_rejects_nonfinite_and_nonconformable(self):
+        with pytest.raises(OzakiError):
+            markidis_gemm(np.ones((2, 3)), np.ones((2, 3)))
+        with pytest.raises(OzakiError):
+            markidis_gemm(np.array([[np.nan]]), np.ones((1, 1)))
+
+
+class TestBf16Engine:
+    """AMX/TPU-style engines (bf16 multiply) through the same machinery."""
+
+    def test_ozaki_on_bf16_engine(self, rng):
+        eng = MatrixEngineGemm(BF16, FP32)
+        a, b = rng.normal(size=(24, 24)), rng.normal(size=(24, 24))
+        res = ozaki_gemm(a, b, engine=eng, accuracy="dgemm")
+        scale = np.abs(a) @ np.abs(b)
+        assert (np.abs(res.c - a @ b) <= 8 * 24 * 2.0**-53 * scale).all()
+
+    def test_bf16_needs_more_slices_than_fp16(self, rng):
+        # bf16 has fewer mantissa bits (8 vs 11) => narrower exact slices
+        # for short dots; same width once k forces beta below both.
+        a, b = rng.normal(size=(16, 16)), rng.normal(size=(16, 16))
+        fp16_res = ozaki_gemm(a, b, accuracy="full")
+        bf16_res = ozaki_gemm(
+            a, b, engine=MatrixEngineGemm(BF16, FP32), accuracy="full"
+        )
+        assert bf16_res.beta <= fp16_res.beta
+        assert bf16_res.split_a.num_slices >= fp16_res.split_a.num_slices
+
+    def test_bf16_wide_range_without_scaling_tricks(self, rng):
+        # bf16's fp32-sized exponent makes Markidis viable on data that
+        # overflows fp16.
+        eng = MatrixEngineGemm(BF16, FP32)
+        a = rng.normal(size=(12, 12)) * 1e10
+        res = markidis_gemm(a, np.eye(12), engine=eng)
+        assert np.isfinite(res.c).all()

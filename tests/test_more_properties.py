@@ -1,0 +1,116 @@
+"""Additional algebraic property tests across the numerics stack."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.dl import PrecisionPolicy, build_model
+from repro.dl.lowering import lower_training_step
+from repro.hardware import get_device
+from repro.precision import FP16, FP32, BF16, me_gemm, quantize
+from repro.ozaki import ozaki_gemm
+
+small_floats = st.floats(-1e4, 1e4, allow_nan=False)
+
+
+class TestQuantizeAlgebra:
+    @given(
+        st.floats(2.0**-5, 2.0**5),
+        st.booleans(),
+        st.integers(-8, 8),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_power_of_two_scale_invariance(self, mag, negative, e):
+        # Scaling by 2^e only shifts the exponent: quantize commutes
+        # with it — inside the *normal* range (the subnormal grid is
+        # absolute, not relative, so the law stops at 2^emin).
+        x = -mag if negative else mag
+        s = 2.0**e
+        lhs = float(quantize(x * s, FP16))
+        rhs = float(quantize(x, FP16)) * s
+        assert lhs == rhs
+
+    @given(small_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_negation_symmetry_bf16(self, x):
+        assert float(quantize(-x, BF16)) == -float(quantize(x, BF16))
+
+    @given(small_floats, small_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_quantize_is_a_projection_onto_grid(self, x, y):
+        qx = float(quantize(x, FP16))
+        # The projection of a grid point is itself.
+        assert float(quantize(qx, FP16)) == qx
+
+
+class TestMeGemmAlgebra:
+    @given(st.integers(0, 2**31 - 1), st.integers(-6, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_power_of_two_homogeneity(self, seed, e):
+        # Power-of-two scaling is exact in every binary format, so it
+        # commutes with the engine end to end — for magnitudes that stay
+        # inside fp16's *normal* range after scaling.
+        r = np.random.default_rng(seed)
+        sign = np.where(r.random((8, 8)) < 0.5, -1.0, 1.0)
+        a = sign * r.uniform(0.5, 2.0, size=(8, 8))
+        b = sign.T * r.uniform(0.5, 2.0, size=(8, 8))
+        s = 2.0**e
+        np.testing.assert_array_equal(me_gemm(a * s, b), me_gemm(a, b) * s)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_identity_preserves_quantized_operand(self, seed):
+        r = np.random.default_rng(seed)
+        a = r.normal(size=(6, 6))
+        np.testing.assert_array_equal(
+            me_gemm(a, np.eye(6)), np.asarray(quantize(a, FP16))
+        )
+
+    @given(st.integers(0, 2**31 - 1), st.integers(-6, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_ozaki_homogeneity(self, seed, e):
+        r = np.random.default_rng(seed)
+        a = r.normal(size=(10, 10))
+        b = r.normal(size=(10, 10))
+        s = 2.0**e
+        c1 = ozaki_gemm(a * s, b, accuracy="full").c
+        c2 = ozaki_gemm(a, b, accuracy="full").c * s
+        np.testing.assert_array_equal(c1, c2)
+
+
+class TestLoweringConservation:
+    @pytest.mark.parametrize("model_name", ["Resnet50", "BERT", "NCF"])
+    @pytest.mark.parametrize("precision", ["fp32", "mixed"])
+    def test_no_flops_lost_in_lowering(self, model_name, precision):
+        """Every op's flops appear in the lowered kernel stream (the
+        mixed fallback may *add* inefficiency flops, never drop work)."""
+        model = build_model(model_name)
+        device = get_device("v100")
+        kernels = lower_training_step(model, device, PrecisionPolicy(precision))
+        lowered = sum(
+            k.flops for k in kernels
+            if not k.name.endswith("_cast") and "optimizer" not in k.name
+        )
+        fwd = sum(op.flops for op in model.forward_ops())
+        bwd = sum(
+            (2.0 if op.gemm_backed else 1.6) * op.flops
+            for op in model.forward_ops()
+        )
+        assert lowered >= (fwd + bwd) * 0.999
+
+    def test_mixed_on_power10_uses_its_mma(self):
+        # The DL pipeline runs on any registered ME device — here the
+        # IBM Power10 (Table I's general-purpose CPU entry).
+        from repro.dl import train_step
+
+        res = train_step(build_model("BERT"), "power10", precision="mixed")
+        assert res.tc_time_s > 0
+        units = {r.unit for r in res.trace}
+        assert "mma" in units
+
+    def test_mixed_on_ascend_style_accelerator(self):
+        from repro.dl import train_step
+
+        res = train_step(build_model("BERT"), "ascend910", precision="mixed")
+        assert res.tc_time_s > 0

@@ -1,0 +1,94 @@
+"""Tests for the nvprof kernel table, domain queries, and exception
+safety of the context/profiler stack."""
+
+import pytest
+
+from repro.dl import profile_mixed_precision
+from repro.errors import DispatchError, WorkloadError
+from repro.profiling import Profiler
+from repro.sim import KernelLaunch, current_context, execution_context
+from repro.workloads.registry import domain_names, workloads_by_domain
+
+
+class TestKernelTable:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return profile_mixed_precision("Resnet50")
+
+    def test_rows_sorted_by_time(self, report):
+        rows = report.kernel_table(top=8)
+        assert len(rows) == 8
+        times = [r.total_time_s for r in rows]
+        assert times == sorted(times, reverse=True)
+
+    def test_percentages_bounded(self, report):
+        all_rows = report.kernel_table(top=10_000)
+        total = sum(r.time_pct for r in all_rows)
+        assert total == pytest.approx(100.0, abs=0.5)
+        for r in all_rows:
+            assert 0.0 <= r.time_pct <= 100.0
+            assert r.calls >= 1
+
+    def test_tensor_core_kernels_flagged(self, report):
+        rows = report.kernel_table(top=10_000)
+        tc_rows = [r for r in rows if r.on_tensor_core]
+        assert tc_rows
+        assert all(r.unit == "tensorcore" for r in tc_rows)
+
+    def test_fp32_run_has_no_tc_rows(self, report):
+        rows = report.kernel_table(top=10_000, precision="fp32")
+        assert not any(r.on_tensor_core for r in rows)
+
+    def test_memcpy_appears_in_table(self, report):
+        names = {r.name for r in report.kernel_table(top=10_000)}
+        assert "load_batch" in names
+
+
+class TestDomainQueries:
+    def test_domain_names_cover_table_v(self):
+        names = domain_names()
+        assert "Lattice QCD" in names
+        assert any("CFD" in n for n in names)
+        assert len(names) >= 10
+
+    def test_exact_and_substring_lookup(self):
+        qcd = workloads_by_domain("Lattice QCD")
+        assert {w.meta.name for w in qcd} >= {"QCD", "milc", "dmilc"}
+        chem = workloads_by_domain("chem")
+        assert any(w.meta.name == "NTChem" for w in chem)
+
+    def test_unknown_domain(self):
+        with pytest.raises(WorkloadError):
+            workloads_by_domain("astrology")
+
+
+class TestExceptionSafety:
+    def test_context_resets_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with execution_context("v100"):
+                raise RuntimeError("boom")
+        with pytest.raises(DispatchError):
+            current_context()
+
+    def test_profiler_region_closes_on_exception(self):
+        prof = Profiler()
+        with execution_context("v100", profiler=prof) as ctx:
+            with pytest.raises(ValueError):
+                with prof.region("dgemm"):
+                    ctx.launch(KernelLaunch.gemm(64, 64, 64, fmt="fp32"))
+                    raise ValueError("inside region")
+            assert prof.open_regions == ()
+            # Subsequent measurement still attributes correctly.
+            with prof.region("daxpy"):
+                ctx.launch(KernelLaunch.blas1(1000, name="daxpy"))
+        assert prof.stats["dgemm"].exclusive_time > 0
+        assert prof.stats["daxpy"].exclusive_time > 0
+
+    def test_nested_context_restored_after_inner_exception(self):
+        with execution_context("v100") as outer:
+            try:
+                with execution_context("system1"):
+                    raise KeyError("x")
+            except KeyError:
+                pass
+            assert current_context() is outer

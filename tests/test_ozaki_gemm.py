@@ -1,0 +1,229 @@
+"""Tests for the Ozaki-scheme GEMM emulation and its perf model."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.errors import OzakiError
+from repro.ozaki import (
+    OzakiPerfModel,
+    emulated_gemm_performance,
+    ozaki_gemm,
+    required_products,
+)
+from repro.ozaki.summation import compensated_sum, pairwise_fixed_sum
+from repro.precision import FP32, FP64, MatrixEngineGemm
+
+
+def wide(rng, shape, decades):
+    mant = rng.normal(size=shape)
+    expo = rng.uniform(0.0, decades * np.log(10.0), size=shape)
+    return mant * np.exp(expo)
+
+
+def exact_matmul(a, b):
+    """Exact rational reference (small matrices only)."""
+    m, k = a.shape
+    n = b.shape[1]
+    af = [[Fraction(float(x)) for x in row] for row in a]
+    bf = [[Fraction(float(x)) for x in row] for row in b]
+    return np.array(
+        [
+            [float(sum(af[i][l] * bf[l][j] for l in range(k))) for j in range(n)]
+            for i in range(m)
+        ]
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2021)
+
+
+class TestFullAccuracy:
+    @pytest.mark.parametrize("decades", [0, 8, 32])
+    def test_full_mode_is_exact_to_fp64(self, rng, decades):
+        a = wide(rng, (12, 18), decades)
+        b = wide(rng, (18, 10), decades)
+        res = ozaki_gemm(a, b, accuracy="full")
+        exact = exact_matmul(a, b)
+        scale = np.abs(a) @ np.abs(b)
+        assert (np.abs(res.c - exact) <= 2.0**-50 * scale).all()
+
+    def test_full_mode_beats_numpy_on_adversarial_input(self, rng):
+        # Cancellation-heavy input where plain fp64 GEMM loses digits.
+        n = 10
+        big = rng.normal(size=(n, n)) * 1e18
+        a = np.hstack([big, -big, rng.normal(size=(n, n))])
+        b = np.vstack(
+            [rng.normal(size=(n, n)), rng.normal(size=(n, n)), np.eye(n)]
+        )
+        # Exact: big rows cancel only if multiplied by equal blocks — use
+        # the rational oracle.
+        exact = exact_matmul(a, b)
+        ours = ozaki_gemm(a, b, accuracy="full").c
+        np_res = a @ b
+        our_err = np.abs(ours - exact).max()
+        np_err = np.abs(np_res - exact).max()
+        assert our_err <= np_err
+
+    def test_integer_inputs_exact(self, rng):
+        a = np.floor(rng.uniform(-100, 100, size=(9, 9)))
+        b = np.floor(rng.uniform(-100, 100, size=(9, 9)))
+        res = ozaki_gemm(a, b, accuracy="full")
+        np.testing.assert_array_equal(res.c, a @ b)
+
+
+class TestReducedAccuracy:
+    @pytest.mark.parametrize("decades", [0, 8, 16, 32])
+    def test_dgemm_mode_honours_fp64_error_bound(self, rng, decades):
+        a = wide(rng, (14, 20), decades)
+        b = wide(rng, (20, 11), decades)
+        exact = exact_matmul(a, b)
+        res = ozaki_gemm(a, b, accuracy="dgemm")
+        scale = np.abs(a) @ np.abs(b)
+        # DGEMM-equivalent: within k*u64*|A||B| (factor 4 margin).
+        assert (np.abs(res.c - exact) <= 4 * 20 * 2.0**-53 * scale).all()
+
+    @pytest.mark.parametrize("decades", [0, 16])
+    def test_sgemm_mode_honours_fp32_error_bound(self, rng, decades):
+        a = wide(rng, (10, 16), decades)
+        b = wide(rng, (16, 10), decades)
+        exact = exact_matmul(a, b)
+        res = ozaki_gemm(a, b, accuracy="sgemm")
+        scale = np.abs(a) @ np.abs(b)
+        assert (np.abs(res.c - exact) <= 4 * 16 * 2.0**-24 * scale).all()
+
+    def test_reduced_modes_cost_less(self, rng):
+        a = wide(rng, (16, 16), 16)
+        b = wide(rng, (16, 16), 16)
+        full = ozaki_gemm(a, b, accuracy="full").num_products
+        d = ozaki_gemm(a, b, accuracy="dgemm").num_products
+        s = ozaki_gemm(a, b, accuracy="sgemm").num_products
+        assert s < d < full
+
+    def test_cost_grows_with_input_range(self, rng):
+        counts = []
+        for decades in (0, 16, 32):
+            a = wide(rng, (32, 32), decades)
+            b = wide(rng, (32, 32), decades)
+            counts.append(ozaki_gemm(a, b, accuracy="dgemm").num_products)
+        assert counts[0] < counts[1] < counts[2]
+
+
+class TestReproducibility:
+    def test_bitwise_reproducible_across_runs(self, rng):
+        a = wide(rng, (20, 20), 12)
+        b = wide(rng, (20, 20), 12)
+        c1 = ozaki_gemm(a, b, accuracy="dgemm").c
+        c2 = ozaki_gemm(a, b, accuracy="dgemm").c
+        assert np.array_equal(c1, c2)
+
+    def test_engine_blocking_does_not_change_result(self, rng):
+        # Pair products are exact, so computing them in two k-halves and
+        # adding must give bit-identical results — the Sec. IV-B
+        # reproducibility claim.
+        a = wide(rng, (8, 16), 6)
+        b = wide(rng, (16, 8), 6)
+        whole = ozaki_gemm(a, b, accuracy="full", compensated=False)
+        # Recompute every pair product in two halves of k.
+        terms = []
+        sa, sb = whole.split_a, whole.split_b
+        from repro.precision import FP16
+
+        eng = MatrixEngineGemm(FP16, FP32)
+        for i, j in whole.pairs:
+            qa, qb = sa.scaled[i], sb.scaled[j]
+            p = eng(qa[:, :8], qb[:8, :], pre_rounded=True) + eng(
+                qa[:, 8:], qb[8:, :], pre_rounded=True
+            )
+            terms.append(p * sa.scales[i][:, None] * sb.scales[j][None, :])
+        halved = pairwise_fixed_sum(terms)
+        assert np.array_equal(whole.c, halved)
+
+
+class TestValidation:
+    def test_rejects_nonconformable(self):
+        with pytest.raises(OzakiError):
+            ozaki_gemm(np.ones((2, 3)), np.ones((2, 3)))
+
+    def test_rejects_unknown_accuracy(self, rng):
+        with pytest.raises(OzakiError):
+            ozaki_gemm(np.ones((2, 2)), np.ones((2, 2)), accuracy="hgemm")
+
+    def test_rejects_beta_above_exact_width(self):
+        with pytest.raises(OzakiError):
+            ozaki_gemm(np.ones((4, 4)), np.ones((4, 4)), beta=12)
+
+    def test_required_products_full_grid(self):
+        pairs = required_products(3, 2, 5, "full")
+        assert len(pairs) == 6
+        # Diagonal-major order.
+        assert pairs[0] == (0, 0)
+
+    def test_required_products_reduced_needs_scales(self):
+        with pytest.raises(OzakiError):
+            required_products(3, 3, 5, "dgemm")
+
+
+class TestSummation:
+    def test_compensated_beats_plain_on_spread_terms(self):
+        terms = [np.array([[1e20]]), np.array([[1.0]]), np.array([[-1e20]])]
+        assert compensated_sum(terms)[0, 0] == 1.0
+        assert pairwise_fixed_sum(terms)[0, 0] == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            compensated_sum([])
+        with pytest.raises(ValueError):
+            pairwise_fixed_sum([])
+
+
+class TestPerfModel:
+    def test_table_viii_orderings(self):
+        rows = {(r.implementation, r.condition): r for r in emulated_gemm_performance(8192)}
+        gemmex = rows[("cublasGemmEx", "FP16/FP32-mixed")]
+        sgemm = rows[("cublasSgemm", "—")]
+        dgemm = rows[("cublasDgemm", "—")]
+        assert gemmex.tflops > sgemm.tflops > dgemm.tflops
+        # Native rates match the paper's measurements.
+        assert gemmex.tflops == pytest.approx(92.28, rel=0.01)
+        assert sgemm.tflops == pytest.approx(14.54, rel=0.01)
+        assert dgemm.tflops == pytest.approx(7.20, rel=0.01)
+        # Emulations are below native cuBLAS on the V100 (Sec. IV-B).
+        for target in ("SGEMM-TC", "DGEMM-TC"):
+            for cond in ("1e+08", "1e+16", "1e+32"):
+                r = rows[(target, f"input range: {cond}")]
+                assert r.tflops < dgemm.tflops
+        # SGEMM-TC outperforms DGEMM-TC at every range.
+        for cond in ("1e+08", "1e+16", "1e+32"):
+            s = rows[("SGEMM-TC", f"input range: {cond}")]
+            d = rows[("DGEMM-TC", f"input range: {cond}")]
+            assert s.tflops > d.tflops
+
+    def test_throughput_degrades_with_range(self):
+        model = OzakiPerfModel("v100")
+        t = [
+            model.emulate(8192, target="dgemm", input_range=r).tflops
+            for r in (1e8, 1e16, 1e32)
+        ]
+        assert t[0] > t[1] > t[2]
+
+    def test_energy_efficiency_ordering(self):
+        rows = emulated_gemm_performance(8192)
+        gemmex, sgemm, dgemm = rows[0], rows[1], rows[2]
+        assert gemmex.gflops_per_joule > sgemm.gflops_per_joule > dgemm.gflops_per_joule
+
+    def test_requires_matrix_engine(self):
+        with pytest.raises(OzakiError):
+            OzakiPerfModel("gtx1060")
+
+    def test_dgemm_tc_wins_on_fp64_starved_device(self):
+        # Sec. IV-B: "DGEMM-TC outperforms cublasDgemm on a Titan RTX,
+        # where 64-bit FPUs are limited."  The RTX 2080 Ti shares that
+        # trait (fp64 at 1/32 rate): the emulation must beat native fp64.
+        model = OzakiPerfModel("rtx2080ti")
+        emu = model.emulate(8192, target="dgemm", input_range=1e8)
+        native = model.native(8192, fmt="fp64", name="cublasDgemm")
+        assert emu.tflops > native.tflops

@@ -1,0 +1,126 @@
+"""Tests for the error-free Ozaki splitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OzakiError
+from repro.ozaki import split_matrix
+
+
+def wide_matrix(rng, shape, decades):
+    mant = rng.normal(size=shape)
+    expo = rng.uniform(0.0, decades * np.log(10.0), size=shape)
+    return mant * np.exp(expo)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestSplitInvariants:
+    @pytest.mark.parametrize("decades", [0, 4, 16, 32])
+    @pytest.mark.parametrize("axis", [0, 1])
+    def test_exact_reconstruction(self, rng, decades, axis):
+        a = wide_matrix(rng, (20, 14), decades)
+        s = split_matrix(a, beta=7, axis=axis)
+        assert s.exhausted
+        np.testing.assert_array_equal(s.reconstruct(), a)
+
+    def test_scaled_slices_are_small_integers(self, rng):
+        a = wide_matrix(rng, (16, 16), 10)
+        beta = 6
+        s = split_matrix(a, beta=beta)
+        for q in s.scaled:
+            assert np.array_equal(q, np.round(q))  # integer-valued
+            assert np.abs(q).max() <= 2.0**beta
+
+    def test_scales_are_powers_of_two(self, rng):
+        a = wide_matrix(rng, (8, 8), 5)
+        s = split_matrix(a, beta=5)
+        for g in s.scales:
+            m, _ = np.frexp(g)
+            assert (m == 0.5).all()
+
+    def test_row_axis_scaling_shape(self, rng):
+        a = rng.normal(size=(7, 13))
+        s = split_matrix(a, beta=8, axis=0)
+        assert all(g.shape == (7,) for g in s.scales)
+        s1 = split_matrix(a, beta=8, axis=1)
+        assert all(g.shape == (13,) for g in s1.scales)
+
+    def test_narrower_beta_needs_more_slices(self, rng):
+        a = rng.normal(size=(12, 12))
+        wide = split_matrix(a, beta=11).num_slices
+        narrow = split_matrix(a, beta=4).num_slices
+        assert narrow > wide
+
+    def test_wider_range_needs_more_slices(self, rng):
+        near = split_matrix(wide_matrix(rng, (24, 24), 0), beta=5).num_slices
+        far = split_matrix(wide_matrix(rng, (24, 24), 32), beta=5).num_slices
+        assert far > near
+
+    def test_zero_matrix(self):
+        s = split_matrix(np.zeros((3, 4)), beta=8)
+        assert s.num_slices == 1
+        assert s.exhausted
+        np.testing.assert_array_equal(s.reconstruct(), np.zeros((3, 4)))
+
+    def test_zero_rows_do_not_poison_live_rows(self, rng):
+        a = rng.normal(size=(5, 6))
+        a[2, :] = 0.0
+        s = split_matrix(a, beta=6)
+        np.testing.assert_array_equal(s.reconstruct(), a)
+
+    def test_max_slices_cap(self, rng):
+        a = wide_matrix(rng, (10, 10), 40)
+        s = split_matrix(a, beta=2, max_slices=3)
+        assert s.num_slices == 3
+        assert not s.exhausted
+
+    def test_slice_dense_matches_reconstruction(self, rng):
+        a = rng.normal(size=(6, 9))
+        s = split_matrix(a, beta=9)
+        total = sum(s.slice_dense(i) for i in range(s.num_slices))
+        np.testing.assert_array_equal(total, a)
+
+
+class TestSplitValidation:
+    def test_rejects_nonfinite(self):
+        with pytest.raises(OzakiError):
+            split_matrix(np.array([[1.0, np.inf]]), beta=5)
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(OzakiError):
+            split_matrix(np.ones((2, 2)), beta=0)
+
+    def test_rejects_bad_axis(self):
+        with pytest.raises(OzakiError):
+            split_matrix(np.ones((2, 2)), beta=5, axis=2)
+
+    def test_rejects_vector(self):
+        with pytest.raises(OzakiError):
+            split_matrix(np.ones(4), beta=5)
+
+    def test_rejects_bad_max_slices(self):
+        with pytest.raises(OzakiError):
+            split_matrix(np.ones((2, 2)), beta=5, max_slices=0)
+
+
+class TestSplitProperty:
+    @given(
+        st.integers(1, 6),
+        st.integers(1, 6),
+        st.integers(2, 11),
+        st.integers(0, 1),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_reconstruction_is_lossless(self, m, n, beta, axis, seed):
+        r = np.random.default_rng(seed)
+        a = r.normal(size=(m, n)) * np.exp(r.uniform(-20, 20, size=(m, n)))
+        s = split_matrix(a, beta=beta, axis=axis, max_slices=128)
+        assert s.exhausted
+        np.testing.assert_array_equal(s.reconstruct(), a)

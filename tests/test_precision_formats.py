@@ -1,0 +1,77 @@
+"""Unit tests for repro.precision.formats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.precision import BF16, FP16, FP32, FP64, TF32, FloatFormat, parse_format
+
+
+class TestStandardFormats:
+    def test_fp16_parameters_match_ieee_binary16(self):
+        assert FP16.precision == 11
+        assert FP16.emax == 15
+        assert FP16.emin == -14
+        assert FP16.max_value == 65504.0
+        assert FP16.min_normal == 2.0**-14
+        assert FP16.min_subnormal == 2.0**-24
+
+    def test_fp32_parameters_match_ieee_binary32(self):
+        assert FP32.precision == 24
+        assert FP32.max_value == np.finfo(np.float32).max
+        assert FP32.min_normal == np.finfo(np.float32).tiny
+        assert FP32.machine_epsilon == np.finfo(np.float32).eps
+
+    def test_fp64_parameters_match_ieee_binary64(self):
+        assert FP64.precision == 53
+        assert FP64.max_value == np.finfo(np.float64).max
+        assert FP64.machine_epsilon == np.finfo(np.float64).eps
+
+    def test_bf16_has_fp32_exponent_range(self):
+        assert BF16.emax == FP32.emax
+        assert BF16.emin == FP32.emin
+        assert BF16.precision == 8
+
+    def test_tf32_has_fp16_mantissa_fp32_exponent(self):
+        # The A100's hybrid 19-bit format (Table I footnote 3).
+        assert TF32.precision == FP16.precision
+        assert TF32.emax == FP32.emax
+
+    def test_bits_total_known_formats(self):
+        assert FP16.bits_total() == 16
+        assert BF16.bits_total() == 16
+        assert TF32.bits_total() == 19
+        assert FP32.bits_total() == 32
+        assert FP64.bits_total() == 64
+
+    def test_unit_roundoff_is_half_epsilon(self):
+        for fmt in (FP16, BF16, TF32, FP32, FP64):
+            assert fmt.unit_roundoff == fmt.machine_epsilon / 2.0
+
+    def test_mantissa_bits(self):
+        assert FP16.mantissa_bits == 10
+        assert FP64.mantissa_bits == 52
+
+
+class TestValidation:
+    def test_rejects_nonpositive_precision(self):
+        with pytest.raises(FormatError):
+            FloatFormat("bad", precision=0, emax=10, emin=-10)
+
+    def test_rejects_inverted_exponent_range(self):
+        with pytest.raises(FormatError):
+            FloatFormat("bad", precision=8, emax=-5, emin=5)
+
+
+class TestParseFormat:
+    def test_parses_names_case_insensitively(self):
+        assert parse_format("FP16") is FP16
+        assert parse_format("bf16") is BF16
+
+    def test_passes_through_instances(self):
+        custom = FloatFormat("custom", precision=9, emax=31, emin=-30)
+        assert parse_format(custom) is custom
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(FormatError, match="unknown format"):
+            parse_format("fp8")

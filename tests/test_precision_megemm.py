@@ -1,0 +1,116 @@
+"""Tests for matrix-engine GEMM semantics (repro.precision.megemm)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.precision import FP16, FP32, FP64, MatrixEngineGemm, me_gemm
+from repro.precision.megemm import exact_dot_bits
+from repro.precision.rounding import quantize
+
+
+def rng():
+    return np.random.default_rng(1234)
+
+
+class TestExactDotBits:
+    def test_short_dot_full_width(self):
+        # k=1: no carry bits, beta = p/2.
+        assert exact_dot_bits(1, FP32) == 12
+        assert exact_dot_bits(1, FP64) == 26
+
+    def test_bits_shrink_with_k(self):
+        widths = [exact_dot_bits(k, FP32) for k in (1, 16, 256, 4096, 65536)]
+        assert widths == sorted(widths, reverse=True)
+        # 2b + log2(k) <= 24: k=4096 -> (24-12)//2 = 6
+        assert exact_dot_bits(4096, FP32) == 6
+
+    def test_invalid_k(self):
+        with pytest.raises(FormatError):
+            exact_dot_bits(0, FP32)
+
+
+class TestEngineConstruction:
+    def test_rejects_narrow_accumulator(self):
+        with pytest.raises(FormatError):
+            MatrixEngineGemm(FP32, FP16)
+
+    def test_rejects_unsupported_accumulator(self):
+        from repro.precision import BF16
+
+        with pytest.raises(FormatError):
+            MatrixEngineGemm(FP16, BF16)
+
+    def test_v100_style_engine(self):
+        eng = MatrixEngineGemm(FP16, FP32)
+        assert eng.exact_slice_bits(1024) == (24 - 10) // 2
+
+
+class TestGemmSemantics:
+    def test_rounds_operands_to_multiply_format(self):
+        # Values off the fp16 grid must be snapped before multiplying.
+        a = np.full((4, 4), 1.0 + 2.0**-12)  # rounds to 1.0 in fp16
+        b = np.eye(4)
+        c = me_gemm(a, b)
+        np.testing.assert_array_equal(c, np.ones((4, 4)))
+
+    def test_exact_for_small_integers(self):
+        r = rng()
+        a = np.floor(r.uniform(-8, 8, size=(32, 16)))
+        b = np.floor(r.uniform(-8, 8, size=(16, 24)))
+        c = me_gemm(a, b)
+        np.testing.assert_array_equal(c, a @ b)
+
+    def test_accumulation_error_bounded_by_fp32(self):
+        r = rng()
+        a = r.normal(size=(64, 64))
+        b = r.normal(size=(64, 64))
+        aq, bq = quantize(a, FP16), quantize(b, FP16)
+        c = me_gemm(a, b)
+        exact = aq @ bq
+        # Standard fp32 summation bound: |err| <= k * u32 * (|A| |B|).
+        bound = 64 * 2.0**-24 * (np.abs(aq) @ np.abs(bq))
+        assert (np.abs(c - exact) <= bound).all()
+
+    def test_fp16_rounding_dominates_error_vs_fp64_reference(self):
+        r = rng()
+        a = r.normal(size=(32, 32))
+        b = r.normal(size=(32, 32))
+        c = me_gemm(a, b)
+        err = np.abs(c - a @ b).max() / np.abs(a @ b).max()
+        # Error should be around fp16 epsilon (1e-3-ish), not fp64.
+        assert 1e-6 < err < 1e-1
+
+    def test_fp64_accumulate_path(self):
+        r = rng()
+        a = r.normal(size=(16, 16))
+        b = r.normal(size=(16, 16))
+        eng = MatrixEngineGemm(FP64, FP64)
+        np.testing.assert_allclose(eng(a, b), a @ b, rtol=0, atol=0)
+
+    def test_pre_rounded_skips_quantization(self):
+        a = np.full((2, 2), 1.0 + 2.0**-12)
+        eng = MatrixEngineGemm(FP16, FP32)
+        c = eng(a, np.eye(2), pre_rounded=True)
+        # Operand kept off-grid: fp32 cast preserves 1+2^-12 exactly.
+        np.testing.assert_array_equal(c, a)
+
+    def test_shape_validation(self):
+        with pytest.raises(FormatError):
+            me_gemm(np.ones((2, 3)), np.ones((2, 3)))
+        with pytest.raises(FormatError):
+            me_gemm(np.ones(3), np.ones((3, 2)))
+
+    def test_returns_float64(self):
+        c = me_gemm(np.ones((2, 2)), np.ones((2, 2)))
+        assert c.dtype == np.float64
+
+    @given(st.integers(1, 12), st.integers(1, 12), st.integers(1, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_result_shape(self, m, n, k):
+        c = me_gemm(np.ones((m, k)), np.ones((k, n)))
+        assert c.shape == (m, n)
+        # All-ones product is exactly k everywhere (k <= 12 fits fp16/fp32).
+        np.testing.assert_array_equal(c, float(k) * np.ones((m, n)))

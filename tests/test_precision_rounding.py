@@ -1,0 +1,141 @@
+"""Unit + property tests for quantization (repro.precision.rounding).
+
+The strongest oracle available offline is NumPy's own IEEE binary16
+conversion: our generic quantizer must agree with ``np.float16`` bit for
+bit across the whole double range, including subnormals, overflow and
+ties.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.precision import BF16, FP16, FP32, FP64, quantize, representable, ulp
+
+finite_doubles = st.floats(
+    allow_nan=False, allow_infinity=False, width=64, allow_subnormal=True
+)
+
+
+class TestAgainstNumpyFloat16:
+    @given(finite_doubles)
+    @settings(max_examples=400, deadline=None)
+    def test_matches_numpy_float16_everywhere(self, x):
+        ours = float(quantize(x, FP16))
+        with np.errstate(over="ignore"):
+            theirs = float(np.float64(np.float16(x)))
+        if np.isnan(theirs):
+            assert np.isnan(ours)
+        else:
+            assert ours == theirs
+
+    def test_tie_to_even(self):
+        # 1 + 2^-11 is exactly halfway between 1 and 1+2^-10; even wins.
+        assert float(quantize(1.0 + 2.0**-11, FP16)) == 1.0
+        # 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; even wins.
+        assert float(quantize(1.0 + 3 * 2.0**-11, FP16)) == 1.0 + 2.0**-9
+
+    def test_overflow_threshold(self):
+        # RN overflow threshold for binary16 is 65520.
+        assert float(quantize(65519.999, FP16)) == 65504.0
+        assert float(quantize(65520.0, FP16)) == np.inf
+        assert float(quantize(-65520.0, FP16)) == -np.inf
+
+    def test_subnormal_grid(self):
+        sub = FP16.min_subnormal
+        assert float(quantize(sub, FP16)) == sub
+        assert float(quantize(sub * 0.49, FP16)) == 0.0
+        # 1.5 grid steps rounds to the even multiple (2 steps? no: 1.5 ->
+        # ties to even -> 2*sub).
+        assert float(quantize(sub * 1.5, FP16)) == 2 * sub
+
+
+class TestAgainstNumpyFloat32:
+    @given(finite_doubles)
+    @settings(max_examples=300, deadline=None)
+    def test_matches_numpy_float32(self, x):
+        ours = float(quantize(x, FP32))
+        with np.errstate(over="ignore"):
+            theirs = float(np.float64(np.float32(x)))
+        if np.isnan(theirs):
+            assert np.isnan(ours)
+        else:
+            assert ours == theirs
+
+
+class TestProperties:
+    @given(finite_doubles)
+    @settings(max_examples=200, deadline=None)
+    def test_idempotent(self, x):
+        for fmt in (FP16, BF16, FP32):
+            once = quantize(x, fmt)
+            twice = quantize(once, fmt)
+            np.testing.assert_array_equal(once, twice)
+
+    @given(finite_doubles)
+    @settings(max_examples=200, deadline=None)
+    def test_fp64_is_identity(self, x):
+        assert float(quantize(x, FP64)) == x
+
+    @given(finite_doubles, finite_doubles)
+    @settings(max_examples=200, deadline=None)
+    def test_monotone(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        qlo, qhi = float(quantize(lo, FP16)), float(quantize(hi, FP16))
+        assert qlo <= qhi
+
+    @given(finite_doubles)
+    @settings(max_examples=200, deadline=None)
+    def test_rounding_error_within_half_ulp(self, x):
+        fmt = BF16
+        q = float(quantize(x, fmt))
+        if not np.isfinite(q):
+            return
+        spacing = float(ulp(x, fmt))
+        assert abs(q - x) <= spacing / 2.0 + 0.0
+
+    @given(finite_doubles)
+    @settings(max_examples=200, deadline=None)
+    def test_sign_symmetry(self, x):
+        assert float(quantize(-x, FP16)) == -float(quantize(x, FP16))
+
+    def test_preserves_shape_and_dtype(self):
+        x = np.ones((3, 4, 5))
+        q = quantize(x, FP16)
+        assert q.shape == (3, 4, 5)
+        assert q.dtype == np.float64
+
+    def test_nan_and_inf_pass_through(self):
+        x = np.array([np.nan, np.inf, -np.inf, 0.0, -0.0])
+        q = quantize(x, FP16)
+        assert np.isnan(q[0])
+        assert q[1] == np.inf and q[2] == -np.inf
+        assert q[3] == 0.0 and q[4] == 0.0
+
+
+class TestRepresentable:
+    def test_grid_points_are_representable(self):
+        xs = np.array([1.0, 1.0 + 2.0**-10, 0.5, 65504.0, 2.0**-24])
+        assert representable(xs, FP16).all()
+
+    def test_off_grid_points_are_not(self):
+        xs = np.array([1.0 + 2.0**-12, np.pi])
+        assert not representable(xs, FP16).any()
+
+    def test_special_values_count_as_representable(self):
+        xs = np.array([np.nan, np.inf])
+        assert representable(xs, FP16).all()
+
+
+class TestUlp:
+    def test_ulp_at_one(self):
+        assert float(ulp(1.0, FP16)) == 2.0**-10
+        assert float(ulp(1.0, FP32)) == 2.0**-23
+
+    def test_ulp_at_zero_is_subnormal_spacing(self):
+        assert float(ulp(0.0, FP16)) == 2.0**-24
+
+    def test_ulp_scales_with_binade(self):
+        assert float(ulp(2.0, FP16)) == 2 * float(ulp(1.0, FP16))
+        assert float(ulp(1.999, FP16)) == float(ulp(1.0, FP16))

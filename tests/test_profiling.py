@@ -1,0 +1,197 @@
+"""Tests for the Score-P-like profiler, classifier and reports."""
+
+import pytest
+
+from repro.errors import ProfilingError
+from repro.profiling import (
+    Profiler,
+    RegionClass,
+    UtilizationReport,
+    classify_region,
+    scan_trace,
+)
+from repro.sim import KernelLaunch, SimulatedDevice, execution_context
+from repro.hardware import get_device
+
+
+class TestClassifier:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("dgemm", RegionClass.GEMM),
+            ("sgemm", RegionClass.GEMM),
+            ("hgemm", RegionClass.GEMM),
+            ("cublasGemmEx", RegionClass.GEMM),
+            ("pdgemm", RegionClass.GEMM),
+            ("matmul", RegionClass.GEMM),
+            ("my_matmul_kernel", RegionClass.GEMM),
+            ("nekbone/mxm44", RegionClass.OTHER),
+            ("daxpy", RegionClass.BLAS),
+            ("ddot", RegionClass.BLAS),
+            ("dgemv", RegionClass.BLAS),
+            ("dtrsm", RegionClass.BLAS),
+            ("dsyrk", RegionClass.BLAS),
+            ("dgetrf", RegionClass.LAPACK),
+            ("dgetf2", RegionClass.LAPACK),
+            ("dpotrf", RegionClass.LAPACK),
+            ("pdgetrf", RegionClass.LAPACK),
+            ("dlaswp", RegionClass.LAPACK),
+            ("zheevd", RegionClass.LAPACK),
+            ("mpi_init", RegionClass.EXCLUDED),
+            ("initialization", RegionClass.EXCLUDED),
+            ("post-processing", RegionClass.EXCLUDED),
+            ("stencil_sweep", RegionClass.OTHER),
+            ("timestep", RegionClass.OTHER),
+        ],
+    )
+    def test_classification(self, name, expected):
+        assert classify_region(name) is expected
+
+    def test_path_components_use_leaf(self):
+        assert classify_region("hpl/update/dgemm") is RegionClass.GEMM
+
+
+def _launch(ctx, name="work", seconds=None, **kw):
+    from repro.sim.kernels import KernelKind
+
+    k = KernelLaunch(
+        KernelKind.OTHER, name, min_seconds=seconds or 0.0, **kw
+    )
+    return ctx.launch(k)
+
+
+class TestProfiler:
+    def test_exclusive_attribution_innermost_wins(self):
+        prof = Profiler()
+        with execution_context("system1", profiler=prof) as ctx:
+            with prof.region("dgetrf"):
+                _launch(ctx, seconds=1.0)
+                with prof.region("dgemm"):
+                    _launch(ctx, seconds=3.0)
+        by_class = prof.time_by_class()
+        assert by_class[RegionClass.LAPACK] == pytest.approx(1.0, rel=0.01)
+        assert by_class[RegionClass.GEMM] == pytest.approx(3.0, rel=0.01)
+
+    def test_phase_exclusion_dominates_nested_regions(self):
+        prof = Profiler()
+        with execution_context("system1", profiler=prof) as ctx:
+            with prof.phase("initialization"):
+                with prof.region("dgemm"):
+                    _launch(ctx, seconds=5.0)
+            with prof.region("dgemm"):
+                _launch(ctx, seconds=1.0)
+        assert prof.included_time() == pytest.approx(1.0, rel=0.01)
+        assert prof.time_by_class()[RegionClass.EXCLUDED] == pytest.approx(
+            5.0, rel=0.01
+        )
+
+    def test_recording_off(self):
+        prof = Profiler()
+        with execution_context("system1", profiler=prof) as ctx:
+            with prof.recording_off():
+                _launch(ctx, seconds=2.0)
+            _launch(ctx, seconds=1.0)
+        assert prof.included_time() == pytest.approx(1.0, rel=0.01)
+
+    def test_root_attribution(self):
+        prof = Profiler()
+        with execution_context("system1", profiler=prof) as ctx:
+            _launch(ctx, seconds=1.0)
+        assert "<root>" in prof.stats
+        assert prof.fractions()[RegionClass.OTHER] == pytest.approx(1.0)
+
+    def test_filters_are_transparent(self):
+        prof = Profiler(ignore=("internal_*",))
+        with execution_context("system1", profiler=prof) as ctx:
+            with prof.region("dgemm"):
+                with prof.region("internal_detail"):
+                    _launch(ctx, seconds=1.0)
+        assert "internal_detail" not in prof.stats
+        assert prof.stats["dgemm"].exclusive_time == pytest.approx(1.0, rel=0.01)
+
+    def test_unbalanced_exit_raises(self):
+        prof = Profiler()
+        prof.enter("a")
+        with pytest.raises(ProfilingError):
+            prof.exit("b")
+        prof.exit("a")
+        with pytest.raises(ProfilingError):
+            prof.exit("a")
+
+    def test_fractions_sum_to_one(self):
+        prof = Profiler()
+        with execution_context("system1", profiler=prof) as ctx:
+            for name, secs in [("dgemm", 2.0), ("daxpy", 1.0), ("solver", 3.0)]:
+                with prof.region(name):
+                    _launch(ctx, seconds=secs)
+        assert sum(prof.fractions().values()) == pytest.approx(1.0)
+
+    def test_visits_and_kernel_counts(self):
+        prof = Profiler()
+        with execution_context("system1", profiler=prof) as ctx:
+            for _ in range(3):
+                with prof.region("dgemm"):
+                    _launch(ctx, seconds=0.1)
+                    _launch(ctx, seconds=0.1)
+        st = prof.stats["dgemm"]
+        assert st.visits == 3
+        assert st.kernel_count == 6
+
+    def test_top_regions_sorted(self):
+        prof = Profiler()
+        with execution_context("system1", profiler=prof) as ctx:
+            with prof.region("small"):
+                _launch(ctx, seconds=0.5)
+            with prof.region("big"):
+                _launch(ctx, seconds=5.0)
+        top = prof.top_regions(2)
+        assert top[0].name == "big"
+
+    def test_empty_profiler_fractions_zero(self):
+        prof = Profiler()
+        assert all(v == 0.0 for v in prof.fractions().values())
+
+
+class TestUtilizationReport:
+    def test_from_profiler(self):
+        prof = Profiler()
+        with execution_context("system1", profiler=prof) as ctx:
+            with prof.phase("init"):
+                _launch(ctx, seconds=1.0)
+            with prof.region("dgemm"):
+                _launch(ctx, seconds=3.0)
+            with prof.region("stencil"):
+                _launch(ctx, seconds=1.0)
+        rep = UtilizationReport.from_profiler(
+            prof, workload="toy", suite="TEST", domain="Physics"
+        )
+        assert rep.gemm_fraction == pytest.approx(0.75, rel=0.01)
+        assert rep.other_fraction == pytest.approx(0.25, rel=0.01)
+        assert rep.excluded_time == pytest.approx(1.0, rel=0.01)
+        assert rep.accelerable_fraction == pytest.approx(0.75, rel=0.01)
+        assert "toy" in rep.row()
+
+
+class TestAdvisorScan:
+    def test_surfaces_compute_intensive_kernels_only(self):
+        d = SimulatedDevice(get_device("system1"))
+        # GEMM: high intensity; axpy: low intensity.
+        d.launch(KernelLaunch.gemm(2000, 2000, 2000, name="hot_gemm"))
+        d.launch(KernelLaunch.blas1(10_000_000, name="cold_axpy"))
+        hits = scan_trace(d.trace)
+        names = [h.name for h in hits]
+        assert "hot_gemm" in names
+        assert "cold_axpy" not in names
+        assert hits[0].looks_like_gemm
+
+    def test_point_weight_filter(self):
+        d = SimulatedDevice(get_device("system1"))
+        d.launch(KernelLaunch.gemm(3000, 3000, 3000, name="dominant"))
+        d.launch(KernelLaunch.gemm(64, 64, 64, name="negligible"))
+        hits = scan_trace(d.trace)
+        assert [h.name for h in hits] == ["dominant"]
+
+    def test_empty_trace(self):
+        from repro.sim import Trace
+
+        assert scan_trace(Trace()) == []

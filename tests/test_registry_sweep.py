@@ -1,0 +1,93 @@
+"""Validation sweep over the entire device registry.
+
+These invariants guard future registry edits: every device must satisfy
+the model's physical assumptions or the roofline/power layers produce
+nonsense silently.
+"""
+
+import math
+
+import pytest
+
+from repro.extrapolate import fugaku_scenario
+from repro.hardware import all_devices, get_device
+from repro.hardware.roofline import achievable_flops
+from repro.sim import KernelLaunch, SimulatedDevice
+
+
+@pytest.fixture(params=[d.name for d in all_devices()])
+def device(request):
+    return get_device(request.param)
+
+
+class TestEveryDevice:
+    def test_power_envelope_is_sane(self, device):
+        assert 0.0 <= device.idle_w < device.tdp_w
+        for unit in device.units:
+            for fmt in unit.peak_flops:
+                p = unit.power(fmt)
+                assert p == 0.0 or device.idle_w < p <= device.tdp_w * 1.0001, (
+                    device.name, unit.name, fmt
+                )
+
+    def test_peaks_positive_and_sustained_below_peak(self, device):
+        for unit in device.units:
+            for fmt, peak in unit.peak_flops.items():
+                assert peak > 0
+                assert achievable_flops(unit, fmt) <= peak
+
+    def test_memory_sane(self, device):
+        m = device.memory
+        assert m.capacity_bytes > 0
+        assert 0 < m.sustained_bps <= m.bandwidth_bps
+        assert m.host_link_bps > 0
+
+    def test_matrix_engines_declare_their_contract(self, device):
+        me = device.matrix_engine
+        if me is not None:
+            assert me.multiply_format is not None
+            assert me.accumulate_format in ("fp32", "fp64")
+            assert me.tile is None or all(t >= 1 for t in me.tile)
+
+    def test_can_execute_a_gemm_in_every_supported_format(self, device):
+        sim = SimulatedDevice(device)
+        fmts = {f for u in device.units for f in u.peak_flops}
+        for fmt in sorted(fmts):
+            rec = sim.launch(KernelLaunch.gemm(256, 256, 256, fmt=fmt))
+            assert rec.duration > 0
+            assert device.idle_w <= rec.power_w <= device.tdp_w
+
+    def test_lower_precision_is_never_slower_on_same_unit(self, device):
+        for unit in device.units:
+            peaks = unit.peak_flops
+            if "fp64" in peaks and "fp32" in peaks:
+                assert peaks["fp32"] >= peaks["fp64"]
+            if "fp32" in peaks and "fp16" in peaks:
+                assert peaks["fp16"] >= peaks["fp32"]
+
+
+class TestFugakuScenario:
+    def test_sits_at_the_justification_threshold(self):
+        # The what-if answer: ~9-10% at 4x — right at the paper's
+        # "might justify if all other options are exhausted" bar.
+        s = fugaku_scenario()
+        assert s.reduction(4.0) == pytest.approx(0.094, abs=0.02)
+        assert 1.05 < s.throughput_improvement(4.0) < 1.15
+
+    def test_shares_well_formed(self):
+        s = fugaku_scenario()
+        assert sum(d.share for d in s.domains) == pytest.approx(1.0)
+        assert s.reduction(math.inf) > s.reduction(4.0)
+
+
+class TestScalingArtifact:
+    def test_registered_and_runs(self):
+        from repro.harness.runner import ARTIFACTS
+
+        assert "scaling" in ARTIFACTS
+        result = ARTIFACTS["scaling"]()
+        rows = result["rows"]
+        assert [r["nodes"] for r in rows] == [1, 4, 16, 64, 256]
+        savings = [r["me_saving_4x"] for r in rows]
+        assert savings == sorted(savings, reverse=True)
+        assert "nodes" in result["text"]

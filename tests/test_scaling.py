@@ -1,0 +1,54 @@
+"""Tests for the strong-scaling extension (ME value erosion at scale)."""
+
+import pytest
+
+from repro.analysis import hpl_strong_scaling
+from repro.errors import ScenarioError
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return hpl_strong_scaling(n=8192, node_counts=(1, 4, 16, 64))
+
+
+class TestHplStrongScaling:
+    def test_gemm_share_erodes_with_node_count(self, sweep):
+        shares = [pt.gemm_fraction for pt in sweep]
+        assert shares == sorted(shares, reverse=True)
+        assert shares[0] > 0.9  # single rank: nearly pure GEMM
+        assert shares[-1] < 0.6  # at 64 ranks the update no longer dominates
+
+    def test_parallel_efficiency_decays_monotonically(self, sweep):
+        effs = [pt.parallel_efficiency for pt in sweep]
+        assert effs[0] == pytest.approx(1.0)
+        assert effs == sorted(effs, reverse=True)
+        assert effs[-1] < 0.9
+
+    def test_rank_time_shrinks_but_sublinearly(self, sweep):
+        times = [pt.rank_time_s for pt in sweep]
+        assert times == sorted(times, reverse=True)
+        # Strong scaling: 64 ranks give < 64x speedup.
+        assert sweep[-1].speedup_vs_one < 64.0
+
+    def test_me_value_erodes_with_scale(self, sweep):
+        savings = [pt.me_reduction(4.0) for pt in sweep]
+        assert savings == sorted(savings, reverse=True)
+        assert savings[0] > 2 * savings[-1]
+
+    def test_me_reduction_bounded_by_amdahl(self, sweep):
+        for pt in sweep:
+            assert 0.0 <= pt.me_reduction(4.0) <= 0.75 + 1e-9
+            assert pt.me_reduction(4.0) <= pt.accelerable_fraction
+
+    def test_rejects_non_square_grids(self):
+        with pytest.raises(ScenarioError):
+            hpl_strong_scaling(n=1024, node_counts=(2,))
+
+    def test_faster_network_preserves_more_gemm_share(self):
+        slow = hpl_strong_scaling(
+            n=8192, node_counts=(64,), network_bps=5e9
+        )[0]
+        fast = hpl_strong_scaling(
+            n=8192, node_counts=(64,), network_bps=100e9
+        )[0]
+        assert fast.gemm_fraction > slow.gemm_fraction

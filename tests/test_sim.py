@@ -1,0 +1,222 @@
+"""Tests for the execution simulator: kernels, engine, trace, power, context."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError, DispatchError
+from repro.hardware import get_device
+from repro.sim import (
+    ExecutionContext,
+    KernelKind,
+    KernelLaunch,
+    PowerSampler,
+    SimulatedDevice,
+    Trace,
+    current_context,
+    execution_context,
+)
+
+
+class TestKernelLaunch:
+    def test_gemm_flop_count(self):
+        k = KernelLaunch.gemm(100, 200, 300)
+        assert k.flops == 2 * 100 * 200 * 300
+        assert k.kind is KernelKind.GEMM
+
+    def test_element_bytes_by_format(self):
+        assert KernelLaunch.element_bytes("fp64") == 8
+        assert KernelLaunch.element_bytes("fp16") == 2
+        assert KernelLaunch.element_bytes("tf32") == 4
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(DeviceError):
+            KernelLaunch(KernelKind.GEMM, "bad", flops=-1.0)
+
+    def test_conv2d_flops(self):
+        k = KernelLaunch.conv2d(8, 3, 64, 112, 112, 7, 7)
+        assert k.flops == 2.0 * 8 * 64 * 112 * 112 * 3 * 7 * 7
+
+    def test_memcpy_directions(self):
+        assert KernelLaunch.memcpy(1e6).kind is KernelKind.MEMCPY_H2D
+        assert KernelLaunch.memcpy(1e6, direction="d2h").kind is KernelKind.MEMCPY_D2H
+
+    def test_fft_flops_nlogn(self):
+        k = KernelLaunch.fft(1024)
+        assert k.flops == pytest.approx(5 * 1024 * 10)
+
+
+class TestEngine:
+    def test_clock_advances_monotonically(self):
+        d = SimulatedDevice(get_device("v100"))
+        t0 = d.clock
+        d.launch(KernelLaunch.gemm(1024, 1024, 1024, fmt="fp32"))
+        t1 = d.clock
+        d.launch(KernelLaunch.gemm(1024, 1024, 1024, fmt="fp32"))
+        assert t0 == 0.0 < t1 < d.clock
+
+    def test_reset(self):
+        d = SimulatedDevice(get_device("v100"))
+        d.launch(KernelLaunch.gemm(512, 512, 512, fmt="fp32"))
+        d.reset()
+        assert d.clock == 0.0 and len(d.trace) == 0
+
+    def test_auto_selects_tensorcore_for_fp16_gemm(self):
+        d = SimulatedDevice(get_device("v100"))
+        r = d.launch(KernelLaunch.gemm(4096, 4096, 4096, fmt="fp16"))
+        assert r.unit == "tensorcore"
+
+    def test_matrix_engine_disabled(self):
+        d = SimulatedDevice(get_device("v100"), allow_matrix_engine=False)
+        r = d.launch(KernelLaunch.gemm(4096, 4096, 4096, fmt="fp16"))
+        assert r.unit == "cuda"
+
+    def test_blas1_never_uses_matrix_engine(self):
+        # Sec. V-B1: systolic arrays are inefficient for L1/L2 BLAS.
+        d = SimulatedDevice(get_device("v100"))
+        r = d.launch(KernelLaunch.blas1(10_000_000, fmt="fp16", name="haxpy"))
+        assert r.unit == "cuda"
+
+    def test_explicit_unit_request(self):
+        d = SimulatedDevice(get_device("system1"))
+        r = d.launch(KernelLaunch.gemm(512, 512, 512, unit="sse"))
+        assert r.unit == "sse"
+
+    def test_explicit_unit_with_unsupported_format_raises(self):
+        d = SimulatedDevice(get_device("v100"))
+        with pytest.raises(DeviceError):
+            d.launch(KernelLaunch.gemm(64, 64, 64, fmt="fp64", unit="tensorcore"))
+
+    def test_memcpy_uses_host_link(self):
+        v = get_device("v100")
+        d = SimulatedDevice(v)
+        nbytes = 1.2e9
+        r = d.launch(KernelLaunch.memcpy(nbytes))
+        assert r.unit == "copy-engine"
+        assert r.duration == pytest.approx(
+            nbytes / v.memory.host_link_bps + v.launch_latency_s
+        )
+
+    def test_min_seconds_floor(self):
+        d = SimulatedDevice(get_device("system1"))
+        r = d.launch(
+            KernelLaunch(KernelKind.IO, "read-input", nbytes=10.0, min_seconds=0.5)
+        )
+        assert r.duration >= 0.5
+
+    def test_large_dgemm_achieves_calibrated_rate(self):
+        d = SimulatedDevice(get_device("v100"))
+        r = d.launch(KernelLaunch.gemm(8192, 8192, 8192, fmt="fp64"))
+        assert r.achieved_flops == pytest.approx(7.2e12, rel=0.02)
+
+    def test_launch_many_is_sequential(self):
+        d = SimulatedDevice(get_device("v100"))
+        ks = [KernelLaunch.gemm(512, 512, 512, fmt="fp32") for _ in range(3)]
+        rs = d.launch_many(ks)
+        for prev, nxt in zip(rs, rs[1:]):
+            assert nxt.start == pytest.approx(prev.end)
+
+
+class TestTrace:
+    def _populated(self):
+        d = SimulatedDevice(get_device("v100"))
+        d.launch(KernelLaunch.gemm(2048, 2048, 2048, fmt="fp16", tag="a"))
+        d.launch(KernelLaunch.gemm(2048, 2048, 2048, fmt="fp64", tag="b"))
+        d.launch(KernelLaunch.memcpy(1e8, tag="a"))
+        return d.trace
+
+    def test_totals(self):
+        t = self._populated()
+        assert len(t) == 3
+        assert t.total_time == pytest.approx(t.busy_time)
+        assert t.total_energy > 0
+        assert t.total_flops == 2 * (2 * 2048**3)
+
+    def test_groupings(self):
+        t = self._populated()
+        by_unit = t.time_by_unit()
+        assert set(by_unit) == {"tensorcore", "cuda", "copy-engine"}
+        by_tag = t.time_by_tag()
+        assert set(by_tag) == {"a", "b"}
+        assert t.memcpy_time() > 0
+        assert t.unit_time("tensorcore") == by_unit["tensorcore"]
+
+    def test_filter_preserves_timestamps(self):
+        t = self._populated()
+        sub = t.filter(lambda r: r.unit == "cuda")
+        assert len(sub) == 1
+        assert sub[0].start > 0
+
+    def test_empty_trace(self):
+        t = Trace()
+        assert t.total_time == 0.0
+        assert t.total_energy == 0.0
+
+
+class TestPowerSampler:
+    def test_sampling_covers_trace(self):
+        d = SimulatedDevice(get_device("v100"))
+        for _ in range(5):
+            d.launch(KernelLaunch.gemm(4096, 4096, 4096, fmt="fp64"))
+        sampler = PowerSampler(d.spec, period_s=d.clock / 50)
+        samples = sampler.sample(d.trace)
+        assert len(samples) == 50
+        watts = np.array([s.power_w for s in samples])
+        # DGEMM runs near (but not above) TDP — Fig. 1's observation.
+        assert watts.max() <= 300.0
+        assert watts.mean() > 270.0
+
+    def test_idle_in_gaps(self):
+        v = get_device("v100")
+        sampler = PowerSampler(v, period_s=0.1)
+        t = Trace()
+        assert sampler.power_at(t, 0.05) == v.idle_w
+        samples = sampler.sample(t, until=1.0)
+        assert all(s.power_w == v.idle_w for s in samples)
+
+    def test_average_power_and_energy_consistent(self):
+        d = SimulatedDevice(get_device("v100"))
+        d.launch(KernelLaunch.gemm(8192, 8192, 8192, fmt="fp32"))
+        s = PowerSampler(d.spec)
+        assert s.energy(d.trace) == pytest.approx(
+            s.average_power(d.trace) * d.trace.total_time
+        )
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            PowerSampler(get_device("v100"), period_s=0.0)
+
+
+class TestContext:
+    def test_no_context_raises(self):
+        with pytest.raises(DispatchError):
+            current_context()
+
+    def test_context_from_name(self):
+        with execution_context("v100") as ctx:
+            assert current_context() is ctx
+            rec = ctx.launch(KernelLaunch.gemm(256, 256, 256, fmt="fp32"))
+            assert rec.duration > 0
+        with pytest.raises(DispatchError):
+            current_context()
+
+    def test_nested_contexts(self):
+        with execution_context("v100") as outer:
+            with execution_context("system1") as inner:
+                assert current_context() is inner
+            assert current_context() is outer
+
+    def test_profiler_callback(self):
+        seen = []
+
+        class Spy:
+            def on_kernel(self, rec):
+                seen.append(rec)
+
+        with execution_context("v100", profiler=Spy()) as ctx:
+            ctx.launch(KernelLaunch.gemm(128, 128, 128, fmt="fp32"))
+        assert len(seen) == 1
+
+    def test_allow_matrix_engine_flag(self):
+        with execution_context("v100", allow_matrix_engine=False) as ctx:
+            rec = ctx.launch(KernelLaunch.gemm(1024, 1024, 1024, fmt="fp16"))
+            assert rec.unit == "cuda"

@@ -1,0 +1,150 @@
+"""Tests for repro.units, repro.errors and repro.precision.analysis."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import errors
+from repro.precision import FP16, FP32, FP64
+from repro.precision.analysis import (
+    max_relative_error,
+    max_ulp_error,
+    relative_frobenius_error,
+)
+from repro.units import (
+    GIB,
+    GIGA,
+    TERA,
+    axpy_flops,
+    dot_flops,
+    format_bytes,
+    format_flops,
+    format_percent,
+    format_rate,
+    format_si,
+    format_time,
+    gemm_flops,
+    gemv_flops,
+)
+
+
+class TestFlopCounts:
+    def test_gemm_matches_paper_convention(self):
+        # The paper uses 2*n^3 for square GEMM.
+        assert gemm_flops(5000, 5000, 5000) == 2 * 5000**3
+
+    def test_other_counts(self):
+        assert gemv_flops(10, 20) == 400
+        assert axpy_flops(7) == 14
+        assert dot_flops(7) == 14
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (1.25e13, "12.50 Tflop/s"),
+            (92.28e12, "92.28 Tflop/s"),
+            (1.23e9, "1.23 Gflop/s"),
+            (500.0, "500.00 flop/s"),
+        ],
+    )
+    def test_format_rate(self, value, expected):
+        assert format_rate(value) == expected
+
+    def test_format_si_edge_cases(self):
+        assert "0.00" in format_si(0.0, "flop")
+        assert "inf" in format_si(float("inf"), "W")
+        assert format_si(0.5, "flop").endswith("flop")
+
+    def test_format_flops(self):
+        assert format_flops(7.5e12) == "7.50 Tflop"
+
+    def test_format_bytes(self):
+        assert format_bytes(2 * GIB) == "2.00 GiB"
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(1536) == "1.50 KiB"
+
+    def test_format_time(self):
+        assert format_time(34.22) == "34.22 s"
+        assert format_time(0.0123) == "12.30 ms"
+        assert format_time(5e-6) == "5.00 us"
+        assert format_time(0.0) == "0.00 s"
+
+    def test_format_percent(self):
+        assert format_percent(0.7681) == "76.81%"
+
+    @given(st.floats(1e-3, 1e18))
+    @settings(max_examples=100, deadline=None)
+    def test_format_si_roundtrips_magnitude(self, value):
+        out = format_si(value, "X", digits=6)
+        num = float(out.split()[0])
+        prefix = out.split()[1][:-1]
+        factor = {"P": 1e15, "T": 1e12, "G": 1e9, "M": 1e6, "k": 1e3, "": 1.0}[prefix]
+        assert num * factor == pytest.approx(value, rel=1e-4)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.FormatError,
+            errors.DeviceError,
+            errors.DispatchError,
+            errors.ProfilingError,
+            errors.WorkloadError,
+            errors.OzakiError,
+            errors.GraphError,
+            errors.ScenarioError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_value_errors_catchable_as_such(self):
+        assert issubclass(errors.FormatError, ValueError)
+        assert issubclass(errors.DispatchError, RuntimeError)
+
+
+class TestErrorMetrics:
+    def test_max_relative_error(self):
+        exact = np.array([1.0, 2.0, 4.0])
+        approx = np.array([1.0, 2.002, 4.0])
+        assert max_relative_error(approx, exact) == pytest.approx(0.001)
+
+    def test_relative_error_zero_handling(self):
+        assert max_relative_error(np.zeros(3), np.zeros(3)) == 0.0
+        assert math.isinf(
+            max_relative_error(np.array([1e-3]), np.array([0.0]))
+        )
+        assert max_relative_error(
+            np.array([1e-3]), np.array([0.0]), floor=1.0
+        ) == pytest.approx(1e-3)
+
+    def test_frobenius_error(self):
+        exact = np.eye(3)
+        approx = np.eye(3) * 1.01
+        assert relative_frobenius_error(approx, exact) == pytest.approx(0.01)
+        assert relative_frobenius_error(np.zeros((2, 2)), np.zeros((2, 2))) == 0.0
+
+    def test_ulp_error(self):
+        exact = np.array([1.0])
+        one_ulp = np.array([1.0 + 2.0**-52])
+        assert max_ulp_error(one_ulp, exact, FP64) == pytest.approx(1.0)
+        # The same gap is a tiny fraction of an fp16 ulp.
+        assert max_ulp_error(one_ulp, exact, FP16) < 1e-10
+
+    def test_ulp_error_empty(self):
+        assert max_ulp_error(np.array([]), np.array([])) == 0.0
+
+    @given(st.floats(-1e10, 1e10), st.integers(0, 3))
+    @settings(max_examples=100, deadline=None)
+    def test_correctly_rounded_scores_below_half_ulp(self, x, fmt_idx):
+        fmt = (FP16, FP32, FP64)[fmt_idx % 3]
+        q = fmt.quantize(np.array([x]))
+        if not np.isfinite(q).all():
+            return
+        assert max_ulp_error(q, np.array([x]), fmt) <= 0.5
