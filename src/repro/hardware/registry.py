@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import DeviceError
+from repro.harness.cache import memoize_substrate
 from repro.hardware.specs import (
     ComputeUnitSpec,
     DeviceSpec,
@@ -33,6 +34,7 @@ __all__ = [
     "all_devices",
     "list_device_names",
     "table_i_devices",
+    "table_i_survey",
     "TableIEntry",
     "TABLE_I_PUBLISHED",
 ]
@@ -629,3 +631,32 @@ TABLE_I_PUBLISHED: tuple[TableIEntry, ...] = (
 def table_i_devices() -> tuple[DeviceSpec, ...]:
     """The eight surveyed architectures, in Table I order."""
     return tuple(get_device(e.device) for e in TABLE_I_PUBLISHED)
+
+
+@memoize_substrate("hw_registry")
+def table_i_survey() -> tuple[dict, ...]:
+    """The Table I registry sweep: published entries plus derived
+    compute densities, one dict per row.
+
+    Memoized as the ``hw_registry`` substrate; callers should copy the
+    row dicts before mutating them.
+    """
+    from repro.hardware.density import compute_density
+
+    return tuple(
+        {
+            "group": e.group,
+            "system": e.system,
+            "tech_nm": e.tech_nm,
+            "die_mm2": e.die_mm2,
+            "me_size": e.me_size,
+            "tflops_f16": e.tflops_f16,
+            "density_f16": compute_density(e.tflops_f16, e.die_mm2),
+            "tflops_f32": e.tflops_f32,
+            "density_f32": compute_density(e.tflops_f32, e.die_mm2),
+            "tflops_f64": e.tflops_f64,
+            "density_f64": compute_density(e.tflops_f64, e.die_mm2),
+            "support": e.support,
+        }
+        for e in TABLE_I_PUBLISHED
+    )

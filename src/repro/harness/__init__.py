@@ -3,33 +3,54 @@
 ``repro-paper`` (the console entry point, :mod:`repro.harness.runner`)
 prints each artefact in the paper's own layout; the individual
 generators return structured rows so the benchmark suite and
-EXPERIMENTS.md can assert on them.
+EXPERIMENTS.md can assert on them.  :mod:`repro.harness.pipeline` runs
+the artefacts as a substrate-aware DAG — shared inputs are computed
+once into :mod:`repro.harness.cache` and independent artefacts fan out
+across worker threads.
+
+Exports resolve lazily (PEP 562) so that low-level packages
+(``repro.joblog``, ``repro.ozaki``, ...) can import the leaf
+``repro.harness.cache`` module without dragging in the generators —
+which import *them* — and cycling.
 """
 
-from repro.harness.tables import (
-    table_i,
-    table_ii,
-    table_iii,
-    table_iv,
-    table_v,
-    table_vi_vii,
-    table_viii,
-)
-from repro.harness.figures import fig1, fig2, fig3, fig4
-from repro.harness.runner import run_all, section_iii_a
+import importlib
 
-__all__ = [
-    "table_i",
-    "table_ii",
-    "table_iii",
-    "table_iv",
-    "table_v",
-    "table_vi_vii",
-    "table_viii",
-    "fig1",
-    "fig2",
-    "fig3",
-    "fig4",
-    "section_iii_a",
-    "run_all",
-]
+_EXPORTS = {
+    "table_i": "tables",
+    "table_ii": "tables",
+    "table_iii": "tables",
+    "table_iv": "tables",
+    "table_v": "tables",
+    "table_vi_vii": "tables",
+    "table_viii": "tables",
+    "fig1": "figures",
+    "fig2": "figures",
+    "fig3": "figures",
+    "fig4": "figures",
+    "section_iii_a": "runner",
+    "run_all": "runner",
+    "run_pipeline": "pipeline",
+    "PipelineResult": "pipeline",
+    "SUBSTRATE_CACHE": "cache",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        submodule = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(
+        importlib.import_module(f"{__name__}.{submodule}"), name
+    )
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,188 @@
+"""Process-wide substrate cache for the artefact pipeline.
+
+Several artefacts re-derive the same expensive *substrates* — the
+seeded 20k-job K-computer year, the synthetic Spack index, the Ozaki
+split/summation runs, the 77-workload profile sweep.  This module
+memoizes those factories into one process-wide, thread-safe store keyed
+by substrate name plus the factory's (seed-carrying) arguments, so a
+full ``repro-paper`` run computes each substrate exactly once no matter
+how many artefacts — or worker threads — ask for it.
+
+The module is deliberately a leaf: it imports only the standard
+library, so any layer (``repro.joblog``, ``repro.ozaki``,
+``repro.workloads``, ...) can decorate its substrate factory with
+:func:`memoize_substrate` without creating an import cycle through
+``repro.harness``.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = [
+    "CacheStats",
+    "SubstrateCache",
+    "SUBSTRATE_CACHE",
+    "memoize_substrate",
+    "freeze",
+]
+
+
+def freeze(value: Any) -> Any:
+    """Recursively convert ``value`` into a hashable cache-key component.
+
+    Dicts become sorted item tuples, sequences become tuples, sets
+    become frozensets; anything unhashable falls back to ``repr``.
+    """
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return frozenset(freeze(v) for v in value)
+    try:
+        hash(value)
+    except TypeError:
+        return repr(value)
+    return value
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counter snapshot: lookups served from memory vs computed."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class SubstrateCache:
+    """Thread-safe memo store with per-key computation locks.
+
+    Two threads requesting the same uncached key serialise on that
+    key's lock — the substrate is computed once and the loser reads the
+    winner's value — while requests for *different* keys proceed in
+    parallel.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._values: dict[Any, Any] = {}
+        self._key_locks: dict[Any, threading.Lock] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def get_or_compute(
+        self, substrate: str, factory: Callable[[], Any], key: Any = ()
+    ) -> Any:
+        """Return the cached value for ``(substrate, key)``, computing it
+        with ``factory`` on first request."""
+        full_key = (substrate, freeze(key))
+        with self._mutex:
+            if full_key in self._values:
+                self._hits += 1
+                return self._values[full_key]
+            key_lock = self._key_locks.setdefault(full_key, threading.Lock())
+        with key_lock:
+            with self._mutex:
+                if full_key in self._values:
+                    self._hits += 1
+                    return self._values[full_key]
+            value = factory()
+            with self._mutex:
+                self._values[full_key] = value
+                self._misses += 1
+        return value
+
+    def prime(self, substrate: str, key: Any, value: Any) -> None:
+        """Insert a value computed elsewhere (e.g. a worker process).
+
+        A new entry counts as a miss — the computation did happen, just
+        not in this thread; an existing entry is left untouched.
+        """
+        full_key = (substrate, freeze(key))
+        with self._mutex:
+            if full_key not in self._values:
+                self._values[full_key] = value
+                self._misses += 1
+
+    def __contains__(self, substrate: str) -> bool:
+        with self._mutex:
+            return any(k[0] == substrate for k in self._values)
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._values)
+
+    def substrates(self) -> tuple[str, ...]:
+        """Names of the substrates currently held (sorted, unique)."""
+        with self._mutex:
+            return tuple(sorted({k[0] for k in self._values}))
+
+    def stats(self) -> CacheStats:
+        with self._mutex:
+            return CacheStats(self._hits, self._misses, len(self._values))
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._mutex:
+            self._values.clear()
+            self._key_locks.clear()
+            self._hits = 0
+            self._misses = 0
+
+
+#: The process-wide cache every substrate factory shares.
+SUBSTRATE_CACHE = SubstrateCache()
+
+
+def memoize_substrate(
+    substrate: str, cache: SubstrateCache | None = None
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator: memoize a substrate factory into the process cache.
+
+    The cache key is the *canonical bound arguments* of the call —
+    defaults applied — so ``generate_k_year()`` and
+    ``generate_k_year(jobs=20_000)`` share one entry.  The undecorated
+    function stays reachable as ``fn.uncached``.
+    """
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        signature = inspect.signature(fn)
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            bound = signature.bind(*args, **kwargs)
+            bound.apply_defaults()
+            target = cache if cache is not None else SUBSTRATE_CACHE
+            return target.get_or_compute(
+                substrate,
+                lambda: fn(*args, **kwargs),
+                key=tuple(bound.arguments.items()),
+            )
+
+        def prime(value: Any, *args: Any, **kwargs: Any) -> None:
+            """Insert a precomputed value under the call's cache key."""
+            bound = signature.bind(*args, **kwargs)
+            bound.apply_defaults()
+            target = cache if cache is not None else SUBSTRATE_CACHE
+            target.prime(substrate, tuple(bound.arguments.items()), value)
+
+        wrapper.substrate = substrate
+        wrapper.uncached = fn
+        wrapper.prime = prime
+        return wrapper
+
+    return decorate

@@ -2,7 +2,11 @@
 
 ``repro-paper --output DIR`` writes, per artefact, the rendered text
 (`<name>.txt`), the structured rows (`<name>.json`), and — when the
-artefact is tabular — a `<name>.csv` for spreadsheet/plotting pipelines.
+artefact is tabular — a `<name>.csv` for spreadsheet/plotting
+pipelines, plus one `manifest.json` describing the whole run (schema in
+EXPERIMENTS.md): per-artefact wall time, governing seed, substrate
+list, SHA-256 of the rendered text, written files, and the substrate
+cache's hit/miss counters.
 """
 
 from __future__ import annotations
@@ -14,7 +18,7 @@ import math
 from pathlib import Path
 from typing import Any
 
-__all__ = ["to_jsonable", "export_artifact", "export_all"]
+__all__ = ["to_jsonable", "export_artifact", "export_all", "write_manifest"]
 
 
 def to_jsonable(obj: Any) -> Any:
@@ -91,10 +95,75 @@ def export_artifact(name: str, result: dict, outdir: Path) -> list[Path]:
     return written
 
 
-def export_all(results: dict[str, dict], outdir: str | Path) -> list[Path]:
-    """Export every regenerated artefact into ``outdir``."""
-    outdir = Path(outdir)
-    written: list[Path] = []
+def write_manifest(
+    results: dict[str, dict],
+    outdir: Path,
+    *,
+    run_manifest: dict | None = None,
+    files: dict[str, list[str]] | None = None,
+) -> Path:
+    """Write ``manifest.json`` for an exported artefact set.
+
+    ``run_manifest`` is the pipeline's record (timings, seeds, cache
+    counters) when the export follows a :func:`~repro.harness.pipeline.
+    run_pipeline` run; without one, a minimal manifest with text hashes
+    but no timings is synthesised so every export stays self-describing.
+    """
+    from repro.harness.pipeline import (
+        ARTIFACT_SUBSTRATES,
+        MANIFEST_SCHEMA_VERSION,
+        text_sha256,
+    )
+
+    if run_manifest is not None:
+        manifest = json.loads(json.dumps(run_manifest))  # deep copy
+    else:
+        manifest = {
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "generator": "repro-paper",
+            "jobs": None,
+            "total_wall_time_s": None,
+            "cache": None,
+            "substrates": {},
+            "artifacts": {},
+        }
     for name, result in results.items():
-        written.extend(export_artifact(name, result, outdir))
+        entry = manifest["artifacts"].setdefault(
+            name,
+            {
+                "wall_time_s": None,
+                "seed": None,
+                "substrates": list(ARTIFACT_SUBSTRATES.get(name, ())),
+                "text_sha256": text_sha256(result),
+            },
+        )
+        entry["files"] = sorted((files or {}).get(name, []))
+    path = outdir / "manifest.json"
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def export_all(
+    results: dict[str, dict],
+    outdir: str | Path,
+    *,
+    run_manifest: dict | None = None,
+) -> list[Path]:
+    """Export every regenerated artefact into ``outdir``.
+
+    Always finishes with a ``manifest.json`` covering the exported set;
+    pass the pipeline's ``run_manifest`` to include timings and cache
+    counters in it.
+    """
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    files: dict[str, list[str]] = {}
+    for name, result in results.items():
+        paths = export_artifact(name, result, outdir)
+        files[name] = [p.name for p in paths]
+        written.extend(paths)
+    written.append(
+        write_manifest(results, outdir, run_manifest=run_manifest, files=files)
+    )
     return written

@@ -15,7 +15,7 @@ from repro.harness.textfmt import bar_chart, render_table
 from repro.hardware.registry import get_device
 from repro.sim import PowerSampler, execution_context
 from repro.units import gemm_flops
-from repro.workloads import all_workloads, profile_workload
+from repro.workloads import profile_all_workloads
 
 __all__ = ["fig1", "fig2", "fig3", "fig4"]
 
@@ -126,8 +126,12 @@ def fig2(model_name: str = "Resnet50") -> dict:
 
 
 def fig3(device: str = "system1") -> dict:
-    """Fig. 3: GEMM/BLAS/LAPACK/other runtime split of all 77 benchmarks."""
-    reports = [profile_workload(w, device) for w in all_workloads()]
+    """Fig. 3: GEMM/BLAS/LAPACK/other runtime split of all 77 benchmarks.
+
+    The per-workload profiles come from the ``workload_profiles``
+    substrate, shared with the Fig. 4 extrapolation scenarios.
+    """
+    reports = list(profile_all_workloads(device))
     rows = [
         {
             "workload": r.workload,

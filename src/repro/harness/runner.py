@@ -96,42 +96,70 @@ ARTIFACTS: dict[str, callable] = {
 }
 
 
-def run_all(names: list[str] | None = None) -> dict[str, dict]:
-    """Regenerate the selected artefacts (all by default)."""
-    selected = names or list(ARTIFACTS)
-    out = {}
-    for name in selected:
-        if name not in ARTIFACTS:
-            raise SystemExit(
-                f"unknown artefact {name!r}; known: {sorted(ARTIFACTS)}"
-            )
-        out[name] = ARTIFACTS[name]()
-    return out
+def run_all(names: list[str] | None = None, *, jobs: int = 1) -> dict[str, dict]:
+    """Regenerate the selected artefacts (all by default).
+
+    ``jobs`` fans independent artefacts out across worker threads after
+    the shared substrates have been warmed once (see
+    :mod:`repro.harness.pipeline`); the results are identical whatever
+    its value.  Raises :class:`ValueError` for an unknown artefact name
+    — the CLI (:func:`main`) translates that into a ``SystemExit``.
+    """
+    from repro.harness.pipeline import run_pipeline
+
+    return run_pipeline(names, jobs=jobs).results
+
+
+def _flag_value(args: list[str], flag: str, what: str) -> str | None:
+    """Pop ``flag VALUE`` from ``args``; SystemExit when VALUE is missing."""
+    if flag not in args:
+        return None
+    idx = args.index(flag)
+    try:
+        value = args[idx + 1]
+    except IndexError:
+        raise SystemExit(f"{flag} requires {what}")
+    del args[idx : idx + 2]
+    return value
 
 
 def main(argv: list[str] | None = None) -> int:
     """Console entry point."""
     args = list(sys.argv[1:] if argv is None else argv)
-    outdir: str | None = None
     if args and args[0] in ("-h", "--help"):
-        print("usage: repro-paper [--output DIR] [artefact ...]")
+        print("usage: repro-paper [--output DIR] [--jobs N] [artefact ...]")
         print("artefacts:", " ".join(sorted(ARTIFACTS)))
+        print("options:")
+        print("  --output DIR  write text/JSON/CSV files plus manifest.json")
+        print("  --jobs N      parallel workers for the artefact pipeline")
         return 0
-    if "--output" in args:
-        idx = args.index("--output")
+    outdir = _flag_value(args, "--output", "a directory argument")
+    jobs_arg = _flag_value(args, "--jobs", "an integer argument")
+    jobs = 1
+    if jobs_arg is not None:
         try:
-            outdir = args[idx + 1]
-        except IndexError:
-            raise SystemExit("--output requires a directory argument")
-        del args[idx : idx + 2]
-    results = run_all(args or None)
-    for name, result in results.items():
+            jobs = int(jobs_arg)
+        except ValueError:
+            raise SystemExit(f"--jobs expects an integer, got {jobs_arg!r}")
+    from repro.harness.pipeline import run_pipeline
+
+    try:
+        run = run_pipeline(args or None, jobs=jobs)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    for name, result in run.results.items():
         print(f"\n=== {name} " + "=" * max(0, 66 - len(name)))
         print(result["text"])
+    cache = run.manifest["cache"]
+    print(
+        f"\n[pipeline] {len(run.results)} artefact(s) in "
+        f"{run.manifest['total_wall_time_s']:.2f} s (jobs={jobs}, "
+        f"cache: {cache['hits']} hits / {cache['misses']} misses)"
+    )
     if outdir is not None:
         from repro.harness.export import export_all
 
-        written = export_all(results, outdir)
+        written = export_all(run.results, outdir, run_manifest=run.manifest)
         print(f"\nwrote {len(written)} files to {outdir}/")
     return 0
 

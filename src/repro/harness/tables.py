@@ -9,8 +9,7 @@ from __future__ import annotations
 
 from repro import blas
 from repro.dl import model_names, profile_mixed_precision
-from repro.hardware.density import compute_density
-from repro.hardware.registry import TABLE_I_PUBLISHED, get_device
+from repro.hardware.registry import get_device, table_i_survey
 from repro.harness.textfmt import na, render_table
 from repro.sim import execution_context
 from repro.spackdep import dependency_distances, generate_spack_index
@@ -30,25 +29,13 @@ __all__ = [
 
 
 def table_i() -> dict:
-    """Table I: ME architecture survey with derived compute densities."""
-    rows = []
-    for e in TABLE_I_PUBLISHED:
-        rows.append(
-            {
-                "group": e.group,
-                "system": e.system,
-                "tech_nm": e.tech_nm,
-                "die_mm2": e.die_mm2,
-                "me_size": e.me_size,
-                "tflops_f16": e.tflops_f16,
-                "density_f16": compute_density(e.tflops_f16, e.die_mm2),
-                "tflops_f32": e.tflops_f32,
-                "density_f32": compute_density(e.tflops_f32, e.die_mm2),
-                "tflops_f64": e.tflops_f64,
-                "density_f64": compute_density(e.tflops_f64, e.die_mm2),
-                "support": e.support,
-            }
-        )
+    """Table I: ME architecture survey with derived compute densities.
+
+    The density sweep comes from the ``hw_registry`` substrate
+    (:func:`repro.hardware.registry.table_i_survey`); rows are copied
+    so callers may mutate them freely.
+    """
+    rows = [dict(r) for r in table_i_survey()]
     text = render_table(
         ["Type", "System", "Tech", "Die mm^2", "ME size",
          "Tflop/s f16 (GF/mm^2)", "f32 (GF/mm^2)", "f64 (GF/mm^2)",

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.harness.cache import memoize_substrate
 from repro.joblog.records import JobRecord, SymbolTable
 
 __all__ = ["KComputerYear", "generate_k_year", "K_DOMAIN_MIX"]
@@ -66,6 +67,7 @@ class KComputerYear:
         return sum(j.node_hours for j in self.jobs)
 
 
+@memoize_substrate("k_year")
 def generate_k_year(
     *,
     jobs: int = 20_000,
@@ -77,6 +79,10 @@ def generate_k_year(
 
     ``jobs`` controls the sample size actually materialised; node-hours
     are scaled so the population totals ``nominal_node_hours``.
+
+    Memoized as the ``k_year`` substrate: the returned population is
+    frozen, so every artefact (and test) asking for the same parameters
+    shares one instance.
     """
     rng = np.random.default_rng(seed)
     domains = list(K_DOMAIN_MIX)

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import GraphError
+from repro.harness.cache import memoize_substrate
 from repro.spackdep.graph import DependencyGraph, Package
 
 __all__ = ["BLAS_PROVIDERS", "generate_spack_index"]
@@ -51,12 +52,17 @@ _SUB_P_REACHABLE = 0.575
 _SUB_P_INDEPENDENT = 0.05
 
 
+@memoize_substrate("spack_index")
 def generate_spack_index(
     *,
     total: int = _TOTAL_PACKAGES,
     seed: int = 20200715,
 ) -> DependencyGraph:
-    """Build the synthetic index (deterministic for a given seed)."""
+    """Build the synthetic index (deterministic for a given seed).
+
+    Memoized as the ``spack_index`` substrate; treat the returned graph
+    as read-only.
+    """
     if total < sum(_SHELL_SIZES) + len(BLAS_PROVIDERS) + 2:
         raise GraphError(f"total={total} too small for the shell structure")
     rng = np.random.default_rng(seed)

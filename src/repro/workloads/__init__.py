@@ -20,6 +20,7 @@ from repro.workloads.base import (
     PhaseSpec,
     Workload,
     WorkloadMeta,
+    profile_all_workloads,
     profile_workload,
 )
 from repro.workloads.registry import (
@@ -36,6 +37,7 @@ __all__ = [
     "KernelMixWorkload",
     "PhaseSpec",
     "profile_workload",
+    "profile_all_workloads",
     "get_workload",
     "all_workloads",
     "workload_names",

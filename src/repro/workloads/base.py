@@ -7,6 +7,7 @@ from dataclasses import dataclass
 
 from repro.errors import WorkloadError
 from repro.hardware.specs import DeviceSpec
+from repro.harness.cache import memoize_substrate
 from repro.profiling.regions import RegionClass
 from repro.profiling.report import UtilizationReport
 from repro.profiling.scorep import Profiler
@@ -19,6 +20,7 @@ __all__ = [
     "PhaseSpec",
     "KernelMixWorkload",
     "profile_workload",
+    "profile_all_workloads",
 ]
 
 
@@ -177,3 +179,18 @@ def profile_workload(
         suite=workload.meta.suite,
         domain=workload.meta.domain,
     )
+
+
+@memoize_substrate("workload_profiles")
+def profile_all_workloads(
+    device: DeviceSpec | str = "system1",
+) -> tuple[UtilizationReport, ...]:
+    """Profile the full Table V catalogue on one device, in order.
+
+    Memoized as the ``workload_profiles`` substrate: Fig. 3 (the
+    utilization sweep) and Fig. 4 (the extrapolation scenarios built
+    from those measured fractions) share one set of reports.
+    """
+    from repro.workloads.registry import all_workloads
+
+    return tuple(profile_workload(w, device) for w in all_workloads())

@@ -1,0 +1,108 @@
+"""Golden-artefact regression suite.
+
+Every entry in ``ARTIFACTS`` is regenerated and compared against the
+checked-in ``artifacts/`` data: rendered text must match byte-for-byte,
+and every numeric field of the JSON payload must match — exactly for
+integers (seeded counts), within 1e-9 relative for derived floats.  A
+drift here means a model change silently altered the paper's evidence;
+refresh the goldens intentionally with
+``repro-paper --output artifacts`` and explain the change in the PR.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.harness.export import to_jsonable
+from repro.harness.pipeline import run_pipeline, text_sha256
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "artifacts"
+
+#: Relative tolerance for derived floats (exact determinism is expected
+#: on one platform; the slack absorbs libm/BLAS differences across
+#: platforms without letting real model drift through).
+REL_TOL = 1e-9
+
+
+def assert_matches(new, golden, path=""):
+    """Recursive compare: ints exact, floats to REL_TOL, rest equal."""
+    if isinstance(golden, dict):
+        assert isinstance(new, dict), f"{path}: {type(new).__name__} != dict"
+        assert set(new) == set(golden), (
+            f"{path}: keys differ: {sorted(set(new) ^ set(golden))}"
+        )
+        for key in golden:
+            assert_matches(new[key], golden[key], f"{path}.{key}")
+    elif isinstance(golden, list):
+        assert isinstance(new, list), f"{path}: {type(new).__name__} != list"
+        assert len(new) == len(golden), (
+            f"{path}: length {len(new)} != {len(golden)}"
+        )
+        for i, (n, g) in enumerate(zip(new, golden)):
+            assert_matches(n, g, f"{path}[{i}]")
+    elif isinstance(golden, bool) or golden is None or isinstance(golden, str):
+        assert new == golden, f"{path}: {new!r} != {golden!r}"
+    elif isinstance(golden, int):
+        assert new == golden, f"{path}: seeded count {new!r} != {golden!r}"
+    elif isinstance(golden, float):
+        assert isinstance(new, (int, float)), f"{path}: {new!r} not numeric"
+        assert math.isclose(new, golden, rel_tol=REL_TOL, abs_tol=0.0), (
+            f"{path}: {new!r} != {golden!r} (rel {REL_TOL})"
+        )
+    else:  # pragma: no cover - golden files only hold JSON types
+        assert new == golden, f"{path}: {new!r} != {golden!r}"
+
+
+@pytest.fixture(scope="module")
+def regenerated():
+    """One full pipeline run shared by every golden comparison."""
+    return run_pipeline()
+
+
+def _golden_names():
+    from repro.harness.runner import ARTIFACTS
+
+    return sorted(ARTIFACTS)
+
+
+def test_golden_dir_is_complete():
+    names = _golden_names()
+    for name in names:
+        assert (GOLDEN_DIR / f"{name}.json").exists(), f"missing {name}.json"
+        assert (GOLDEN_DIR / f"{name}.txt").exists(), f"missing {name}.txt"
+    # No stale goldens for artefacts that no longer exist.
+    stale = {
+        p.stem for p in GOLDEN_DIR.glob("*.json") if p.name != "manifest.json"
+    } - set(names)
+    assert not stale, f"stale golden files: {sorted(stale)}"
+
+
+@pytest.mark.parametrize("name", _golden_names())
+def test_text_matches_golden_exactly(regenerated, name):
+    golden = (GOLDEN_DIR / f"{name}.txt").read_text()
+    assert regenerated.results[name]["text"] + "\n" == golden
+
+
+@pytest.mark.parametrize("name", _golden_names())
+def test_json_payload_matches_golden(regenerated, name):
+    golden = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+    payload = to_jsonable(
+        {k: v for k, v in regenerated.results[name].items() if k != "text"}
+    )
+    assert_matches(payload, golden, path=name)
+
+
+def test_manifest_hashes_match_golden(regenerated):
+    """The checked-in manifest's text hashes match a fresh run."""
+    manifest_path = GOLDEN_DIR / "manifest.json"
+    assert manifest_path.exists(), (
+        "artifacts/manifest.json missing; refresh with "
+        "`repro-paper --output artifacts`"
+    )
+    golden = json.loads(manifest_path.read_text())
+    for name in _golden_names():
+        assert golden["artifacts"][name]["text_sha256"] == text_sha256(
+            regenerated.results[name]
+        ), f"{name}: manifest hash drifted"

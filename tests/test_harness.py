@@ -175,9 +175,17 @@ class TestRunner:
         out = run_all(["table1", "sec3a"])
         assert set(out) == {"table1", "sec3a"}
 
-    def test_unknown_artifact(self):
-        with pytest.raises(SystemExit):
+    def test_unknown_artifact_raises_value_error(self):
+        # Library code raises ValueError; only the CLI (main) translates
+        # it into SystemExit.
+        with pytest.raises(ValueError, match="table9"):
             run_all(["table9"])
+
+    def test_unknown_artifact_cli_exits(self):
+        from repro.harness.runner import main
+
+        with pytest.raises(SystemExit, match="table9"):
+            main(["table9"])
 
     def test_artifact_registry_complete(self):
         assert {"table1", "table2", "table3", "table4", "table5", "table6",
