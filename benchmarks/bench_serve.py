@@ -1,0 +1,209 @@
+"""Load-test the what-if query service: 1,000 mixed queries.
+
+The load is a seeded sample from a finite pool of distinct questions
+(≥30% duplicates by construction — real planner traffic repeats
+itself), issued concurrently through :class:`ServeClient`.  Each round
+asserts the serving claims, not just the timing: the combined
+cache-hit + coalesce ratio clears 0.25, the admission queue never grows
+past its bound, nothing is shed, and every single response is
+byte-identical to calling the underlying library directly.
+"""
+
+import json
+import random
+import threading
+
+from repro.analysis.costbenefit import assess_scenario, me_speedup_estimate
+from repro.harness.export import to_jsonable
+from repro.hardware.registry import get_device
+from repro.hardware.roofline import (
+    achievable_flops,
+    arithmetic_intensity,
+    machine_balance,
+    roofline_time,
+)
+from repro.ozaki.perf import emulated_gemm_performance
+from repro.serve import SCENARIOS, ServeClient
+
+N_QUERIES = 1_000
+SEED = 20210517  # the ozaki substrate's seed, reused for the load mix
+MAX_QUEUE = 256
+
+
+def _request_pool():
+    """The distinct questions the synthetic planner keeps asking."""
+    pool = []
+    for scenario in ("k_computer", "anl", "future", "fugaku"):
+        for speedup in (2.0, 4.0, 8.0, "inf"):
+            pool.append(("node_hours", {"scenario": scenario,
+                                        "speedup": speedup}))
+        pool.append(("costbenefit", {"scenario": scenario,
+                                     "me_speedup": 4.0}))
+    for device in ("v100", "a100"):
+        pool.append(("me_speedup", {"device": device, "fmt": "fp16"}))
+    for device, fmt in (("v100", "fp16"), ("a100", "fp16"), ("tpuv3", "bf16")):
+        pool.append(("roofline", {"device": device, "flops": 2e12,
+                                  "nbytes": 4e9, "fmt": fmt}))
+    for impl in ("cublasDgemm", "DGEMM-TC", "SGEMM-TC"):
+        pool.append(("ozaki", {"implementation": impl, "input_range": 1e8}))
+    return pool
+
+
+def _req_key(kind, params):
+    return json.dumps({"kind": kind, "params": params}, sort_keys=True)
+
+
+def _direct_answer(kind, params):
+    """The library's answer, computed without the serving layer."""
+    if kind == "node_hours":
+        scenario = SCENARIOS[params["scenario"]]()
+        speedup = float(params["speedup"])
+        return to_jsonable(
+            {
+                "machine": scenario.name,
+                "speedup": speedup,
+                "reduction": scenario.reduction(speedup),
+                "consumed_fraction": scenario.consumed_fraction(speedup),
+                "throughput_improvement":
+                    scenario.throughput_improvement(speedup),
+                "node_hours_saved": scenario.node_hours_saved(speedup),
+            }
+        )
+    if kind == "costbenefit":
+        report = assess_scenario(
+            SCENARIOS[params["scenario"]](), me_speedup=params["me_speedup"]
+        )
+        answer = to_jsonable(report)
+        answer["worthwhile"] = report.worthwhile
+        answer["verdict"] = report.verdict()
+        return answer
+    if kind == "me_speedup":
+        return to_jsonable(
+            {
+                "device": params["device"],
+                "fmt": params["fmt"],
+                "me_speedup": me_speedup_estimate(
+                    params["device"], params["fmt"]
+                ),
+            }
+        )
+    if kind == "roofline":
+        device = get_device(params["device"])
+        unit = device.best_unit(params["fmt"])
+        duration, t_comp, t_mem = roofline_time(
+            device, unit, flops=params["flops"], nbytes=params["nbytes"],
+            fmt=params["fmt"], kind="gemm",
+        )
+        return to_jsonable(
+            {
+                "device": params["device"],
+                "unit": unit.name,
+                "duration_s": duration,
+                "t_compute_s": t_comp,
+                "t_memory_s": t_mem,
+                "bound": "compute" if t_comp >= t_mem else "memory",
+                "arithmetic_intensity": arithmetic_intensity(
+                    params["flops"], params["nbytes"]
+                ),
+                "machine_balance": machine_balance(device, params["fmt"]),
+                "achievable_flops": achievable_flops(
+                    unit, params["fmt"], "gemm"
+                ),
+            }
+        )
+    if kind == "ozaki":
+        for row in emulated_gemm_performance(8192, "v100"):
+            if row.implementation == params["implementation"] and (
+                not row.implementation.endswith("-TC")
+                or row.condition
+                == f"input range: {params['input_range']:.0e}"
+            ):
+                return to_jsonable(row)
+    raise AssertionError(f"no direct path for {kind}")
+
+
+def _mixed_requests():
+    rng = random.Random(SEED)
+    pool = _request_pool()
+    requests = [pool[rng.randrange(len(pool))] for _ in range(N_QUERIES)]
+    duplicates = 1 - len({_req_key(k, p) for k, p in requests}) / len(requests)
+    assert duplicates >= 0.30, f"load mix only {duplicates:.0%} duplicates"
+    return requests
+
+
+def _run_load(requests):
+    """One full service lifecycle: boot, serve the mix, snapshot, stop."""
+    depths = []
+    with ServeClient(workers=4, max_queue=MAX_QUEUE, cache_size=256) as client:
+        stop = threading.Event()
+
+        def watch_queue():
+            while not stop.is_set():
+                depths.append(client.metrics()["gauges"]["queue_depth"])
+                stop.wait(0.002)
+
+        watcher = threading.Thread(target=watch_queue, daemon=True)
+        watcher.start()
+        try:
+            responses = []
+            for start in range(0, len(requests), 200):
+                responses.extend(client.query_many(requests[start:start + 200]))
+        finally:
+            stop.set()
+            watcher.join()
+        return responses, client.metrics(), depths
+
+
+def bench_serve_mixed_load(benchmark):
+    requests = _mixed_requests()
+    expected = {}
+    for kind, params in requests:
+        key = _req_key(kind, params)
+        if key not in expected:
+            expected[key] = _direct_answer(kind, params)
+    _run_load(requests[:50])  # warm the substrate cache out of the timing
+
+    responses, metrics, depths = benchmark.pedantic(
+        _run_load, args=(requests,), rounds=3, iterations=1
+    )
+
+    assert len(responses) == N_QUERIES
+    for (kind, params), response in zip(requests, responses):
+        served = json.dumps(response.value, sort_keys=True)
+        direct = json.dumps(expected[_req_key(kind, params)], sort_keys=True)
+        assert served == direct, f"{kind} {params} diverged from the library"
+
+    counters = metrics["counters"]
+    assert counters["requests"] == N_QUERIES
+    derived = metrics["derived"]
+    reuse = derived["cache_hit_ratio"] + derived["coalesce_ratio"]
+    assert reuse >= 0.25, f"hit+coalesce ratio {reuse:.2f} < 0.25"
+    assert counters["shed"] == 0
+    assert counters["timeouts"] == 0
+    assert counters["errors"] == 0
+    assert depths and max(depths) <= MAX_QUEUE, "admission queue grew unbounded"
+    assert metrics["gauges"]["queue_depth"] == 0  # fully drained
+
+
+def bench_serve_cache_off(benchmark):
+    """The counterfactual: same mix, result cache disabled.
+
+    Coalescing still dedups concurrent identical queries, but every
+    answer not in flight is recomputed — the gap between this and
+    ``bench_serve_mixed_load`` is what the LRU cache buys.
+    """
+    requests = _mixed_requests()
+
+    def run_uncached():
+        with ServeClient(workers=4, max_queue=MAX_QUEUE, cache_size=0) as c:
+            responses = []
+            for start in range(0, len(requests), 200):
+                responses.extend(c.query_many(requests[start:start + 200]))
+            return responses, c.metrics()
+
+    run_uncached()  # substrate warm-up
+    responses, metrics = benchmark.pedantic(run_uncached, rounds=3,
+                                            iterations=1)
+    assert len(responses) == N_QUERIES
+    assert metrics["derived"]["cache_hit_ratio"] == 0.0
+    assert metrics["counters"]["computed"] > len(_request_pool())

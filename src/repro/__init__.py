@@ -37,6 +37,20 @@ from repro.analysis import assess_scenario, dark_silicon_analysis
 
 __version__ = "1.0.0"
 
+
+def package_version() -> str:
+    """The installed distribution's version, per package metadata.
+
+    Source checkouts run with ``PYTHONPATH=src`` and no installed
+    distribution; those fall back to the in-tree ``__version__``.
+    """
+    try:
+        from importlib import metadata
+
+        return metadata.version("repro")
+    except Exception:
+        return __version__
+
 __all__ = [
     "ReproError",
     "get_device",
@@ -64,5 +78,6 @@ __all__ = [
     "future_scenario",
     "assess_scenario",
     "dark_silicon_analysis",
+    "package_version",
     "__version__",
 ]

@@ -17,6 +17,10 @@ __all__ = [
     "OzakiError",
     "GraphError",
     "ScenarioError",
+    "ServeError",
+    "QueryValidationError",
+    "ServiceOverloaded",
+    "QueryTimeout",
 ]
 
 
@@ -59,3 +63,23 @@ class GraphError(ReproError, ValueError):
 
 class ScenarioError(ReproError, ValueError):
     """Invalid extrapolation scenario (domain shares not summing to one, …)."""
+
+
+class ServeError(ReproError, RuntimeError):
+    """Base class for failures of the :mod:`repro.serve` query service."""
+
+
+class QueryValidationError(ServeError, ValueError):
+    """A what-if query names an unknown kind or carries invalid parameters."""
+
+
+class ServiceOverloaded(ServeError):
+    """The admission queue is full; the request was shed, not queued.
+
+    Deliberate load-shedding: the serving engine rejects work it cannot
+    start promptly instead of letting the queue grow without bound.
+    """
+
+
+class QueryTimeout(ServeError, TimeoutError):
+    """A query's per-request deadline elapsed before its answer arrived."""

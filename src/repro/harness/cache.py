@@ -20,6 +20,7 @@ from __future__ import annotations
 import functools
 import inspect
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -27,9 +28,16 @@ __all__ = [
     "CacheStats",
     "SubstrateCache",
     "SUBSTRATE_CACHE",
+    "DEFAULT_MAX_ENTRIES",
     "memoize_substrate",
     "freeze",
 ]
+
+#: Default entry bound of a :class:`SubstrateCache`.  Substrates are few
+#: but large; a serving layer issuing distinct-seed queries must never
+#: grow the store without limit, so even the process-wide cache is
+#: bounded (generously — a full ``repro-paper`` run needs ~5 entries).
+DEFAULT_MAX_ENTRIES = 128
 
 
 def freeze(value: Any) -> Any:
@@ -58,6 +66,8 @@ class CacheStats:
     hits: int
     misses: int
     entries: int
+    evictions: int = 0
+    max_entries: int | None = None
 
     @property
     def lookups(self) -> int:
@@ -69,20 +79,44 @@ class CacheStats:
 
 
 class SubstrateCache:
-    """Thread-safe memo store with per-key computation locks.
+    """Thread-safe, LRU-bounded memo store with per-key computation locks.
 
     Two threads requesting the same uncached key serialise on that
     key's lock — the substrate is computed once and the loser reads the
     winner's value — while requests for *different* keys proceed in
-    parallel.
+    parallel.  The store holds at most ``max_entries`` values; inserting
+    past the bound evicts the least-recently-used entry together with
+    its computation lock, so neither map can grow without limit under
+    many distinct seeds.  ``max_entries=None`` disables the bound.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: int | None = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1 or None, got {max_entries}")
         self._mutex = threading.Lock()
-        self._values: dict[Any, Any] = {}
+        self._max_entries = max_entries
+        self._values: OrderedDict[Any, Any] = OrderedDict()
         self._key_locks: dict[Any, threading.Lock] = {}
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
+
+    @property
+    def max_entries(self) -> int | None:
+        return self._max_entries
+
+    def _insert(self, full_key: Any, value: Any) -> None:
+        """Store a value and evict LRU entries past the bound (mutex held)."""
+        self._values[full_key] = value
+        self._values.move_to_end(full_key)
+        self._misses += 1
+        while (
+            self._max_entries is not None
+            and len(self._values) > self._max_entries
+        ):
+            evicted_key, _ = self._values.popitem(last=False)
+            self._key_locks.pop(evicted_key, None)
+            self._evictions += 1
 
     def get_or_compute(
         self, substrate: str, factory: Callable[[], Any], key: Any = ()
@@ -93,17 +127,18 @@ class SubstrateCache:
         with self._mutex:
             if full_key in self._values:
                 self._hits += 1
+                self._values.move_to_end(full_key)
                 return self._values[full_key]
             key_lock = self._key_locks.setdefault(full_key, threading.Lock())
         with key_lock:
             with self._mutex:
                 if full_key in self._values:
                     self._hits += 1
+                    self._values.move_to_end(full_key)
                     return self._values[full_key]
             value = factory()
             with self._mutex:
-                self._values[full_key] = value
-                self._misses += 1
+                self._insert(full_key, value)
         return value
 
     def prime(self, substrate: str, key: Any, value: Any) -> None:
@@ -115,8 +150,7 @@ class SubstrateCache:
         full_key = (substrate, freeze(key))
         with self._mutex:
             if full_key not in self._values:
-                self._values[full_key] = value
-                self._misses += 1
+                self._insert(full_key, value)
 
     def __contains__(self, substrate: str) -> bool:
         with self._mutex:
@@ -133,7 +167,13 @@ class SubstrateCache:
 
     def stats(self) -> CacheStats:
         with self._mutex:
-            return CacheStats(self._hits, self._misses, len(self._values))
+            return CacheStats(
+                self._hits,
+                self._misses,
+                len(self._values),
+                self._evictions,
+                self._max_entries,
+            )
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
@@ -142,6 +182,7 @@ class SubstrateCache:
             self._key_locks.clear()
             self._hits = 0
             self._misses = 0
+            self._evictions = 0
 
 
 #: The process-wide cache every substrate factory shares.

@@ -335,6 +335,7 @@ def run_pipeline(
             "hits": stats.hits,
             "misses": stats.misses,
             "entries": stats.entries,
+            "evictions": stats.evictions,
         },
         "substrates": substrate_meta,
         "artifacts": {

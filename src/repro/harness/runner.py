@@ -132,6 +132,12 @@ def main(argv: list[str] | None = None) -> int:
         print("options:")
         print("  --output DIR  write text/JSON/CSV files plus manifest.json")
         print("  --jobs N      parallel workers for the artefact pipeline")
+        print("  --version     print the package version and exit")
+        return 0
+    if "--version" in args:
+        from repro import package_version
+
+        print(f"repro-paper {package_version()}")
         return 0
     outdir = _flag_value(args, "--output", "a directory argument")
     jobs_arg = _flag_value(args, "--jobs", "an integer argument")

@@ -1,0 +1,57 @@
+"""repro.serve — the async what-if query service.
+
+The paper's contribution is a cost-benefit *methodology*: given a
+machine's workload mix and an ME speedup, how many node-hours does the
+engine save?  That is an interactive, parameterised question, and this
+package serves it (and the other analysis layers: roofline pricing,
+compute density, Ozaki emulation cost) as typed queries through an
+asyncio engine with the core serving mechanics — request coalescing, a
+bounded LRU result cache over the substrate cache, micro-batching of
+sweep queries, bounded-queue backpressure with load shedding, per-query
+deadlines, and a metrics snapshot — plus a stdlib HTTP front end
+(``repro-serve``).
+
+>>> from repro.serve import ServeClient
+>>> with ServeClient() as client:
+...     r = client.query("node_hours", {"scenario": "anl", "speedup": 4.0})
+...     print(f"{r.value['reduction']:.1%}")
+11.2%
+"""
+
+from repro.errors import (
+    QueryTimeout,
+    QueryValidationError,
+    ServeError,
+    ServiceOverloaded,
+)
+from repro.serve.client import HttpServeClient, ServeClient
+from repro.serve.engine import QueryEngine, QueryResponse
+from repro.serve.handlers import DEFAULT_REGISTRY, SCENARIOS, default_registry
+from repro.serve.metrics import Metrics
+from repro.serve.queries import (
+    Query,
+    QueryKind,
+    QueryRegistry,
+    canonical_hash,
+    canonical_params,
+)
+
+__all__ = [
+    "QueryEngine",
+    "QueryResponse",
+    "ServeClient",
+    "HttpServeClient",
+    "Metrics",
+    "Query",
+    "QueryKind",
+    "QueryRegistry",
+    "canonical_hash",
+    "canonical_params",
+    "default_registry",
+    "DEFAULT_REGISTRY",
+    "SCENARIOS",
+    "ServeError",
+    "QueryValidationError",
+    "ServiceOverloaded",
+    "QueryTimeout",
+]

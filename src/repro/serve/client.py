@@ -1,0 +1,176 @@
+"""Clients for the what-if query engine.
+
+:class:`ServeClient` is the in-process client: it owns an event loop on
+a background thread and exposes a synchronous, thread-safe ``query``
+API over a :class:`~repro.serve.engine.QueryEngine` — tests, the load
+generator, and the HTTP front end all talk to the engine through it, so
+any number of caller threads funnel onto the one loop the engine's
+state lives on.
+
+:class:`HttpServeClient` speaks the same protocol over HTTP (stdlib
+``urllib``) against a running ``repro-serve`` server, translating the
+error statuses back into the library's exception types.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import urllib.error
+import urllib.request
+from typing import Any, Sequence
+
+from repro.errors import (
+    QueryTimeout,
+    QueryValidationError,
+    ServeError,
+    ServiceOverloaded,
+)
+from repro.serve.engine import QueryEngine, QueryResponse
+
+__all__ = ["ServeClient", "HttpServeClient"]
+
+
+class ServeClient:
+    """Synchronous, thread-safe facade over an in-process engine.
+
+    The engine and all its state are confined to one event loop running
+    on a daemon thread; every call marshals onto that loop, so hammering
+    one client from many threads is safe by construction.
+    """
+
+    def __init__(self, engine: QueryEngine | None = None, **engine_kwargs: Any):
+        if engine is not None and engine_kwargs:
+            raise ValueError("pass an engine or engine kwargs, not both")
+        self.engine = engine or QueryEngine(**engine_kwargs)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "ServeClient":
+        if self._loop is not None:
+            raise ServeError("client already started")
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        self._run(self.engine.start())
+        return self
+
+    def close(self) -> None:
+        if self._loop is None:
+            return
+        self._run(self.engine.stop())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def _run(self, coro: Any) -> Any:
+        if self._loop is None:
+            raise ServeError("client not started; use 'with ServeClient()'")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    # -- queries ------------------------------------------------------------
+
+    def query(
+        self,
+        kind: str,
+        params: dict[str, Any] | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> QueryResponse:
+        """Answer one query (blocking); raises the engine's exceptions."""
+        return self._run(self.engine.submit(kind, params, timeout=timeout))
+
+    def query_many(
+        self,
+        requests: Sequence[tuple[str, dict[str, Any] | None]],
+        *,
+        timeout: float | None = None,
+        return_exceptions: bool = False,
+    ) -> list[QueryResponse | BaseException]:
+        """Submit many queries concurrently onto the engine's loop.
+
+        Concurrent submission is what lets identical requests coalesce
+        and batchable ones gather — a serial ``query`` loop would finish
+        each answer before the next question is even asked.
+        """
+
+        async def _gather() -> list[Any]:
+            return await asyncio.gather(
+                *(
+                    self.engine.submit(kind, params, timeout=timeout)
+                    for kind, params in requests
+                ),
+                return_exceptions=return_exceptions,
+            )
+
+        return self._run(_gather())
+
+    def metrics(self) -> dict[str, Any]:
+        """The engine's current metrics snapshot."""
+        return self.engine.metrics.snapshot()
+
+    def kinds(self) -> dict[str, Any]:
+        """The registry's query-kind listing."""
+        return self.engine.registry.describe()
+
+
+class HttpServeClient:
+    """Minimal stdlib HTTP client for a running ``repro-serve`` server."""
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            payload = exc.read().decode("utf-8", "replace")
+            try:
+                message = json.loads(payload).get("error", payload)
+            except (ValueError, AttributeError):
+                message = payload
+            if exc.code == 400:
+                raise QueryValidationError(message) from None
+            if exc.code == 429:
+                raise ServiceOverloaded(message) from None
+            if exc.code == 504:
+                raise QueryTimeout(message) from None
+            raise ServeError(f"HTTP {exc.code}: {message}") from None
+
+    def query(self, kind: str, params: dict[str, Any] | None = None) -> dict:
+        """POST one query; returns the response payload (``value`` plus
+        serving metadata) as a dict."""
+        return self._request(
+            "POST", "/query", {"kind": kind, "params": params or {}}
+        )
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def kinds(self) -> dict:
+        return self._request("GET", "/kinds")
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")

@@ -1,0 +1,384 @@
+"""The async what-if query engine: coalescing, caching, batching,
+backpressure.
+
+One :class:`QueryEngine` owns an admission queue, a small asyncio
+worker pool (handlers run on a thread-pool executor so the event loop
+stays responsive), and four serving mechanisms:
+
+* **result cache** — a bounded LRU keyed on the canonical query hash
+  plus the governing substrate seeds; identical questions are answered
+  from memory;
+* **coalescing** — identical *in-flight* questions share one
+  computation: later arrivals await the first one's future;
+* **micro-batching** — queries of a batchable kind that differ only
+  along the kind's batch axis gather for a short window and collapse
+  into one vectorised evaluation;
+* **backpressure** — the admission queue is bounded; when it is full
+  new work is *shed* with :class:`~repro.errors.ServiceOverloaded`
+  instead of queued, and every request carries a deadline
+  (:class:`~repro.errors.QueryTimeout`).
+
+Everything engine-side runs on one event loop — cross-thread callers go
+through :class:`repro.serve.client.ServeClient`, which owns a loop in a
+background thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import QueryTimeout, QueryValidationError, ServeError, ServiceOverloaded
+from repro.serve.metrics import Metrics
+from repro.serve.queries import Query, QueryRegistry, canonical_params
+
+__all__ = ["QueryEngine", "QueryResponse"]
+
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """One answered query plus its serving metadata.
+
+    ``value`` is exactly what the underlying library call returns
+    (JSON-encoded); the metadata says how the engine got it.
+    """
+
+    kind: str
+    params: dict[str, Any]
+    value: Any
+    cached: bool = False
+    coalesced: bool = False
+    batched: bool = False
+    latency_s: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "params": self.params,
+            "value": self.value,
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+            "batched": self.batched,
+            "latency_s": self.latency_s,
+        }
+
+
+@dataclass
+class _BatchGroup:
+    """Pending members of one micro-batch (same kind, same non-axis params)."""
+
+    group_key: tuple[str, str]
+    members: list[tuple[Query, asyncio.Future]] = field(default_factory=list)
+
+
+class QueryEngine:
+    """Asyncio serving engine over the registered what-if queries.
+
+    Parameters
+    ----------
+    registry:
+        Query kinds to serve (defaults to every built-in kind).
+    workers:
+        Concurrent handler evaluations (worker tasks + executor threads).
+    max_queue:
+        Admission-queue bound; a full queue sheds with
+        :class:`ServiceOverloaded`.
+    cache_size:
+        Result-cache entry bound (LRU eviction).
+    batch_window_s:
+        How long a claimed micro-batch keeps gathering members.
+    max_batch:
+        Largest micro-batch; further members start a new group.
+    default_timeout_s:
+        Per-query deadline when the caller does not pass one.
+    """
+
+    def __init__(
+        self,
+        registry: QueryRegistry | None = None,
+        *,
+        workers: int = 4,
+        max_queue: int = 128,
+        cache_size: int = 256,
+        batch_window_s: float = 0.005,
+        max_batch: int = 64,
+        default_timeout_s: float = 30.0,
+        metrics: Metrics | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if registry is None:
+            from repro.serve.handlers import DEFAULT_REGISTRY
+
+            registry = DEFAULT_REGISTRY
+        self.registry = registry
+        self.workers = workers
+        self.max_queue = max_queue
+        self.cache_size = cache_size
+        self.batch_window_s = batch_window_s
+        self.max_batch = max_batch
+        self.default_timeout_s = default_timeout_s
+        self.metrics = metrics or Metrics()
+
+        self._cache: OrderedDict[Any, Any] = OrderedDict()
+        self._inflight: dict[Any, asyncio.Future] = {}
+        self._pending_batches: dict[tuple[str, str], _BatchGroup] = {}
+        self._queue: asyncio.Queue | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._worker_tasks: list[asyncio.Task] = []
+
+        self.metrics.register_gauge(
+            "queue_depth", lambda: self._queue.qsize() if self._queue else 0
+        )
+        self.metrics.register_gauge("inflight", lambda: len(self._inflight))
+        self.metrics.register_gauge("cache_entries", lambda: len(self._cache))
+        self.metrics.register_gauge(
+            "pending_batches", lambda: len(self._pending_batches)
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._queue is not None
+
+    async def start(self) -> None:
+        if self.started:
+            raise ServeError("engine already started")
+        self._queue = asyncio.Queue(maxsize=self.max_queue)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
+        self._worker_tasks = [
+            asyncio.ensure_future(self._worker()) for _ in range(self.workers)
+        ]
+
+    async def stop(self) -> None:
+        if not self.started:
+            return
+        queue = self._queue
+        for _ in self._worker_tasks:
+            await queue.put(_STOP)
+        await asyncio.gather(*self._worker_tasks)
+        self._worker_tasks = []
+        self._queue = None
+        self._executor.shutdown(wait=True)
+        self._executor = None
+
+    async def __aenter__(self) -> "QueryEngine":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.stop()
+
+    # -- the serving path ---------------------------------------------------
+
+    async def submit(
+        self,
+        kind: str,
+        params: dict[str, Any] | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> QueryResponse:
+        """Answer one query, from cache / a shared computation / fresh work.
+
+        Raises :class:`QueryValidationError` for bad input,
+        :class:`ServiceOverloaded` when the admission queue is full, and
+        :class:`QueryTimeout` when the deadline elapses first.
+        """
+        if not self.started:
+            raise ServeError("engine not started; use 'async with QueryEngine()'")
+        try:
+            query = self.registry.build(kind, params)
+        except QueryValidationError:
+            self.metrics.inc("invalid")
+            raise
+        t0 = time.perf_counter()
+        self.metrics.inc("requests")
+        key = query.cache_key
+        wire_params = canonical_params(query.params)
+
+        if key in self._cache:
+            self._cache.move_to_end(key)
+            self.metrics.inc("cache_hits")
+            return self._respond(
+                query, wire_params, self._cache[key], t0, cached=True
+            )
+
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self.metrics.inc("coalesced")
+            value, _ = await self._await_result(inflight, timeout, query)
+            return self._respond(query, wire_params, value, t0, coalesced=True)
+
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            self._admit(query, future)
+        except ServiceOverloaded:
+            self._inflight.pop(key, None)
+            self.metrics.inc("shed")
+            raise
+        value, n_members = await self._await_result(future, timeout, query)
+        return self._respond(
+            query, wire_params, value, t0, batched=n_members > 1
+        )
+
+    def _respond(
+        self,
+        query: Query,
+        wire_params: dict[str, Any],
+        value: Any,
+        t0: float,
+        **flags: bool,
+    ) -> QueryResponse:
+        latency = time.perf_counter() - t0
+        self.metrics.observe_latency(query.kind.name, latency)
+        return QueryResponse(
+            kind=query.kind.name,
+            params=wire_params,
+            value=value,
+            latency_s=latency,
+            **flags,
+        )
+
+    def _admit(self, query: Query, future: asyncio.Future) -> None:
+        """Queue fresh work, joining a pending micro-batch when possible."""
+        group_key = query.batch_group()
+        if group_key is not None:
+            group = self._pending_batches.get(group_key)
+            if group is not None and len(group.members) < self.max_batch:
+                group.members.append((query, future))
+                return
+        if group_key is None:
+            self._enqueue(query, future)
+            return
+        group = _BatchGroup(group_key, [(query, future)])
+        self._enqueue_group(group)
+
+    def _enqueue(self, query: Query, future: asyncio.Future) -> None:
+        try:
+            self._queue.put_nowait((query, future))
+        except asyncio.QueueFull:
+            raise ServiceOverloaded(
+                f"admission queue full ({self.max_queue}); "
+                f"{query.kind.name} query shed"
+            ) from None
+
+    def _enqueue_group(self, group: _BatchGroup) -> None:
+        try:
+            self._queue.put_nowait(group)
+        except asyncio.QueueFull:
+            raise ServiceOverloaded(
+                f"admission queue full ({self.max_queue}); "
+                f"{group.group_key[0]} query shed"
+            ) from None
+        self._pending_batches[group.group_key] = group
+
+    async def _await_result(
+        self, future: asyncio.Future, timeout: float | None, query: Query
+    ) -> tuple[Any, int]:
+        """Wait for a computation with the per-query deadline.
+
+        The future is shielded: one waiter timing out must not cancel
+        the computation other coalesced waiters share.
+        """
+        deadline = self.default_timeout_s if timeout is None else timeout
+        try:
+            return await asyncio.wait_for(asyncio.shield(future), deadline)
+        except asyncio.TimeoutError:
+            self.metrics.inc("timeouts")
+            raise QueryTimeout(
+                f"{query.kind.name} query exceeded its {deadline}s deadline"
+            ) from None
+
+    # -- workers ------------------------------------------------------------
+
+    def _store(self, key: Any, value: Any) -> None:
+        if self.cache_size == 0:
+            return
+        self._cache[key] = value
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def _finish(
+        self, query: Query, future: asyncio.Future, value: Any, n_members: int
+    ) -> None:
+        self._store(query.cache_key, value)
+        self._inflight.pop(query.cache_key, None)
+        if not future.done():
+            future.set_result((value, n_members))
+
+    def _fail(
+        self, query: Query, future: asyncio.Future, exc: BaseException
+    ) -> None:
+        self._inflight.pop(query.cache_key, None)
+        self.metrics.inc("errors")
+        if not future.done():
+            future.set_exception(exc)
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            if item is _STOP:
+                return
+            if isinstance(item, _BatchGroup):
+                await self._run_batch(loop, item)
+            else:
+                query, future = item
+                try:
+                    value = await loop.run_in_executor(
+                        self._executor, query.kind.handler, query.params
+                    )
+                except Exception as exc:
+                    self._fail(query, future, exc)
+                else:
+                    self.metrics.inc("computed")
+                    self._finish(query, future, value, 1)
+
+    async def _run_batch(self, loop: asyncio.AbstractEventLoop,
+                         group: _BatchGroup) -> None:
+        if self.batch_window_s > 0:
+            # Let the batch gather: members arriving during the window
+            # join group.members directly instead of occupying queue slots.
+            await asyncio.sleep(self.batch_window_s)
+        self._pending_batches.pop(group.group_key, None)
+        members = list(group.members)
+        kind = members[0][0].kind
+        axis = kind.batch_axis
+        values = tuple(getattr(q.params, axis) for q, _ in members)
+        try:
+            answers = await loop.run_in_executor(
+                self._executor,
+                kind.batch_handler,
+                members[0][0].params,
+                values,
+            )
+        except Exception as exc:
+            for query, future in members:
+                self._fail(query, future, exc)
+            return
+        self.metrics.inc("computed", len(members))
+        self.metrics.inc("batches")
+        self.metrics.batch_size.observe(len(members))
+        if len(members) > 1:
+            self.metrics.inc("batched", len(members))
+        for query, future in members:
+            self._finish(
+                query, future, answers[getattr(query.params, axis)], len(members)
+            )

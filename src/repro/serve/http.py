@@ -1,0 +1,215 @@
+"""The ``repro-serve`` HTTP front end (stdlib-only).
+
+A :class:`ThreadingHTTPServer` whose handler threads delegate to the
+thread-safe :class:`~repro.serve.client.ServeClient`, which marshals
+every request onto the engine's event loop — so concurrent HTTP
+requests coalesce, batch, and shed exactly like in-process ones.
+
+Endpoints (JSON in, JSON out):
+
+* ``POST /query``  — ``{"kind": ..., "params": {...}}`` → the answer
+  plus serving metadata (``cached``/``coalesced``/``batched``/latency);
+* ``GET /kinds``   — every query kind and its parameter schema;
+* ``GET /metrics`` — the engine's metrics snapshot;
+* ``GET /healthz`` — liveness.
+
+Errors map to statuses: invalid queries → 400, load shedding → 429,
+deadline expiry → 504, handler failures → 500.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.errors import (
+    QueryTimeout,
+    QueryValidationError,
+    ReproError,
+    ServiceOverloaded,
+)
+from repro.serve.client import ServeClient
+
+__all__ = ["ServeHTTPServer", "make_server", "main"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: "ServeHTTPServer"
+
+    def _send(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        if self.server.verbose:  # pragma: no cover - log formatting
+            super().log_message(fmt, *args)
+
+    def do_GET(self) -> None:
+        client = self.server.client
+        if self.path == "/healthz":
+            self._send(200, {"ok": True})
+        elif self.path == "/metrics":
+            self._send(200, client.metrics())
+        elif self.path == "/kinds":
+            self._send(200, client.kinds())
+        else:
+            self._send(404, {"error": f"no such endpoint: {self.path}"})
+
+    def do_POST(self) -> None:
+        if self.path != "/query":
+            self._send(404, {"error": f"no such endpoint: {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            request = json.loads(self.rfile.read(length) or b"{}")
+            kind = request["kind"]
+            params = request.get("params") or {}
+        except (ValueError, KeyError, TypeError) as exc:
+            self._send(400, {"error": f"malformed query request: {exc}"})
+            return
+        try:
+            response = self.server.client.query(kind, params)
+        except QueryValidationError as exc:
+            self._send(400, {"error": str(exc)})
+        except ServiceOverloaded as exc:
+            self._send(429, {"error": str(exc)})
+        except QueryTimeout as exc:
+            self._send(504, {"error": str(exc)})
+        except ReproError as exc:
+            self._send(500, {"error": str(exc)})
+        else:
+            payload = response.to_dict()
+            payload["ok"] = True
+            self._send(200, payload)
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """HTTP server bound to one started :class:`ServeClient`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        client: ServeClient,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        self.client = client
+        self.verbose = verbose
+        super().__init__(address, _Handler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    client: ServeClient | None = None,
+    verbose: bool = False,
+    **engine_kwargs: Any,
+) -> ServeHTTPServer:
+    """Build a server (and, unless given one, a started client).
+
+    ``port=0`` binds an ephemeral port — read ``server.url`` for the
+    actual address.  The caller owns shutdown: ``server.shutdown()``
+    then ``server.client.close()``.
+    """
+    if client is None:
+        client = ServeClient(**engine_kwargs).start()
+    return ServeHTTPServer((host, port), client, verbose=verbose)
+
+
+def _flag_value(args: list[str], flag: str, what: str) -> str | None:
+    """Pop ``flag VALUE`` from ``args``; SystemExit when VALUE is missing."""
+    if flag not in args:
+        return None
+    idx = args.index(flag)
+    try:
+        value = args[idx + 1]
+    except IndexError:
+        raise SystemExit(f"{flag} requires {what}")
+    del args[idx : idx + 2]
+    return value
+
+
+def _int_flag(args: list[str], flag: str, default: int) -> int:
+    raw = _flag_value(args, flag, "an integer argument")
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise SystemExit(f"{flag} expects an integer, got {raw!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console entry point for ``repro-serve``."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] in ("-h", "--help"):
+        print("usage: repro-serve [--host HOST] [--port PORT] [options]")
+        print("options:")
+        print("  --host HOST        bind address (default 127.0.0.1)")
+        print("  --port PORT        bind port; 0 picks one (default 8077)")
+        print("  --workers N        concurrent handler evaluations (default 4)")
+        print("  --queue-size N     admission-queue bound (default 128)")
+        print("  --cache-size N     result-cache entries (default 256)")
+        print("  --timeout SECONDS  per-query deadline (default 30)")
+        print("  --verbose          log every request")
+        print("  --version          print the package version and exit")
+        return 0
+    if "--version" in args:
+        from repro import package_version
+
+        print(f"repro-serve {package_version()}")
+        return 0
+    host = _flag_value(args, "--host", "a bind address") or "127.0.0.1"
+    port = _int_flag(args, "--port", 8077)
+    workers = _int_flag(args, "--workers", 4)
+    queue_size = _int_flag(args, "--queue-size", 128)
+    cache_size = _int_flag(args, "--cache-size", 256)
+    timeout_raw = _flag_value(args, "--timeout", "a number of seconds")
+    verbose = "--verbose" in args
+    if verbose:
+        args.remove("--verbose")
+    if args:
+        raise SystemExit(f"unknown argument {args[0]!r}; see repro-serve --help")
+    try:
+        timeout = float(timeout_raw) if timeout_raw is not None else 30.0
+    except ValueError:
+        raise SystemExit(f"--timeout expects a number, got {timeout_raw!r}")
+
+    server = make_server(
+        host,
+        port,
+        verbose=verbose,
+        workers=workers,
+        max_queue=queue_size,
+        cache_size=cache_size,
+        default_timeout_s=timeout,
+    )
+    print(f"repro-serve listening on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.client.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

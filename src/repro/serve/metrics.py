@@ -1,0 +1,178 @@
+"""Serving metrics: counters, gauges, and latency histograms.
+
+Stdlib-only instrumentation for the :mod:`repro.serve` query engine.
+Counters and histograms are updated from the event loop and from worker
+threads, so every primitive is lock-protected; :meth:`Metrics.snapshot`
+returns one JSON-encodable dict — the payload of the HTTP ``/metrics``
+endpoint — with derived rates (qps, cache-hit ratio, coalesce ratio)
+computed at snapshot time so the raw counters stay monotone.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable
+
+__all__ = ["Counter", "Gauge", "Histogram", "Metrics"]
+
+
+class Counter:
+    """A monotone counter."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counters only go up, got {n}")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time value, either set directly or read via callback."""
+
+    def __init__(self, fn: Callable[[], float] | None = None) -> None:
+        self._lock = threading.Lock()
+        self._fn = fn
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Bounded-reservoir histogram with percentile summaries.
+
+    Keeps the most recent ``maxlen`` observations (plus exact count,
+    sum, and max over the full stream) — enough for the p50/p95/p99
+    latency summaries a serving dashboard wants, without unbounded
+    growth under sustained load.
+    """
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._recent: deque[float] = deque(maxlen=maxlen)
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._recent.append(value)
+            self._count += 1
+            self._sum += value
+            if value > self._max:
+                self._max = value
+
+    @staticmethod
+    def _percentile(ordered: list[float], q: float) -> float:
+        """Nearest-rank percentile of a pre-sorted sample."""
+        idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[idx]
+
+    def summary(self) -> dict[str, float | int]:
+        with self._lock:
+            sample = sorted(self._recent)
+            count, total, peak = self._count, self._sum, self._max
+        if not sample:
+            return {"count": 0, "mean": 0.0, "max": 0.0,
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "count": count,
+            "mean": total / count,
+            "max": peak,
+            "p50": self._percentile(sample, 0.50),
+            "p95": self._percentile(sample, 0.95),
+            "p99": self._percentile(sample, 0.99),
+        }
+
+
+class Metrics:
+    """The serving engine's instrument panel.
+
+    Counters follow the request lifecycle — every admitted request is
+    exactly one of ``cache_hits``, ``coalesced``, or ``computed`` (the
+    batched slice of ``computed`` is additionally counted in
+    ``batched``), and every rejection is one of ``shed``, ``timeouts``,
+    ``errors``, or ``invalid``.
+    """
+
+    COUNTERS = (
+        "requests",    # admitted queries (valid kind + params)
+        "cache_hits",  # answered from the result cache
+        "coalesced",   # attached to an identical in-flight computation
+        "computed",    # answered by a fresh handler evaluation
+        "batched",     # computed queries that rode a micro-batch
+        "batches",     # micro-batch evaluations performed
+        "shed",        # rejected with ServiceOverloaded
+        "timeouts",    # per-query deadline expired
+        "errors",      # handler raised
+        "invalid",     # rejected before admission (bad kind/params)
+    )
+
+    def __init__(self) -> None:
+        self._started = time.perf_counter()
+        self.counters: dict[str, Counter] = {n: Counter() for n in self.COUNTERS}
+        self.gauges: dict[str, Gauge] = {}
+        self.latency = Histogram()
+        self.latency_by_kind: dict[str, Histogram] = {}
+        self.batch_size = Histogram()
+        self._lock = threading.Lock()
+
+    def inc(self, counter: str, n: int = 1) -> None:
+        self.counters[counter].inc(n)
+
+    def register_gauge(self, name: str, fn: Callable[[], float]) -> None:
+        self.gauges[name] = Gauge(fn)
+
+    def observe_latency(self, kind: str, seconds: float) -> None:
+        self.latency.observe(seconds)
+        with self._lock:
+            hist = self.latency_by_kind.get(kind)
+            if hist is None:
+                hist = self.latency_by_kind.setdefault(kind, Histogram())
+        hist.observe(seconds)
+
+    def snapshot(self) -> dict[str, Any]:
+        """One JSON-encodable view of every counter, gauge, and summary."""
+        counters = {n: c.value for n, c in self.counters.items()}
+        uptime = time.perf_counter() - self._started
+        requests = counters["requests"]
+        with self._lock:
+            by_kind = dict(self.latency_by_kind)
+        return {
+            "uptime_s": uptime,
+            "counters": counters,
+            "gauges": {n: g.value for n, g in self.gauges.items()},
+            "derived": {
+                "qps": requests / uptime if uptime > 0 else 0.0,
+                "cache_hit_ratio": (
+                    counters["cache_hits"] / requests if requests else 0.0
+                ),
+                "coalesce_ratio": (
+                    counters["coalesced"] / requests if requests else 0.0
+                ),
+            },
+            "latency_s": self.latency.summary(),
+            "latency_s_by_kind": {
+                kind: hist.summary() for kind, hist in sorted(by_kind.items())
+            },
+            "batch_size": self.batch_size.summary(),
+        }

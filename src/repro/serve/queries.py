@@ -1,0 +1,232 @@
+"""Typed what-if queries: dataclass params, canonical hashing, registry.
+
+A *query* is a kind name plus a validated params dataclass.  Two
+queries that mean the same thing — whatever the field order or default
+elision on the wire — canonicalise to the same SHA-256
+(:func:`canonical_hash`), which is what the serving engine coalesces
+and caches on.  The registry maps each kind to a **pure** handler
+(params in, JSON-encodable answer out; all shared state flows through
+the substrate cache), so an answer is a function of the canonical hash
+plus the governing substrate seeds — the engine's cache key.
+
+Batchable kinds additionally declare a *batch axis*: queries identical
+everywhere except that one scalar field collapse into a single
+vectorised evaluation (see :mod:`repro.serve.engine`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import QueryValidationError
+
+__all__ = [
+    "QueryKind",
+    "QueryRegistry",
+    "Query",
+    "canonical_params",
+    "canonical_hash",
+]
+
+
+def canonical_params(params: Any) -> dict[str, Any]:
+    """A query's params as a plain dict with non-finite floats encoded.
+
+    JSON has no ``Infinity``; an infinite ME speedup (the paper's
+    idealised engine) canonicalises to the string ``"inf"`` — the same
+    spelling :func:`repro.harness.export.to_jsonable` uses — so wire
+    payloads and in-process dataclasses hash identically.
+    """
+    if dataclasses.is_dataclass(params) and not isinstance(params, type):
+        raw = dataclasses.asdict(params)
+    elif isinstance(params, dict):
+        raw = dict(params)
+    else:
+        raise QueryValidationError(
+            f"params must be a dataclass or dict, got {type(params).__name__}"
+        )
+    out: dict[str, Any] = {}
+    for key, value in raw.items():
+        if isinstance(value, float):
+            if math.isinf(value):
+                value = "inf" if value > 0 else "-inf"
+            elif math.isnan(value):
+                raise QueryValidationError(f"param {key!r} is NaN")
+        out[str(key)] = value
+    return out
+
+
+def canonical_hash(kind: str, params: Any) -> str:
+    """SHA-256 of the canonical (kind, params) encoding."""
+    payload = {"kind": kind, "params": canonical_params(params)}
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class QueryKind:
+    """One registered query type.
+
+    ``handler`` answers a single params instance; for batchable kinds
+    ``batch_axis`` names the scalar field queries may differ in, and
+    ``batch_handler`` answers a whole group at once — it receives one
+    representative params instance plus the sorted distinct axis values
+    and returns ``{axis_value: answer}``.  ``substrates`` names the
+    pipeline substrates the answer depends on; their seeds join the
+    result-cache key.
+    """
+
+    name: str
+    params_type: type
+    handler: Callable[[Any], Any]
+    description: str
+    substrates: tuple[str, ...] = ()
+    batch_axis: str | None = None
+    batch_handler: Callable[[Any, tuple[Any, ...]], dict[Any, Any]] | None = None
+
+    def __post_init__(self) -> None:
+        if (self.batch_axis is None) != (self.batch_handler is None):
+            raise ValueError(
+                f"{self.name}: batch_axis and batch_handler come together"
+            )
+
+    def build_params(self, raw: dict[str, Any] | None) -> Any:
+        """Construct + validate the params dataclass from wire input.
+
+        Float-typed fields are coerced from ints and from the canonical
+        ``"inf"``/``"-inf"`` strings, so ``{"speedup": 4}``,
+        ``{"speedup": 4.0}``, and a round-tripped canonical params dict
+        all build — and hash — identically.
+        """
+        raw = dict(raw or {})
+        fields = {f.name for f in dataclasses.fields(self.params_type)}
+        unknown = sorted(set(raw) - fields)
+        if unknown:
+            raise QueryValidationError(
+                f"{self.name}: unknown parameter {unknown[0]!r}; "
+                f"accepts {sorted(fields)}"
+            )
+        for f in dataclasses.fields(self.params_type):
+            if f.name not in raw or f.type not in ("float", float):
+                continue
+            value = raw[f.name]
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, int):
+                raw[f.name] = float(value)
+            elif isinstance(value, str):
+                try:
+                    raw[f.name] = float(value)
+                except ValueError:
+                    pass  # leave it for the dataclass to reject
+        try:
+            return self.params_type(**raw)
+        except QueryValidationError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise QueryValidationError(f"{self.name}: {exc}") from exc
+
+    def substrate_seeds(self) -> tuple[tuple[str, int | None], ...]:
+        """(substrate, seed) pairs governing this kind's answers."""
+        from repro.harness.pipeline import SUBSTRATES
+
+        return tuple(
+            (name, SUBSTRATES[name].seed if name in SUBSTRATES else None)
+            for name in self.substrates
+        )
+
+
+@dataclass(frozen=True)
+class Query:
+    """A validated, canonically-hashable unit of work."""
+
+    kind: QueryKind
+    params: Any
+    hash: str
+
+    @property
+    def cache_key(self) -> tuple[str, tuple[tuple[str, int | None], ...]]:
+        """Result-cache key: canonical hash + governing substrate seeds."""
+        return (self.hash, self.kind.substrate_seeds())
+
+    def batch_group(self) -> tuple[str, str] | None:
+        """Group key for micro-batching: the canonical hash of this query
+        with its batch-axis field removed.  ``None`` for unbatchable
+        kinds."""
+        axis = self.kind.batch_axis
+        if axis is None:
+            return None
+        rest = {
+            k: v for k, v in canonical_params(self.params).items() if k != axis
+        }
+        return (self.kind.name, canonical_hash(f"{self.kind.name}@batch", rest))
+
+
+class QueryRegistry:
+    """Name -> :class:`QueryKind` mapping with wire-level construction."""
+
+    def __init__(self, kinds: tuple[QueryKind, ...] = ()) -> None:
+        self._kinds: dict[str, QueryKind] = {}
+        for kind in kinds:
+            self.register(kind)
+
+    def register(self, kind: QueryKind) -> QueryKind:
+        if kind.name in self._kinds:
+            raise ValueError(f"query kind {kind.name!r} already registered")
+        self._kinds[kind.name] = kind
+        return kind
+
+    def get(self, name: str) -> QueryKind:
+        try:
+            return self._kinds[name]
+        except KeyError:
+            raise QueryValidationError(
+                f"unknown query kind {name!r}; known: {sorted(self._kinds)}"
+            ) from None
+
+    def build(self, name: str, params: dict[str, Any] | None = None) -> Query:
+        """Validate wire input into a hashable :class:`Query`."""
+        kind = self.get(name)
+        built = kind.build_params(params)
+        return Query(kind=kind, params=built, hash=canonical_hash(name, built))
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._kinds))
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-encodable listing of every kind and its param schema —
+        the ``/kinds`` endpoint payload."""
+        out: dict[str, Any] = {}
+        for name in self.names():
+            kind = self._kinds[name]
+            out[name] = {
+                "description": kind.description,
+                "batch_axis": kind.batch_axis,
+                "substrates": list(kind.substrates),
+                "params": {
+                    f.name: {
+                        "type": getattr(f.type, "__name__", str(f.type)),
+                        "default": (
+                            None
+                            if f.default is dataclasses.MISSING
+                            else ("inf" if isinstance(f.default, float)
+                                  and math.isinf(f.default) else f.default)
+                        ),
+                        "required": f.default is dataclasses.MISSING
+                        and f.default_factory is dataclasses.MISSING,
+                    }
+                    for f in dataclasses.fields(kind.params_type)
+                },
+            }
+        return out
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._kinds
+
+    def __len__(self) -> int:
+        return len(self._kinds)

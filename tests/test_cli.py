@@ -20,6 +20,19 @@ class TestHelp:
         assert main(["-h"]) == 0
         assert "usage" in capsys.readouterr().out
 
+    def test_version(self, capsys):
+        from repro import package_version
+
+        assert main(["--version"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out == f"repro-paper {package_version()}"
+
+    def test_version_wins_over_artifact_selection(self, capsys):
+        assert main(["table1", "--version"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro-paper ")
+        assert "=== table1" not in out
+
 
 class TestSelection:
     def test_single_artifact(self, capsys):

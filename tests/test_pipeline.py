@@ -102,6 +102,76 @@ class TestSubstrateCache:
         assert len(calls) == 3
 
 
+class TestSubstrateCacheBounds:
+    """The store is LRU-bounded: many distinct seeds must not grow it
+    (or its per-key lock map) without limit."""
+
+    def test_default_bound_is_generous_but_finite(self):
+        from repro.harness.cache import DEFAULT_MAX_ENTRIES
+
+        cache = SubstrateCache()
+        assert cache.max_entries == DEFAULT_MAX_ENTRIES == 128
+        assert cache.stats().max_entries == 128
+
+    def test_insertion_past_the_bound_evicts_lru(self):
+        cache = SubstrateCache(max_entries=2)
+        for seed in (1, 2, 3):
+            cache.get_or_compute("s", lambda s=seed: s, key=(seed,))
+        assert len(cache) == 2
+        assert cache.stats().evictions == 1
+        # seed=1 was evicted: asking again recomputes it
+        calls = []
+        cache.get_or_compute("s", lambda: calls.append(1) or 1, key=(1,))
+        assert calls == [1]
+
+    def test_hit_refreshes_recency(self):
+        cache = SubstrateCache(max_entries=2)
+        cache.get_or_compute("s", lambda: "a", key=(1,))
+        cache.get_or_compute("s", lambda: "b", key=(2,))
+        cache.get_or_compute("s", lambda: None, key=(1,))  # touch key 1
+        cache.get_or_compute("s", lambda: "c", key=(3,))   # evicts key 2
+        calls = []
+        assert cache.get_or_compute(
+            "s", lambda: calls.append(1) or "a2", key=(1,)
+        ) == "a"
+        assert calls == []  # key 1 survived the eviction
+
+    def test_eviction_prunes_key_locks(self):
+        cache = SubstrateCache(max_entries=2)
+        for seed in range(10):
+            cache.get_or_compute("s", lambda s=seed: s, key=(seed,))
+        assert len(cache) == 2
+        assert len(cache._key_locks) <= 2
+        assert cache.stats().evictions == 8
+
+    def test_unbounded_when_max_entries_is_none(self):
+        cache = SubstrateCache(max_entries=None)
+        for seed in range(300):
+            cache.get_or_compute("s", lambda s=seed: s, key=(seed,))
+        assert len(cache) == 300
+        assert cache.stats().evictions == 0
+        assert cache.stats().max_entries is None
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            SubstrateCache(max_entries=0)
+
+    def test_prime_respects_the_bound(self):
+        cache = SubstrateCache(max_entries=2)
+        for seed in range(4):
+            cache.prime("s", (seed,), seed)
+        assert len(cache) == 2
+        assert cache.stats().evictions == 2
+
+    def test_clear_resets_eviction_counter(self):
+        cache = SubstrateCache(max_entries=1)
+        cache.get_or_compute("s", lambda: 1, key=(1,))
+        cache.get_or_compute("s", lambda: 2, key=(2,))
+        assert cache.stats().evictions == 1
+        cache.clear()
+        assert cache.stats().evictions == 0
+
+
 class TestPipelineRegistry:
     def test_every_artifact_declares_substrates(self):
         assert set(ARTIFACT_SUBSTRATES) == set(artifact_names())
@@ -154,7 +224,7 @@ class TestRunPipeline:
         assert entry["wall_time_s"] >= 0
         assert len(entry["text_sha256"]) == 64
         assert m["substrates"]["k_year"]["seed"] == 20180401
-        assert {"hits", "misses", "entries"} <= set(m["cache"])
+        assert {"hits", "misses", "entries", "evictions"} <= set(m["cache"])
 
 
 class TestProcessWarming:

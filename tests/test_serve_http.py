@@ -1,0 +1,227 @@
+"""The ``repro-serve`` HTTP front end against the golden artifacts.
+
+Boots one real server on an ephemeral port and drives it with
+:class:`HttpServeClient`: the Fig. 4 node-hour-reduction answers over
+the wire must equal the checked-in ``artifacts/fig4.json`` values
+exactly, errors must map to their statuses, and the metrics endpoint
+must reflect the traffic.
+"""
+
+import json
+import pathlib
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import QueryValidationError, ServeError
+from repro.serve import HttpServeClient
+from repro.serve.http import main, make_server
+
+ARTIFACTS = pathlib.Path(__file__).resolve().parent.parent / "artifacts"
+
+#: golden fig4 panel -> the serve scenario name answering it
+PANEL_SCENARIOS = {
+    "4a_k_computer": "k_computer",
+    "4b_anl": "anl",
+    "4c_future": "future",
+}
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv = make_server(port=0, workers=2, cache_size=64)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    srv.client.close()
+    thread.join()
+
+
+@pytest.fixture(scope="module")
+def http(server):
+    return HttpServeClient(server.url)
+
+
+@pytest.fixture(scope="module")
+def fig4_golden():
+    return json.loads((ARTIFACTS / "fig4.json").read_text())
+
+
+class TestEndpoints:
+    def test_healthz(self, http):
+        assert http.health() == {"ok": True}
+
+    def test_kinds_lists_every_registered_kind(self, http):
+        kinds = http.kinds()
+        assert set(kinds) == {
+            "costbenefit", "node_hours", "me_speedup",
+            "roofline", "density", "ozaki",
+        }
+        assert kinds["node_hours"]["batch_axis"] == "speedup"
+        assert kinds["node_hours"]["params"]["speedup"]["type"] == "float"
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(server.url + "/nope")
+        assert err.value.code == 404
+
+    def test_unknown_post_path_is_404(self, http):
+        with pytest.raises(ServeError, match="HTTP 404"):
+            http._request("POST", "/nope", {})
+
+    def test_metrics_scrape(self, http):
+        http.query("me_speedup", {"device": "v100"})
+        snap = http.metrics()
+        assert snap["counters"]["requests"] >= 1
+        assert set(snap["derived"]) == {
+            "qps", "cache_hit_ratio", "coalesce_ratio"
+        }
+        assert snap["gauges"]["queue_depth"] == 0
+        assert snap["latency_s"]["count"] >= 1
+        # the scrape is the JSON the handler actually sent — encodable
+        json.dumps(snap)
+
+
+class TestGoldenAnswers:
+    """Wire answers must equal the checked-in artifact values exactly."""
+
+    def test_fig4_reductions_match_goldens(self, http, fig4_golden):
+        for panel, scenario in PANEL_SCENARIOS.items():
+            for point in fig4_golden["panels"][panel]["series"]:
+                response = http.query(
+                    "node_hours",
+                    {"scenario": scenario, "speedup": point["speedup"]},
+                )
+                assert response["ok"] is True
+                assert response["value"]["reduction"] == point["reduction"], (
+                    panel, point["speedup"],
+                )
+
+    def test_fig4_machine_names_match_goldens(self, http, fig4_golden):
+        for panel, scenario in PANEL_SCENARIOS.items():
+            served = http.query("node_hours", {"scenario": scenario})
+            assert (
+                served["value"]["machine"]
+                == fig4_golden["panels"][panel]["machine"]
+            )
+
+    def test_costbenefit_equals_direct_library_call(self, http):
+        from repro.analysis.costbenefit import assess_scenario
+        from repro.extrapolate.scenarios import k_computer_scenario
+        from repro.harness.export import to_jsonable
+
+        report = assess_scenario(k_computer_scenario(), me_speedup=4.0)
+        expected = to_jsonable(report)
+        expected["worthwhile"] = report.worthwhile
+        expected["verdict"] = report.verdict()
+        served = http.query(
+            "costbenefit", {"scenario": "k_computer", "me_speedup": 4.0}
+        )
+        assert served["value"] == expected
+
+    def test_infinite_speedup_round_trips_as_inf_string(self, http):
+        served = http.query("node_hours", {"speedup": "inf"})
+        assert served["params"]["speedup"] == "inf"
+        assert served["value"]["speedup"] == "inf"
+
+    def test_repeat_query_is_served_from_cache(self, http):
+        params = {"scenario": "anl", "speedup": 2.0}
+        http.query("node_hours", params)
+        assert http.query("node_hours", params)["cached"] is True
+
+
+class TestErrorMapping:
+    def test_unknown_kind_is_400(self, http):
+        with pytest.raises(QueryValidationError, match="unknown query kind"):
+            http.query("fortune")
+
+    def test_bad_params_are_400(self, http):
+        with pytest.raises(QueryValidationError, match="unknown scenario"):
+            http.query("node_hours", {"scenario": "mars"})
+
+    def test_unsupported_format_is_400(self, http):
+        with pytest.raises(QueryValidationError, match="no matrix engine"):
+            http.query("me_speedup", {"device": "v100", "fmt": "fp64"})
+
+    def test_malformed_body_is_400(self, server):
+        req = urllib.request.Request(
+            server.url + "/query",
+            data=b"this is not json",
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req)
+        assert err.value.code == 400
+
+    def test_missing_kind_is_400(self, server):
+        req = urllib.request.Request(
+            server.url + "/query",
+            data=b'{"params": {}}',
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req)
+        assert err.value.code == 400
+
+
+class TestConcurrentHttp:
+    def test_parallel_http_requests_coalesce_or_hit_cache(self, server, http):
+        params = {"scenario": "future", "speedup": 16.0}
+        before = http.metrics()["counters"]
+        results = []
+
+        def fire():
+            results.append(http.query("node_hours", params))
+
+        threads = [threading.Thread(target=fire) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({json.dumps(r["value"], sort_keys=True)
+                    for r in results}) == 1
+        after = http.metrics()["counters"]
+        assert after["requests"] - before["requests"] == 8
+        assert after["computed"] - before["computed"] <= 1
+        reused = (
+            (after["cache_hits"] - before["cache_hits"])
+            + (after["coalesced"] - before["coalesced"])
+        )
+        assert reused >= 7
+
+
+class TestServeCli:
+    def test_help(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        assert "--port" in out and "--cache-size" in out
+
+    def test_version(self, capsys):
+        from repro import package_version
+
+        assert main(["--version"]) == 0
+        assert capsys.readouterr().out.strip() == (
+            f"repro-serve {package_version()}"
+        )
+
+    def test_unknown_flag_rejected(self):
+        with pytest.raises(SystemExit, match="unknown argument"):
+            main(["--frobnicate"])
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(SystemExit, match="--port expects an integer"):
+            main(["--port", "eighty"])
+
+    def test_missing_flag_value_rejected(self):
+        with pytest.raises(SystemExit, match="--host requires"):
+            main(["--host"])
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(SystemExit, match="--timeout expects a number"):
+            main(["--timeout", "soon"])
