@@ -13,7 +13,9 @@ The public API re-exports the entry points a downstream user needs:
   :mod:`repro.joblog`),
 * cost-benefit extrapolation — Fig. 4 (:mod:`repro.extrapolate`,
   :mod:`repro.analysis`),
-* and the artefact regeneration harness (:mod:`repro.harness`).
+* the artefact regeneration harness (:mod:`repro.harness`),
+* and the scenario overlay system — typed, fingerprinted what-ifs
+  threaded through every layer above (:mod:`repro.scenario`).
 """
 
 from repro.errors import ReproError
@@ -33,7 +35,14 @@ from repro.extrapolate import (
     future_scenario,
     k_computer_scenario,
 )
-from repro.analysis import assess_scenario, dark_silicon_analysis
+from repro.analysis import assess_machine, assess_scenario, dark_silicon_analysis
+from repro.scenario import (
+    ScenarioSpec,
+    active_scenario,
+    load_scenario,
+    scenario_context,
+    scenario_from_dict,
+)
 
 __version__ = "1.0.0"
 
@@ -77,7 +86,13 @@ __all__ = [
     "anl_scenario",
     "future_scenario",
     "assess_scenario",
+    "assess_machine",
     "dark_silicon_analysis",
+    "ScenarioSpec",
+    "scenario_context",
+    "active_scenario",
+    "scenario_from_dict",
+    "load_scenario",
     "package_version",
     "__version__",
 ]

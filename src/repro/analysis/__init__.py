@@ -12,6 +12,7 @@ the FPUs already saturate the TDP.
 
 from repro.analysis.costbenefit import (
     CostBenefitReport,
+    assess_machine,
     assess_scenario,
     me_speedup_estimate,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "hpl_strong_scaling",
     "CostBenefitReport",
     "assess_scenario",
+    "assess_machine",
     "me_speedup_estimate",
     "DarkSiliconReport",
     "dark_silicon_analysis",

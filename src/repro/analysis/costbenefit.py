@@ -10,7 +10,12 @@ from repro.extrapolate.model import NodeHourModel
 from repro.hardware.registry import get_device
 from repro.hardware.specs import DeviceSpec
 
-__all__ = ["me_speedup_estimate", "CostBenefitReport", "assess_scenario"]
+__all__ = [
+    "me_speedup_estimate",
+    "CostBenefitReport",
+    "assess_scenario",
+    "assess_machine",
+]
 
 
 def me_speedup_estimate(
@@ -77,3 +82,15 @@ def assess_scenario(
         throughput_improvement=scenario.throughput_improvement(me_speedup),
         node_hours_saved=scenario.node_hours_saved(me_speedup),
     )
+
+
+def assess_machine(name: str, *, me_speedup: float = 4.0) -> CostBenefitReport:
+    """Assess one machine by wire name under the active scenario.
+
+    Resolves through :func:`repro.extrapolate.build_machine`, so the
+    name may be a built-in Fig. 4 machine (possibly overlay-edited) or
+    a machine the active :class:`~repro.scenario.ScenarioSpec` defines.
+    """
+    from repro.extrapolate import build_machine
+
+    return assess_scenario(build_machine(name), me_speedup=me_speedup)

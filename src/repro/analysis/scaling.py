@@ -8,6 +8,11 @@ it the Amdahl value of a matrix engine — erodes.  This module runs the
 block-cyclic LU (our HPL skeleton, :func:`repro.blas.scalapack.pdgetrf`)
 across process grids and reports per-scale GEMM fractions, parallel
 efficiencies, and the resulting ME node-hour savings.
+
+Device lookups go through :func:`repro.hardware.registry.get_device`,
+which resolves against the active scenario overlay — so the sweep can
+price a hypothetical device a :class:`~repro.scenario.ScenarioSpec`
+defines, not just the Table I catalogue.
 """
 
 from __future__ import annotations

@@ -13,10 +13,13 @@ from repro.extrapolate.model import (
     amdahl_time_fraction,
 )
 from repro.extrapolate.scenarios import (
+    MACHINE_BUILDERS,
     anl_scenario,
+    build_machine,
     fugaku_scenario,
     future_scenario,
     k_computer_scenario,
+    machine_names,
 )
 
 __all__ = [
@@ -27,4 +30,7 @@ __all__ = [
     "anl_scenario",
     "future_scenario",
     "fugaku_scenario",
+    "MACHINE_BUILDERS",
+    "machine_names",
+    "build_machine",
 ]

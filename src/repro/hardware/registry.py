@@ -17,6 +17,8 @@ exactly as in the paper.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import DeviceError
@@ -33,6 +35,7 @@ __all__ = [
     "get_device",
     "all_devices",
     "list_device_names",
+    "builtin_device",
     "table_i_devices",
     "table_i_survey",
     "TableIEntry",
@@ -574,26 +577,92 @@ _ALIASES = {
 }
 
 
+# --------------------------------------------------------------------------
+# Scenario overlay resolution: the active ScenarioSpec may add devices or
+# override catalogue entries.  Resolved overlay maps are cached per
+# scenario fingerprint (bounded), so lookups under one scenario cost a
+# dict hit; with no active scenario the overlay map is empty and every
+# path below is exactly the pre-overlay behaviour.
+# --------------------------------------------------------------------------
+
+_OVERLAY_CACHE_MAX = 32
+_overlay_cache: OrderedDict[str, dict[str, DeviceSpec]] = OrderedDict()
+_overlay_mutex = threading.Lock()
+
+
+def builtin_device(name: str) -> DeviceSpec | None:
+    """The built-in catalogue entry for ``name``/alias, or ``None``.
+
+    Never consults the scenario overlay — this is the resolution floor
+    the overlay system itself builds on.
+    """
+    key = name.lower()
+    return _REGISTRY.get(_ALIASES.get(key, key))
+
+
+def _overlay_devices() -> dict[str, DeviceSpec]:
+    """The active scenario's resolved devices (``{}`` for baseline)."""
+    from repro.scenario.context import active_scenario
+
+    spec = active_scenario()
+    if not spec.devices:
+        return {}
+    token = spec.fingerprint
+    with _overlay_mutex:
+        if token in _overlay_cache:
+            _overlay_cache.move_to_end(token)
+            return _overlay_cache[token]
+    from repro.scenario.resolve import resolve_devices
+
+    resolved = resolve_devices(spec)
+    with _overlay_mutex:
+        _overlay_cache[token] = resolved
+        _overlay_cache.move_to_end(token)
+        while len(_overlay_cache) > _OVERLAY_CACHE_MAX:
+            _overlay_cache.popitem(last=False)
+    return resolved
+
+
 def get_device(name: str) -> DeviceSpec:
-    """Look up a device by name or alias (case-insensitive)."""
+    """Look up a device by name or alias (case-insensitive).
+
+    The active scenario's overlay is consulted first: an overlay entry
+    whose name matches (directly or through an alias) wins over the
+    built-in catalogue.
+    """
+    overlay = _overlay_devices()
+    if overlay:
+        key = name.lower()
+        key = _ALIASES.get(key, key)
+        for candidate in (name, key):
+            if candidate in overlay:
+                return overlay[candidate]
     key = name.lower()
     key = _ALIASES.get(key, key)
     try:
         return _REGISTRY[key]
     except KeyError:
+        known = sorted(set(_REGISTRY) | set(overlay))
         raise DeviceError(
-            f"unknown device {name!r}; known: {sorted(_REGISTRY)}"
+            f"unknown device {name!r}; known: {known}"
         ) from None
 
 
 def all_devices() -> tuple[DeviceSpec, ...]:
-    """Every registered device, in registry order."""
-    return tuple(_REGISTRY.values())
+    """Every resolvable device: the catalogue in registry order (with
+    scenario overrides applied in place), then overlay-only additions
+    in declaration order."""
+    overlay = _overlay_devices()
+    if not overlay:
+        return tuple(_REGISTRY.values())
+    merged = [overlay.get(name, spec) for name, spec in _REGISTRY.items()]
+    merged.extend(spec for name, spec in overlay.items() if name not in _REGISTRY)
+    return tuple(merged)
 
 
 def list_device_names() -> list[str]:
-    """Sorted registry keys."""
-    return sorted(_REGISTRY)
+    """Sorted resolvable device names (catalogue plus active overlay)."""
+    return sorted(set(_REGISTRY) | set(_overlay_devices()))
 
 
 # --------------------------------------------------------------------------

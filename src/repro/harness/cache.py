@@ -9,10 +9,19 @@ full ``repro-paper`` run computes each substrate exactly once no matter
 how many artefacts — or worker threads — ask for it.
 
 The module is deliberately a leaf: it imports only the standard
-library, so any layer (``repro.joblog``, ``repro.ozaki``,
-``repro.workloads``, ...) can decorate its substrate factory with
-:func:`memoize_substrate` without creating an import cycle through
-``repro.harness``.
+library (plus, lazily, the equally-leafy :mod:`repro.scenario`), so any
+layer (``repro.joblog``, ``repro.ozaki``, ``repro.workloads``, ...) can
+decorate its substrate factory with :func:`memoize_substrate` without
+creating an import cycle through ``repro.harness``.
+
+Scenario awareness: every memoized lookup resolves through the active
+:class:`~repro.scenario.spec.ScenarioSpec`.  A non-empty scenario (a)
+prefixes the cache key with the scenario fingerprint, so overlay runs
+never share — or poison — baseline entries, and (b) injects the
+scenario's per-substrate seed overrides into factories that accept a
+``seed`` parameter, so every consumer of the substrate (warming,
+artefacts, serve handlers) resolves to the same overridden entry.  The
+baseline key is byte-for-byte the pre-scenario key.
 """
 
 from __future__ import annotations
@@ -189,6 +198,23 @@ class SubstrateCache:
 SUBSTRATE_CACHE = SubstrateCache()
 
 
+def _scenario_key_parts(substrate: str) -> tuple[Any, int | None]:
+    """The active scenario's contribution to a substrate lookup.
+
+    Returns ``(key_prefix, seed_override)``: the key prefix is ``()``
+    for the baseline (keeping baseline keys byte-identical to the
+    pre-scenario layout) and ``(("__scenario__", fingerprint),)`` under
+    a non-empty overlay; the seed override is the scenario's seed for
+    this substrate, or ``None``.
+    """
+    from repro.scenario.context import active_scenario
+
+    spec = active_scenario()
+    token = spec.cache_token
+    prefix: Any = () if token is None else (("__scenario__", token),)
+    return prefix, spec.substrate_seeds.get(substrate)
+
+
 def memoize_substrate(
     substrate: str, cache: SubstrateCache | None = None
 ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
@@ -196,30 +222,43 @@ def memoize_substrate(
 
     The cache key is the *canonical bound arguments* of the call —
     defaults applied — so ``generate_k_year()`` and
-    ``generate_k_year(jobs=20_000)`` share one entry.  The undecorated
-    function stays reachable as ``fn.uncached``.
+    ``generate_k_year(jobs=20_000)`` share one entry.  Under a
+    non-empty scenario the key is additionally prefixed with the
+    scenario fingerprint, and a ``substrate_seeds`` override replaces a
+    defaulted ``seed`` argument.  The undecorated function stays
+    reachable as ``fn.uncached``.
     """
 
     def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
         signature = inspect.signature(fn)
+        takes_seed = "seed" in signature.parameters
+
+        def _bind(args: Any, kwargs: Any) -> tuple[Any, Any]:
+            """Canonical (key, bound) pair for one call, scenario-aware."""
+            bound = signature.bind(*args, **kwargs)
+            seed_given = "seed" in bound.arguments
+            bound.apply_defaults()
+            prefix, seed_override = _scenario_key_parts(substrate)
+            if takes_seed and seed_override is not None and not seed_given:
+                bound.arguments["seed"] = seed_override
+            key = prefix + tuple(bound.arguments.items())
+            return key, bound
 
         @functools.wraps(fn)
         def wrapper(*args: Any, **kwargs: Any) -> Any:
-            bound = signature.bind(*args, **kwargs)
-            bound.apply_defaults()
+            key, bound = _bind(args, kwargs)
             target = cache if cache is not None else SUBSTRATE_CACHE
             return target.get_or_compute(
                 substrate,
-                lambda: fn(*args, **kwargs),
-                key=tuple(bound.arguments.items()),
+                lambda: fn(*bound.args, **bound.kwargs),
+                key=key,
             )
 
         def prime(value: Any, *args: Any, **kwargs: Any) -> None:
             """Insert a precomputed value under the call's cache key."""
-            bound = signature.bind(*args, **kwargs)
-            bound.apply_defaults()
+            key, _ = _bind(args, kwargs)
             target = cache if cache is not None else SUBSTRATE_CACHE
-            target.prime(substrate, tuple(bound.arguments.items()), value)
+            target.prime(substrate, key, value)
 
         wrapper.substrate = substrate
         wrapper.uncached = fn

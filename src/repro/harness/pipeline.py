@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.harness.cache import SUBSTRATE_CACHE
+from repro.scenario import ScenarioSpec, active_scenario, scenario_context
 
 __all__ = [
     "SubstrateSpec",
@@ -46,7 +47,9 @@ __all__ = [
     "artifact_names",
 ]
 
-MANIFEST_SCHEMA_VERSION = 1
+#: v2 added the ``scenario`` block (label + fingerprint of the overlay
+#: the run was produced under; baseline runs record a null fingerprint).
+MANIFEST_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -94,15 +97,21 @@ def _workload_profiles_factory() -> Callable[..., Any]:
     return profile_all_workloads
 
 
-def _compute_substrate(substrate: str) -> tuple[Any, float]:
+def _compute_substrate(
+    substrate: str, scenario: ScenarioSpec
+) -> tuple[Any, float]:
     """Build one substrate's default entry; runs in a worker process.
 
-    Returns the value plus the child-side wall time, so the manifest
-    records each substrate's own compute cost rather than the parent's
+    The scenario is passed explicitly (contextvars do not survive the
+    trip into a pool worker), so seed overrides and overlay catalogues
+    apply in the child exactly as in the parent.  Returns the value
+    plus the child-side wall time, so the manifest records each
+    substrate's own compute cost rather than the parent's
     wait-for-result time.
     """
     t0 = time.perf_counter()
-    value = SUBSTRATES[substrate].builder()()
+    with scenario_context(scenario):
+        value = SUBSTRATES[substrate].builder()()
     return value, time.perf_counter() - t0
 
 
@@ -167,10 +176,16 @@ def artifact_names() -> tuple[str, ...]:
     return tuple(_artifact_functions())
 
 
-def _artifact_seed(name: str) -> int | None:
+def _effective_seed(substrate: str, scenario: ScenarioSpec) -> int | None:
+    """A substrate's governing seed under ``scenario`` (override wins)."""
+    override = scenario.substrate_seeds.get(substrate)
+    return override if override is not None else SUBSTRATES[substrate].seed
+
+
+def _artifact_seed(name: str, scenario: ScenarioSpec) -> int | None:
     """The governing RNG seed of an artefact: its first seeded substrate."""
     for substrate in ARTIFACT_SUBSTRATES.get(name, ()):
-        seed = SUBSTRATES[substrate].seed
+        seed = _effective_seed(substrate, scenario)
         if seed is not None:
             return seed
     return None
@@ -193,29 +208,38 @@ def _cpu_capacity() -> int:
 
 
 def _warm_in_parallel(
-    cold: list[str], jobs: int, substrate_meta: dict[str, dict]
+    cold: list[str],
+    jobs: int,
+    substrate_meta: dict[str, dict],
+    scenario: ScenarioSpec,
 ) -> None:
     """Compute cold substrates concurrently and prime the local cache.
 
     Worker *processes* beat the GIL for the CPU-bound builders, but
     they only pay off when there is more than one CPU to run on —
     fork + result-pickling overhead on a single core would make
-    ``--jobs 8`` slower than serial, so such hosts use threads.
+    ``--jobs 8`` slower than serial, so such hosts use threads.  The
+    scenario rides into every worker explicitly: neither a forked
+    process pool's task thread nor a ``ThreadPoolExecutor`` worker
+    inherits the caller's contextvars.
     """
     workers = min(jobs, len(cold))
     if _cpu_capacity() > 1 and "fork" in multiprocessing.get_all_start_methods():
         ctx = multiprocessing.get_context("fork")
         try:
             with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-                futures = {s: pool.submit(_compute_substrate, s) for s in cold}
-                for substrate, future in futures.items():
-                    value, elapsed = future.result()
-                    SUBSTRATES[substrate].builder().prime(value)
-                    substrate_meta[substrate] = {
-                        "wall_time_s": elapsed,
-                        "seed": SUBSTRATES[substrate].seed,
-                        "cached": False,
-                    }
+                futures = {
+                    s: pool.submit(_compute_substrate, s, scenario) for s in cold
+                }
+                with scenario_context(scenario):
+                    for substrate, future in futures.items():
+                        value, elapsed = future.result()
+                        SUBSTRATES[substrate].builder().prime(value)
+                        substrate_meta[substrate] = {
+                            "wall_time_s": elapsed,
+                            "seed": _effective_seed(substrate, scenario),
+                            "cached": False,
+                        }
             return
         except (OSError, BrokenProcessPool):  # pragma: no cover
             pass  # fork denied or a worker died — fall back to threads
@@ -225,10 +249,11 @@ def _warm_in_parallel(
         t0 = time.perf_counter()
 
         def warm(substrate: str) -> None:
-            SUBSTRATES[substrate].builder()()
+            with scenario_context(scenario):
+                SUBSTRATES[substrate].builder()()
             substrate_meta[substrate] = {
                 "wall_time_s": time.perf_counter() - t0,
-                "seed": SUBSTRATES[substrate].seed,
+                "seed": _effective_seed(substrate, scenario),
                 "cached": False,
             }
 
@@ -258,17 +283,22 @@ def run_pipeline(
     names: list[str] | None = None,
     *,
     jobs: int = 1,
+    scenario: ScenarioSpec | None = None,
 ) -> PipelineResult:
     """Regenerate the selected artefacts (all by default).
 
     ``jobs`` is the fan-out width for both phases: cold substrates are
     built in up to ``jobs`` worker processes, artefact generators run
     on up to ``jobs`` threads.  ``jobs=1`` runs everything in the
-    calling thread.  Raises :class:`ValueError` for unknown artefact
-    names or a non-positive ``jobs``.
+    calling thread.  ``scenario`` overlays the run (default: whatever
+    :func:`repro.scenario.scenario_context` has installed, else the
+    baseline); the manifest records its label and fingerprint.  Raises
+    :class:`ValueError` for unknown artefact names or a non-positive
+    ``jobs``.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    spec = scenario if scenario is not None else active_scenario()
     selected = _resolve(names)
     functions = _artifact_functions()
     t_start = time.perf_counter()
@@ -286,13 +316,13 @@ def run_pipeline(
     substrate_meta: dict[str, dict] = {}
 
     def warm(substrate: str) -> None:
-        spec = SUBSTRATES[substrate]
         cached = substrate in SUBSTRATE_CACHE
         t0 = time.perf_counter()
-        spec.builder()()
+        with scenario_context(spec):
+            SUBSTRATES[substrate].builder()()
         substrate_meta[substrate] = {
             "wall_time_s": time.perf_counter() - t0,
-            "seed": spec.seed,
+            "seed": _effective_seed(substrate, spec),
             "cached": cached,
         }
 
@@ -304,14 +334,17 @@ def run_pipeline(
         for substrate in cold:
             warm(substrate)
     elif cold:
-        _warm_in_parallel(cold, jobs, substrate_meta)
+        _warm_in_parallel(cold, jobs, substrate_meta, spec)
 
-    # Phase 2: fan the (now independent) artefact generators out.
+    # Phase 2: fan the (now independent) artefact generators out.  Each
+    # generator thread re-installs the scenario itself — pool threads
+    # never inherit the submitting thread's contextvars.
     timings: dict[str, float] = {}
 
     def generate(name: str) -> dict:
         t0 = time.perf_counter()
-        result = functions[name]()
+        with scenario_context(spec):
+            result = functions[name]()
         timings[name] = time.perf_counter() - t0
         return result
 
@@ -330,6 +363,10 @@ def run_pipeline(
         "schema_version": MANIFEST_SCHEMA_VERSION,
         "generator": "repro-paper",
         "jobs": jobs,
+        "scenario": {
+            "label": spec.label(),
+            "fingerprint": spec.cache_token,
+        },
         "total_wall_time_s": time.perf_counter() - t_start,
         "cache": {
             "hits": stats.hits,
@@ -341,7 +378,7 @@ def run_pipeline(
         "artifacts": {
             name: {
                 "wall_time_s": timings[name],
-                "seed": _artifact_seed(name),
+                "seed": _artifact_seed(name, spec),
                 "substrates": list(ARTIFACT_SUBSTRATES.get(name, ())),
                 "text_sha256": text_sha256(results[name]),
             }

@@ -96,18 +96,22 @@ ARTIFACTS: dict[str, callable] = {
 }
 
 
-def run_all(names: list[str] | None = None, *, jobs: int = 1) -> dict[str, dict]:
+def run_all(
+    names: list[str] | None = None, *, jobs: int = 1, scenario=None
+) -> dict[str, dict]:
     """Regenerate the selected artefacts (all by default).
 
     ``jobs`` fans independent artefacts out across worker threads after
     the shared substrates have been warmed once (see
     :mod:`repro.harness.pipeline`); the results are identical whatever
-    its value.  Raises :class:`ValueError` for an unknown artefact name
-    — the CLI (:func:`main`) translates that into a ``SystemExit``.
+    its value.  ``scenario`` (a :class:`repro.scenario.ScenarioSpec`)
+    overlays the run.  Raises :class:`ValueError` for an unknown
+    artefact name — the CLI (:func:`main`) translates that into a
+    ``SystemExit``.
     """
     from repro.harness.pipeline import run_pipeline
 
-    return run_pipeline(names, jobs=jobs).results
+    return run_pipeline(names, jobs=jobs, scenario=scenario).results
 
 
 def _flag_value(args: list[str], flag: str, what: str) -> str | None:
@@ -127,12 +131,16 @@ def main(argv: list[str] | None = None) -> int:
     """Console entry point."""
     args = list(sys.argv[1:] if argv is None else argv)
     if args and args[0] in ("-h", "--help"):
-        print("usage: repro-paper [--output DIR] [--jobs N] [artefact ...]")
+        print(
+            "usage: repro-paper [--output DIR] [--jobs N] "
+            "[--scenario FILE] [artefact ...]"
+        )
         print("artefacts:", " ".join(sorted(ARTIFACTS)))
         print("options:")
-        print("  --output DIR  write text/JSON/CSV files plus manifest.json")
-        print("  --jobs N      parallel workers for the artefact pipeline")
-        print("  --version     print the package version and exit")
+        print("  --output DIR     write text/JSON/CSV files plus manifest.json")
+        print("  --jobs N         parallel workers for the artefact pipeline")
+        print("  --scenario FILE  run under a what-if overlay (JSON ScenarioSpec)")
+        print("  --version        print the package version and exit")
         return 0
     if "--version" in args:
         from repro import package_version
@@ -141,26 +149,40 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     outdir = _flag_value(args, "--output", "a directory argument")
     jobs_arg = _flag_value(args, "--jobs", "an integer argument")
+    scenario_arg = _flag_value(args, "--scenario", "a JSON file argument")
     jobs = 1
     if jobs_arg is not None:
         try:
             jobs = int(jobs_arg)
         except ValueError:
             raise SystemExit(f"--jobs expects an integer, got {jobs_arg!r}")
+    scenario = None
+    if scenario_arg is not None:
+        from repro.errors import ScenarioError
+        from repro.scenario import load_scenario
+
+        try:
+            scenario = load_scenario(scenario_arg)
+        except ScenarioError as exc:
+            raise SystemExit(f"--scenario: {exc}")
     from repro.harness.pipeline import run_pipeline
 
     try:
-        run = run_pipeline(args or None, jobs=jobs)
+        run = run_pipeline(args or None, jobs=jobs, scenario=scenario)
     except ValueError as exc:
         raise SystemExit(str(exc))
     for name, result in run.results.items():
         print(f"\n=== {name} " + "=" * max(0, 66 - len(name)))
         print(result["text"])
     cache = run.manifest["cache"]
+    scenario_note = ""
+    if scenario is not None:
+        scenario_note = f", scenario: {run.manifest['scenario']['label']}"
     print(
         f"\n[pipeline] {len(run.results)} artefact(s) in "
         f"{run.manifest['total_wall_time_s']:.2f} s (jobs={jobs}, "
-        f"cache: {cache['hits']} hits / {cache['misses']} misses)"
+        f"cache: {cache['hits']} hits / {cache['misses']} misses"
+        f"{scenario_note})"
     )
     if outdir is not None:
         from repro.harness.export import export_all

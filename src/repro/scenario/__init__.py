@@ -1,0 +1,72 @@
+"""repro.scenario — the typed, fingerprinted what-if overlay system.
+
+The paper's contribution is a cost-benefit *methodology*; this package
+makes the reproduction re-runnable under different assumptions without
+forking code.  A :class:`ScenarioSpec` declares hypothetical devices,
+extra workloads, edited machine mixes, extrapolation constants, and
+substrate seeds; installing it with :func:`scenario_context` makes
+every catalogue lookup, substrate computation, pipeline run, and serve
+query resolve through the overlay.  The empty spec is the baseline and
+changes nothing — byte-identical artefacts, untouched cache keys.
+
+Every spec carries a canonical SHA-256 :attr:`ScenarioSpec.fingerprint`
+(field order, defaults-vs-explicit, int/float, and inf spellings all
+canonicalise), which joins substrate- and result-cache keys so distinct
+what-ifs never share entries and a what-if never poisons the baseline.
+
+>>> from repro.scenario import load_scenario, scenario_context
+>>> from repro.hardware import get_device
+>>> with scenario_context(load_scenario("examples/scenarios/int8_matrix_engine.json")):
+...     get_device("v100-int8me").matrix_engine.name
+'int8me'
+"""
+
+from repro.scenario.context import (
+    active_cache_token,
+    active_scenario,
+    scenario_context,
+)
+from repro.scenario.io import (
+    dump_scenario,
+    load_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.scenario.spec import (
+    EMPTY_SCENARIO,
+    DeviceOverlay,
+    DomainEdit,
+    ExtrapolationOverlay,
+    KernelEdit,
+    MachineOverlay,
+    MemoryOverlay,
+    PhaseEdit,
+    ScenarioSpec,
+    UnitOverlay,
+    WorkloadOverlay,
+    canonical_scenario,
+    scenario_fingerprint,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "EMPTY_SCENARIO",
+    "DeviceOverlay",
+    "MemoryOverlay",
+    "UnitOverlay",
+    "WorkloadOverlay",
+    "PhaseEdit",
+    "KernelEdit",
+    "MachineOverlay",
+    "DomainEdit",
+    "ExtrapolationOverlay",
+    "canonical_scenario",
+    "scenario_fingerprint",
+    "active_scenario",
+    "active_cache_token",
+    "scenario_context",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "load_scenario",
+    "dump_scenario",
+]

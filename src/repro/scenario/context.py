@@ -1,0 +1,58 @@
+"""The active-scenario context: one ambient :class:`ScenarioSpec`.
+
+Mirrors :mod:`repro.sim.context`: a ``contextvars``-based stack, so
+scenarios nest and never leak across threads or asyncio tasks.  The
+resolution seams (device/workload registries, machine builders, the
+substrate cache, the serve engine) all read the ambient spec through
+:func:`active_scenario`; with nothing installed they see the empty
+baseline spec and behave exactly as before the overlay system existed.
+
+Because a fresh thread starts with an empty context, code that fans
+work out (the artefact pipeline, the serve executor) must re-install
+the spec in each worker — both do, capturing it once at entry.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from typing import Iterator
+
+from repro.scenario.spec import EMPTY_SCENARIO, ScenarioSpec
+
+__all__ = [
+    "active_scenario",
+    "active_cache_token",
+    "scenario_context",
+]
+
+_current: ContextVar[ScenarioSpec | None] = ContextVar(
+    "repro_active_scenario", default=None
+)
+
+
+def active_scenario() -> ScenarioSpec:
+    """The innermost installed spec, or the empty baseline."""
+    spec = _current.get()
+    return EMPTY_SCENARIO if spec is None else spec
+
+
+def active_cache_token() -> str | None:
+    """The ambient spec's cache-key component (``None`` for baseline)."""
+    spec = _current.get()
+    return None if spec is None else spec.cache_token
+
+
+@contextlib.contextmanager
+def scenario_context(spec: ScenarioSpec | None) -> Iterator[ScenarioSpec]:
+    """Install ``spec`` as the active scenario for the enclosed block.
+
+    ``None`` installs the empty baseline (useful for explicitly
+    shielding a block from any ambient overlay).
+    """
+    resolved = EMPTY_SCENARIO if spec is None else spec
+    token = _current.set(resolved)
+    try:
+        yield resolved
+    finally:
+        _current.reset(token)

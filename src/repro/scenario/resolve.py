@@ -1,0 +1,233 @@
+"""Resolve declarative overlays into live model objects.
+
+Turns a :class:`~repro.scenario.spec.DeviceOverlay` into a validated
+:class:`~repro.hardware.specs.DeviceSpec` and a
+:class:`~repro.scenario.spec.WorkloadOverlay` into a runnable
+:class:`~repro.workloads.base.KernelMixWorkload`.  Resolution is pure
+(spec in, model out); the registries cache resolved overlays per
+scenario fingerprint so repeated lookups under one scenario cost a
+dict hit.
+
+Machine-mix overlays resolve in :mod:`repro.extrapolate.scenarios`,
+next to the builders they edit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.errors import DeviceError, ScenarioError
+from repro.hardware.specs import (
+    ComputeUnitSpec,
+    DeviceSpec,
+    MemorySpec,
+    UnitKind,
+)
+from repro.scenario.spec import (
+    DeviceOverlay,
+    MemoryOverlay,
+    ScenarioSpec,
+    UnitOverlay,
+    WorkloadOverlay,
+)
+
+__all__ = ["resolve_devices", "resolve_workloads"]
+
+_UNIT_KINDS = {k.value: k for k in UnitKind}
+
+
+def _merge_memory(base: MemorySpec | None, ov: MemoryOverlay | None) -> MemorySpec:
+    if ov is None:
+        if base is None:
+            raise ScenarioError("new device needs a memory block")
+        return base
+    fields = {
+        f.name: getattr(ov, f.name)
+        for f in dataclasses.fields(MemoryOverlay)
+        if getattr(ov, f.name) is not None
+    }
+    if base is not None:
+        return dataclasses.replace(base, **fields)
+    missing = {"capacity_bytes", "bandwidth_bps"} - set(fields)
+    if missing:
+        raise ScenarioError(
+            f"new device memory block needs {sorted(missing)}"
+        )
+    return MemorySpec(**fields)
+
+
+def _unit_fields(ov: UnitOverlay) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for f in dataclasses.fields(UnitOverlay):
+        if f.name in ("name", "remove", "kind"):
+            continue
+        value = getattr(ov, f.name)
+        if value is not None:
+            out[f.name] = dict(value) if isinstance(value, dict) else value
+    if ov.kind is not None:
+        out["kind"] = _UNIT_KINDS[ov.kind]
+    return out
+
+
+def _merge_units(
+    device_name: str,
+    base: tuple[ComputeUnitSpec, ...],
+    overlays: tuple[UnitOverlay, ...],
+) -> tuple[ComputeUnitSpec, ...]:
+    units = list(base)
+    by_name = {u.name: i for i, u in enumerate(units)}
+    for ov in overlays:
+        if ov.remove:
+            if ov.name not in by_name:
+                raise ScenarioError(
+                    f"device {device_name!r}: cannot remove unknown unit "
+                    f"{ov.name!r}; has {sorted(by_name)}"
+                )
+            units[by_name[ov.name]] = None
+            continue
+        fields = _unit_fields(ov)
+        if ov.name in by_name:
+            idx = by_name[ov.name]
+            units[idx] = dataclasses.replace(units[idx], **fields)
+        else:
+            if ov.kind is None or ov.peak_flops is None:
+                raise ScenarioError(
+                    f"device {device_name!r}: new unit {ov.name!r} needs "
+                    "at least 'kind' and 'peak_flops'"
+                )
+            units.append(ComputeUnitSpec(name=ov.name, **fields))
+            by_name[ov.name] = len(units) - 1
+    kept = tuple(u for u in units if u is not None)
+    if not kept:
+        raise ScenarioError(f"device {device_name!r}: no compute units left")
+    return kept
+
+
+_DEVICE_SCALARS = (
+    "vendor",
+    "category",
+    "process_nm",
+    "die_mm2",
+    "me_size",
+    "tdp_w",
+    "idle_w",
+    "launch_latency_s",
+    "year",
+    "notes",
+)
+
+
+def _resolve_device(
+    ov: DeviceOverlay, lookup_base: Any
+) -> DeviceSpec:
+    """Build one overlay device.  ``lookup_base(name)`` resolves a base
+    spec (built-in catalogue or an earlier overlay in the same spec)."""
+    base: DeviceSpec | None = None
+    base_name = ov.base
+    if base_name is None:
+        base = lookup_base(ov.name)  # override-in-place when it exists
+    else:
+        base = lookup_base(base_name)
+        if base is None:
+            raise ScenarioError(
+                f"device overlay {ov.name!r}: unknown base {base_name!r}"
+            )
+    scalars = {
+        name: getattr(ov, name)
+        for name in _DEVICE_SCALARS
+        if getattr(ov, name) is not None
+    }
+    try:
+        if base is not None:
+            merged = dataclasses.replace(
+                base,
+                name=ov.name,
+                memory=_merge_memory(base.memory, ov.memory),
+                units=_merge_units(ov.name, base.units, ov.units),
+                **scalars,
+            )
+        else:
+            required = {"vendor", "category", "tdp_w", "idle_w"} - set(scalars)
+            if required:
+                raise ScenarioError(
+                    f"new device {ov.name!r} needs {sorted(required)} "
+                    "(or a 'base' to inherit from)"
+                )
+            scalars.setdefault("process_nm", None)
+            scalars.setdefault("die_mm2", None)
+            scalars.setdefault("me_size", None)
+            merged = DeviceSpec(
+                name=ov.name,
+                memory=_merge_memory(None, ov.memory),
+                units=_merge_units(ov.name, (), ov.units),
+                **scalars,
+            )
+    except DeviceError as exc:  # spec-level validation failure
+        raise ScenarioError(f"device overlay {ov.name!r}: {exc}") from exc
+    return merged
+
+
+def resolve_devices(spec: ScenarioSpec) -> dict[str, DeviceSpec]:
+    """All overlay devices of ``spec``, resolved in declaration order.
+
+    Later overlays may use earlier ones (or built-ins) as ``base``.
+    """
+    from repro.hardware import registry as hw_registry
+
+    resolved: dict[str, DeviceSpec] = {}
+
+    def lookup_base(name: str) -> DeviceSpec | None:
+        if name in resolved:
+            return resolved[name]
+        return hw_registry.builtin_device(name)
+
+    for ov in spec.devices:
+        resolved[ov.name] = _resolve_device(ov, lookup_base)
+    return resolved
+
+
+def resolve_workloads(spec: ScenarioSpec) -> dict[str, Any]:
+    """All overlay workloads of ``spec`` as runnable kernel-mix models,
+    keyed by qualified ``SUITE/name``."""
+    from repro.sim.kernels import KernelKind, KernelLaunch
+    from repro.workloads.base import KernelMixWorkload, PhaseSpec, WorkloadMeta
+
+    kinds = {k.value: k for k in KernelKind}
+    out: dict[str, Any] = {}
+    for ov in spec.workloads:
+        phases = []
+        for phase in ov.phases:
+            kernels = []
+            for kernel in phase.kernels:
+                if kernel.kind not in kinds:
+                    raise ScenarioError(
+                        f"workload {ov.qualified_name!r}: unknown kernel "
+                        f"kind {kernel.kind!r}; known: {sorted(kinds)}"
+                    )
+                kernels.append(
+                    KernelLaunch(
+                        kind=kinds[kernel.kind],
+                        name=kernel.name,
+                        flops=kernel.flops,
+                        nbytes=kernel.nbytes,
+                        fmt=kernel.fmt,
+                    )
+                )
+            phases.append(
+                PhaseSpec(
+                    region=phase.region,
+                    kernels=tuple(kernels),
+                    repeat=phase.repeat,
+                )
+            )
+        meta = WorkloadMeta(
+            name=ov.name,
+            suite=ov.suite,
+            domain=ov.domain,
+            description=ov.description,
+        )
+        out[ov.qualified_name] = KernelMixWorkload(
+            meta, tuple(phases), iterations=ov.iterations
+        )
+    return out

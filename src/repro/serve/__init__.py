@@ -11,6 +11,12 @@ sweep queries, bounded-queue backpressure with load shedding, per-query
 deadlines, and a metrics snapshot — plus a stdlib HTTP front end
 (``repro-serve``).
 
+Queries may carry a scenario overlay (inline spec, spec dict, or the
+name of an engine-registered scenario): the answer is then evaluated
+under :func:`repro.scenario.scenario_context`, and the scenario's
+fingerprint keys the result cache and batch groups so what-ifs never
+share entries with the baseline.
+
 >>> from repro.serve import ServeClient
 >>> with ServeClient() as client:
 ...     r = client.query("node_hours", {"scenario": "anl", "speedup": 4.0})

@@ -89,9 +89,17 @@ class ServeClient:
         params: dict[str, Any] | None = None,
         *,
         timeout: float | None = None,
+        scenario: Any = None,
     ) -> QueryResponse:
-        """Answer one query (blocking); raises the engine's exceptions."""
-        return self._run(self.engine.submit(kind, params, timeout=timeout))
+        """Answer one query (blocking); raises the engine's exceptions.
+
+        ``scenario`` is a :class:`~repro.scenario.ScenarioSpec`, an
+        inline spec dict, or a registered scenario name — the overlay
+        the engine evaluates under.
+        """
+        return self._run(
+            self.engine.submit(kind, params, timeout=timeout, scenario=scenario)
+        )
 
     def query_many(
         self,
@@ -99,18 +107,22 @@ class ServeClient:
         *,
         timeout: float | None = None,
         return_exceptions: bool = False,
+        scenario: Any = None,
     ) -> list[QueryResponse | BaseException]:
         """Submit many queries concurrently onto the engine's loop.
 
         Concurrent submission is what lets identical requests coalesce
         and batchable ones gather — a serial ``query`` loop would finish
-        each answer before the next question is even asked.
+        each answer before the next question is even asked.  An optional
+        ``scenario`` applies to every query in the batch.
         """
 
         async def _gather() -> list[Any]:
             return await asyncio.gather(
                 *(
-                    self.engine.submit(kind, params, timeout=timeout)
+                    self.engine.submit(
+                        kind, params, timeout=timeout, scenario=scenario
+                    )
                     for kind, params in requests
                 ),
                 return_exceptions=return_exceptions,
@@ -125,6 +137,10 @@ class ServeClient:
     def kinds(self) -> dict[str, Any]:
         """The registry's query-kind listing."""
         return self.engine.registry.describe()
+
+    def scenarios(self) -> dict[str, Any]:
+        """The engine's registered-scenario listing."""
+        return self.engine.describe_scenarios()
 
 
 class HttpServeClient:
@@ -159,18 +175,33 @@ class HttpServeClient:
                 raise QueryTimeout(message) from None
             raise ServeError(f"HTTP {exc.code}: {message}") from None
 
-    def query(self, kind: str, params: dict[str, Any] | None = None) -> dict:
+    def query(
+        self,
+        kind: str,
+        params: dict[str, Any] | None = None,
+        *,
+        scenario: Any = None,
+    ) -> dict:
         """POST one query; returns the response payload (``value`` plus
-        serving metadata) as a dict."""
-        return self._request(
-            "POST", "/query", {"kind": kind, "params": params or {}}
-        )
+        serving metadata) as a dict.  ``scenario`` is an inline spec
+        dict or a server-registered scenario name."""
+        body: dict[str, Any] = {"kind": kind, "params": params or {}}
+        if scenario is not None:
+            from repro.scenario import ScenarioSpec, scenario_to_dict
+
+            if isinstance(scenario, ScenarioSpec):
+                scenario = scenario_to_dict(scenario)
+            body["scenario"] = scenario
+        return self._request("POST", "/query", body)
 
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
 
     def kinds(self) -> dict:
         return self._request("GET", "/kinds")
+
+    def scenarios(self) -> dict:
+        return self._request("GET", "/scenarios")
 
     def health(self) -> dict:
         return self._request("GET", "/healthz")

@@ -32,7 +32,14 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import QueryTimeout, QueryValidationError, ServeError, ServiceOverloaded
+from repro.errors import (
+    QueryTimeout,
+    QueryValidationError,
+    ScenarioError,
+    ServeError,
+    ServiceOverloaded,
+)
+from repro.scenario import ScenarioSpec, scenario_context, scenario_from_dict
 from repro.serve.metrics import Metrics
 from repro.serve.queries import Query, QueryRegistry, canonical_params
 
@@ -71,10 +78,20 @@ class QueryResponse:
 
 @dataclass
 class _BatchGroup:
-    """Pending members of one micro-batch (same kind, same non-axis params)."""
+    """Pending members of one micro-batch (same kind, same non-axis
+    params, same scenario — the fingerprint is part of the group key)."""
 
-    group_key: tuple[str, str]
+    group_key: tuple
     members: list[tuple[Query, asyncio.Future]] = field(default_factory=list)
+
+
+def _evaluate(query: Query) -> Any:
+    """Run one handler under the query's scenario (executor thread).
+
+    Pool threads never inherit the submitting thread's contextvars, so
+    the overlay is installed here, inside the worker."""
+    with scenario_context(query.scenario):
+        return query.kind.handler(query.params)
 
 
 class QueryEngine:
@@ -134,7 +151,8 @@ class QueryEngine:
 
         self._cache: OrderedDict[Any, Any] = OrderedDict()
         self._inflight: dict[Any, asyncio.Future] = {}
-        self._pending_batches: dict[tuple[str, str], _BatchGroup] = {}
+        self._pending_batches: dict[tuple, _BatchGroup] = {}
+        self._scenarios: dict[str, ScenarioSpec] = {}
         self._queue: asyncio.Queue | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._worker_tasks: list[asyncio.Task] = []
@@ -184,6 +202,58 @@ class QueryEngine:
     async def __aexit__(self, *exc: Any) -> None:
         await self.stop()
 
+    # -- scenarios ----------------------------------------------------------
+
+    def register_scenario(self, spec: ScenarioSpec) -> ScenarioSpec:
+        """Make a named scenario referencable by queries (``scenario:
+        "<name>"`` on the wire).  Re-registering a name replaces it."""
+        if not spec.name:
+            raise ScenarioError("a registered scenario needs a name")
+        self._scenarios[spec.name] = spec
+        return spec
+
+    def scenario_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._scenarios))
+
+    def describe_scenarios(self) -> dict[str, Any]:
+        """JSON-encodable listing of the registered scenarios — the
+        ``/scenarios`` endpoint payload."""
+        return {
+            name: {
+                "description": spec.description,
+                "fingerprint": spec.fingerprint,
+                "devices": [d.name for d in spec.devices],
+                "workloads": [w.qualified_name for w in spec.workloads],
+                "machines": [m.name for m in spec.machines],
+            }
+            for name, spec in sorted(self._scenarios.items())
+        }
+
+    def _resolve_scenario(
+        self, scenario: ScenarioSpec | dict[str, Any] | str | None
+    ) -> ScenarioSpec | None:
+        """Wire scenario input → spec: a name references a registered
+        scenario, an inline dict builds one, a spec passes through."""
+        if scenario is None or isinstance(scenario, ScenarioSpec):
+            return scenario
+        if isinstance(scenario, str):
+            spec = self._scenarios.get(scenario)
+            if spec is None:
+                raise QueryValidationError(
+                    f"unknown scenario ref {scenario!r}; "
+                    f"registered: {list(self.scenario_names())}"
+                )
+            return spec
+        if isinstance(scenario, dict):
+            try:
+                return scenario_from_dict(scenario)
+            except ScenarioError as exc:
+                raise QueryValidationError(f"bad scenario: {exc}") from exc
+        raise QueryValidationError(
+            "scenario must be a name, an inline object, or null; "
+            f"got {type(scenario).__name__}"
+        )
+
     # -- the serving path ---------------------------------------------------
 
     async def submit(
@@ -192,17 +262,23 @@ class QueryEngine:
         params: dict[str, Any] | None = None,
         *,
         timeout: float | None = None,
+        scenario: ScenarioSpec | dict[str, Any] | str | None = None,
     ) -> QueryResponse:
         """Answer one query, from cache / a shared computation / fresh work.
 
-        Raises :class:`QueryValidationError` for bad input,
-        :class:`ServiceOverloaded` when the admission queue is full, and
-        :class:`QueryTimeout` when the deadline elapses first.
+        ``scenario`` overlays the evaluation: a :class:`ScenarioSpec`,
+        an inline spec dict, or the name of a scenario registered with
+        :meth:`register_scenario`.  Raises :class:`QueryValidationError`
+        for bad input, :class:`ServiceOverloaded` when the admission
+        queue is full, and :class:`QueryTimeout` when the deadline
+        elapses first.
         """
         if not self.started:
             raise ServeError("engine not started; use 'async with QueryEngine()'")
         try:
-            query = self.registry.build(kind, params)
+            query = self.registry.build(
+                kind, params, scenario=self._resolve_scenario(scenario)
+            )
         except QueryValidationError:
             self.metrics.inc("invalid")
             raise
@@ -343,7 +419,7 @@ class QueryEngine:
                 query, future = item
                 try:
                     value = await loop.run_in_executor(
-                        self._executor, query.kind.handler, query.params
+                        self._executor, _evaluate, query
                     )
                 except Exception as exc:
                     self._fail(query, future, exc)
@@ -359,16 +435,18 @@ class QueryEngine:
             await asyncio.sleep(self.batch_window_s)
         self._pending_batches.pop(group.group_key, None)
         members = list(group.members)
-        kind = members[0][0].kind
+        representative = members[0][0]
+        kind = representative.kind
         axis = kind.batch_axis
         values = tuple(getattr(q.params, axis) for q, _ in members)
+
+        def evaluate_batch() -> Any:
+            # One scenario per group — the fingerprint is in the group key.
+            with scenario_context(representative.scenario):
+                return kind.batch_handler(representative.params, values)
+
         try:
-            answers = await loop.run_in_executor(
-                self._executor,
-                kind.batch_handler,
-                members[0][0].params,
-                values,
-            )
+            answers = await loop.run_in_executor(self._executor, evaluate_batch)
         except Exception as exc:
             for query, future in members:
                 self._fail(query, future, exc)

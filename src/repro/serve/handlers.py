@@ -19,11 +19,15 @@ from typing import Any, Callable
 from repro.analysis.costbenefit import assess_scenario, me_speedup_estimate
 from repro.errors import DeviceError, QueryValidationError
 from repro.extrapolate.model import NodeHourModel
+from repro.errors import ScenarioError
 from repro.extrapolate.scenarios import (
+    MACHINE_BUILDERS,
     anl_scenario,
+    build_machine,
     fugaku_scenario,
     future_scenario,
     k_computer_scenario,
+    machine_names,
 )
 from repro.harness.export import to_jsonable
 from repro.hardware.density import compute_density, density_ratio, peak_ratio
@@ -41,24 +45,26 @@ from repro.units import TERA
 
 __all__ = ["SCENARIOS", "default_registry", "DEFAULT_REGISTRY"]
 
-#: The Fig. 4 machines (plus the beyond-the-paper Fugaku what-if) a
-#: planner can interrogate, by wire name.
-SCENARIOS: dict[str, Callable[[], NodeHourModel]] = {
-    "k_computer": k_computer_scenario,
-    "anl": anl_scenario,
-    "future": future_scenario,
-    "fugaku": fugaku_scenario,
-}
+#: The built-in Fig. 4 machines (plus the beyond-the-paper Fugaku
+#: what-if) a planner can interrogate, by wire name.  Kept as a public
+#: alias of :data:`repro.extrapolate.scenarios.MACHINE_BUILDERS`; name
+#: resolution goes through :func:`repro.extrapolate.build_machine`, so
+#: an active scenario overlay can edit these mixes or add new machines.
+SCENARIOS: dict[str, Callable[[], NodeHourModel]] = MACHINE_BUILDERS
 
 
 def _scenario(name: str) -> NodeHourModel:
-    return SCENARIOS[name]()
+    try:
+        return build_machine(name)
+    except ScenarioError as exc:  # e.g. an unresolvable overlay edit
+        raise QueryValidationError(str(exc)) from None
 
 
 def _check_scenario(name: str) -> None:
-    if name not in SCENARIOS:
+    names = machine_names()
+    if name not in names:
         raise QueryValidationError(
-            f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}"
+            f"unknown scenario {name!r}; known: {sorted(names)}"
         )
 
 

@@ -9,7 +9,10 @@ Endpoints (JSON in, JSON out):
 
 * ``POST /query``  — ``{"kind": ..., "params": {...}}`` → the answer
   plus serving metadata (``cached``/``coalesced``/``batched``/latency);
+  an optional ``"scenario"`` field (an inline ScenarioSpec object or
+  the name of a ``--scenario``-registered one) overlays the evaluation;
 * ``GET /kinds``   — every query kind and its parameter schema;
+* ``GET /scenarios`` — the registered named scenarios;
 * ``GET /metrics`` — the engine's metrics snapshot;
 * ``GET /healthz`` — liveness.
 
@@ -59,6 +62,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(200, client.metrics())
         elif self.path == "/kinds":
             self._send(200, client.kinds())
+        elif self.path == "/scenarios":
+            self._send(200, client.scenarios())
         else:
             self._send(404, {"error": f"no such endpoint: {self.path}"})
 
@@ -71,11 +76,12 @@ class _Handler(BaseHTTPRequestHandler):
             request = json.loads(self.rfile.read(length) or b"{}")
             kind = request["kind"]
             params = request.get("params") or {}
+            scenario = request.get("scenario")
         except (ValueError, KeyError, TypeError) as exc:
             self._send(400, {"error": f"malformed query request: {exc}"})
             return
         try:
-            response = self.server.client.query(kind, params)
+            response = self.server.client.query(kind, params, scenario=scenario)
         except QueryValidationError as exc:
             self._send(400, {"error": str(exc)})
         except ServiceOverloaded as exc:
@@ -165,6 +171,7 @@ def main(argv: list[str] | None = None) -> int:
         print("  --workers N        concurrent handler evaluations (default 4)")
         print("  --queue-size N     admission-queue bound (default 128)")
         print("  --cache-size N     result-cache entries (default 256)")
+        print("  --scenario FILE    register a named what-if overlay (repeatable)")
         print("  --timeout SECONDS  per-query deadline (default 30)")
         print("  --verbose          log every request")
         print("  --version          print the package version and exit")
@@ -179,6 +186,12 @@ def main(argv: list[str] | None = None) -> int:
     workers = _int_flag(args, "--workers", 4)
     queue_size = _int_flag(args, "--queue-size", 128)
     cache_size = _int_flag(args, "--cache-size", 256)
+    scenario_files = []
+    while True:
+        raw = _flag_value(args, "--scenario", "a JSON file argument")
+        if raw is None:
+            break
+        scenario_files.append(raw)
     timeout_raw = _flag_value(args, "--timeout", "a number of seconds")
     verbose = "--verbose" in args
     if verbose:
@@ -199,6 +212,25 @@ def main(argv: list[str] | None = None) -> int:
         cache_size=cache_size,
         default_timeout_s=timeout,
     )
+    if scenario_files:
+        from repro.errors import ScenarioError
+        from repro.scenario import load_scenario
+
+        for path in scenario_files:
+            try:
+                spec = server.client.engine.register_scenario(
+                    load_scenario(path)
+                )
+            except ScenarioError as exc:
+                server.shutdown()
+                server.server_close()
+                server.client.close()
+                raise SystemExit(f"--scenario {path}: {exc}")
+            print(
+                f"registered scenario {spec.name!r} "
+                f"({spec.fingerprint[:12]})",
+                flush=True,
+            )
     print(f"repro-serve listening on {server.url}", flush=True)
     try:
         server.serve_forever()

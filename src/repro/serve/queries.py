@@ -12,6 +12,12 @@ plus the governing substrate seeds — the engine's cache key.
 Batchable kinds additionally declare a *batch axis*: queries identical
 everywhere except that one scalar field collapse into a single
 vectorised evaluation (see :mod:`repro.serve.engine`).
+
+A query may carry a :class:`~repro.scenario.spec.ScenarioSpec` overlay:
+the engine evaluates it under :func:`repro.scenario.scenario_context`,
+and the scenario's fingerprint joins the cache key and batch group —
+baseline queries keep the exact pre-scenario key shape, overlay queries
+never share entries with the baseline or with other overlays.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import QueryValidationError
+from repro.scenario import ScenarioSpec, scenario_context
 
 __all__ = [
     "QueryKind",
@@ -143,28 +150,48 @@ class QueryKind:
 
 @dataclass(frozen=True)
 class Query:
-    """A validated, canonically-hashable unit of work."""
+    """A validated, canonically-hashable unit of work.
+
+    ``scenario`` is ``None`` for baseline queries (non-empty specs
+    only are stored — the registry normalises an empty spec to
+    ``None``), so a baseline query's cache key and batch group are
+    byte-identical to the pre-scenario wire protocol.
+    """
 
     kind: QueryKind
     params: Any
     hash: str
+    scenario: ScenarioSpec | None = None
 
     @property
-    def cache_key(self) -> tuple[str, tuple[tuple[str, int | None], ...]]:
-        """Result-cache key: canonical hash + governing substrate seeds."""
-        return (self.hash, self.kind.substrate_seeds())
+    def cache_key(self) -> tuple:
+        """Result-cache key: canonical hash + governing substrate seeds,
+        plus the scenario fingerprint for overlay queries (whose seed
+        components also honour the scenario's seed overrides)."""
+        seeds = self.kind.substrate_seeds()
+        if self.scenario is None:
+            return (self.hash, seeds)
+        overrides = self.scenario.substrate_seeds
+        seeds = tuple(
+            (name, overrides.get(name, seed)) for name, seed in seeds
+        )
+        return (self.hash, seeds, self.scenario.fingerprint)
 
-    def batch_group(self) -> tuple[str, str] | None:
+    def batch_group(self) -> tuple | None:
         """Group key for micro-batching: the canonical hash of this query
-        with its batch-axis field removed.  ``None`` for unbatchable
-        kinds."""
+        with its batch-axis field removed (scenario fingerprint included
+        for overlay queries — a batch evaluates under one scenario).
+        ``None`` for unbatchable kinds."""
         axis = self.kind.batch_axis
         if axis is None:
             return None
         rest = {
             k: v for k, v in canonical_params(self.params).items() if k != axis
         }
-        return (self.kind.name, canonical_hash(f"{self.kind.name}@batch", rest))
+        group_hash = canonical_hash(f"{self.kind.name}@batch", rest)
+        if self.scenario is None:
+            return (self.kind.name, group_hash)
+        return (self.kind.name, group_hash, self.scenario.fingerprint)
 
 
 class QueryRegistry:
@@ -189,11 +216,29 @@ class QueryRegistry:
                 f"unknown query kind {name!r}; known: {sorted(self._kinds)}"
             ) from None
 
-    def build(self, name: str, params: dict[str, Any] | None = None) -> Query:
-        """Validate wire input into a hashable :class:`Query`."""
+    def build(
+        self,
+        name: str,
+        params: dict[str, Any] | None = None,
+        scenario: ScenarioSpec | None = None,
+    ) -> Query:
+        """Validate wire input into a hashable :class:`Query`.
+
+        Params build *under* the scenario overlay: a query naming an
+        overlay-only device or machine validates exactly when its
+        scenario defines it.  An empty scenario normalises to ``None``.
+        """
         kind = self.get(name)
-        built = kind.build_params(params)
-        return Query(kind=kind, params=built, hash=canonical_hash(name, built))
+        if scenario is not None and scenario.is_empty:
+            scenario = None
+        with scenario_context(scenario):
+            built = kind.build_params(params)
+        return Query(
+            kind=kind,
+            params=built,
+            hash=canonical_hash(name, built),
+            scenario=scenario,
+        )
 
     def names(self) -> tuple[str, ...]:
         return tuple(sorted(self._kinds))

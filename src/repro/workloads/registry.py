@@ -1,6 +1,15 @@
-"""Workload catalogue: every row of Table V, queryable by name or suite."""
+"""Workload catalogue: every row of Table V, queryable by name or suite.
+
+All lookups resolve through the active scenario overlay
+(:mod:`repro.scenario`): overlay workloads extend — or, on a qualified
+name collision, shadow — the built-in Table V catalogue.  With no
+scenario installed the catalogue is exactly the paper's 77 rows.
+"""
 
 from __future__ import annotations
+
+import threading
+from collections import OrderedDict
 
 from repro.errors import WorkloadError
 from repro.workloads.base import Workload
@@ -53,16 +62,55 @@ def _build() -> dict[str, Workload]:
 
 _CATALOGUE: dict[str, Workload] | None = None
 
+_OVERLAY_CACHE_MAX = 32
+_overlay_cache: OrderedDict[str, dict[str, Workload]] = OrderedDict()
+_overlay_mutex = threading.Lock()
 
-def _catalogue() -> dict[str, Workload]:
+
+def _builtin_catalogue() -> dict[str, Workload]:
     global _CATALOGUE
     if _CATALOGUE is None:
         _CATALOGUE = _build()
     return _CATALOGUE
 
 
+def _overlay_workloads() -> dict[str, Workload]:
+    """The active scenario's resolved workloads (``{}`` for baseline),
+    cached per scenario fingerprint."""
+    from repro.scenario.context import active_scenario
+
+    spec = active_scenario()
+    if not spec.workloads:
+        return {}
+    token = spec.fingerprint
+    with _overlay_mutex:
+        if token in _overlay_cache:
+            _overlay_cache.move_to_end(token)
+            return _overlay_cache[token]
+    from repro.scenario.resolve import resolve_workloads
+
+    resolved = resolve_workloads(spec)
+    with _overlay_mutex:
+        _overlay_cache[token] = resolved
+        _overlay_cache.move_to_end(token)
+        while len(_overlay_cache) > _OVERLAY_CACHE_MAX:
+            _overlay_cache.popitem(last=False)
+    return resolved
+
+
+def _catalogue() -> dict[str, Workload]:
+    builtin = _builtin_catalogue()
+    overlay = _overlay_workloads()
+    if not overlay:
+        return builtin
+    merged = dict(builtin)
+    merged.update(overlay)  # overlays shadow on qualified-name collision
+    return merged
+
+
 def all_workloads() -> tuple[Workload, ...]:
-    """All 77 benchmarks, in Table V order."""
+    """All benchmarks in Table V order (the paper's 77 at baseline),
+    plus any active scenario-overlay workloads."""
     return tuple(_catalogue().values())
 
 

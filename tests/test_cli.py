@@ -94,8 +94,9 @@ class TestOutputFlag:
         assert main(["--jobs", "2", "sec3a", "--output", str(tmp_path)]) == 0
         capsys.readouterr()
         manifest = json.loads((tmp_path / "manifest.json").read_text())
-        assert manifest["schema_version"] == 1
+        assert manifest["schema_version"] == 2
         assert manifest["jobs"] == 2
+        assert manifest["scenario"] == {"label": "baseline", "fingerprint": None}
         entry = manifest["artifacts"]["sec3a"]
         assert entry["seed"] == 20180401
         assert entry["substrates"] == ["k_year"]

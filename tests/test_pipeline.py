@@ -214,8 +214,9 @@ class TestRunPipeline:
     def test_manifest_shape(self):
         run = run_pipeline(["sec3a"], jobs=2)
         m = run.manifest
-        assert m["schema_version"] == 1
+        assert m["schema_version"] == 2
         assert m["jobs"] == 2
+        assert m["scenario"] == {"label": "baseline", "fingerprint": None}
         assert m["total_wall_time_s"] > 0
         assert set(m["artifacts"]) == {"sec3a"}
         entry = m["artifacts"]["sec3a"]

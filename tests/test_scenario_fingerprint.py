@@ -1,0 +1,197 @@
+"""Property tests for the scenario fingerprint's canonicalization.
+
+The fingerprint is the identity every cache seam keys on, so its
+invariants are load-bearing: two spellings of the same what-if must
+hash identically (field order, defaults-vs-explicit, int-vs-float,
+inf wire form, label text), and any semantic change must change it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScenarioError
+from repro.scenario import (
+    EMPTY_SCENARIO,
+    ScenarioSpec,
+    canonical_scenario,
+    scenario_fingerprint,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+finite_w = st.floats(min_value=1.0, max_value=2000.0, allow_nan=False,
+                     allow_infinity=False)
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False,
+                      allow_infinity=False)
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd"), whitelist_characters="-_"),
+    min_size=1, max_size=12,
+)
+
+
+@st.composite
+def device_dicts(draw) -> dict:
+    """A wire-shape device overlay over the v100 base, with a random
+    subset of scalar fields set."""
+    out: dict = {"name": draw(names), "base": "v100"}
+    if draw(st.booleans()):
+        out["tdp_w"] = draw(finite_w)
+    if draw(st.booleans()):
+        out["idle_w"] = draw(st.floats(min_value=1.0, max_value=100.0,
+                                       allow_nan=False, allow_infinity=False))
+    if draw(st.booleans()):
+        out["year"] = draw(st.integers(min_value=2000, max_value=2040))
+    if draw(st.booleans()):
+        out["notes"] = draw(names)
+    return out
+
+
+@st.composite
+def scenario_dicts(draw) -> dict:
+    out: dict = {}
+    if draw(st.booleans()):
+        out["name"] = draw(names)
+    if draw(st.booleans()):
+        out["devices"] = [draw(device_dicts())]
+    if draw(st.booleans()):
+        out["machines"] = [{
+            "name": "k_computer",
+            "renormalize": draw(st.booleans()),
+            "domains": [{"domain": draw(names), "share": draw(fractions),
+                         "accelerable": draw(fractions)}],
+        }]
+    if draw(st.booleans()):
+        out["extrapolation"] = {"other_gemm_assumption": draw(fractions)}
+    if draw(st.booleans()):
+        out["substrate_seeds"] = {
+            "k_year": draw(st.integers(min_value=0, max_value=2**31))
+        }
+    return out
+
+
+class TestFieldOrder:
+    @given(data=scenario_dicts(), seed=st.randoms())
+    @settings(max_examples=50, deadline=None)
+    def test_key_order_never_matters(self, data, seed):
+        items = list(data.items())
+        seed.shuffle(items)
+        shuffled = dict(items)
+        assert (
+            scenario_from_dict(data).fingerprint
+            == scenario_from_dict(shuffled).fingerprint
+        )
+
+    @given(device=device_dicts(), seed=st.randoms())
+    @settings(max_examples=50, deadline=None)
+    def test_nested_key_order_never_matters(self, device, seed):
+        items = list(device.items())
+        seed.shuffle(items)
+        a = scenario_from_dict({"devices": [device]})
+        b = scenario_from_dict({"devices": [dict(items)]})
+        assert a.fingerprint == b.fingerprint
+
+
+class TestDefaultsVsExplicit:
+    @given(data=scenario_dicts())
+    @settings(max_examples=50, deadline=None)
+    def test_explicit_defaults_hash_like_omitted(self, data):
+        spec = scenario_from_dict(data)
+        explicit = dict(data)
+        # Spell out values the spec defaults to; semantics unchanged.
+        explicit.setdefault("description", "")
+        explicit.setdefault("workloads", [])
+        for machine in explicit.get("machines", []):
+            machine.setdefault("base", None)
+            machine.setdefault("renormalize", machine.get("renormalize", False))
+        assert scenario_from_dict(explicit).fingerprint == spec.fingerprint
+
+    def test_workload_iteration_default(self):
+        phases = [{"region": "core", "kernels": [
+            {"kind": "gemm", "name": "g", "flops": 1e9, "nbytes": 1e6}]}]
+        a = scenario_from_dict(
+            {"workloads": [{"name": "w", "phases": phases}]})
+        b = scenario_from_dict(
+            {"workloads": [{"name": "w", "iterations": 10, "suite": "WHATIF",
+                            "phases": phases}]})
+        assert a.fingerprint == b.fingerprint
+
+
+class TestIntFloatCoercion:
+    @given(value=st.integers(min_value=1, max_value=2000))
+    @settings(max_examples=50, deadline=None)
+    def test_int_in_float_position(self, value):
+        a = scenario_from_dict(
+            {"devices": [{"name": "d", "base": "v100", "tdp_w": value}]})
+        b = scenario_from_dict(
+            {"devices": [{"name": "d", "base": "v100", "tdp_w": float(value)}]})
+        assert a.fingerprint == b.fingerprint
+
+    @given(value=st.integers(min_value=1, max_value=10**15))
+    @settings(max_examples=50, deadline=None)
+    def test_int_in_float_mapping_position(self, value):
+        unit = {"name": "u", "kind": "matrix", "multiply_format": "fp16"}
+        a = scenario_from_dict({"devices": [
+            {"name": "d", "base": "v100",
+             "units": [dict(unit, peak_flops={"fp16": value})]}]})
+        b = scenario_from_dict({"devices": [
+            {"name": "d", "base": "v100",
+             "units": [dict(unit, peak_flops={"fp16": float(value)})]}]})
+        assert a.fingerprint == b.fingerprint
+
+
+class TestNonFinite:
+    def test_inf_wire_form_matches_float_inf(self):
+        wire = scenario_from_dict({"devices": [
+            {"name": "d", "base": "v100",
+             "memory": {"capacity_bytes": "inf"}}]})
+        typed = scenario_from_dict({"devices": [
+            {"name": "d", "base": "v100",
+             "memory": {"capacity_bytes": math.inf}}]})
+        assert wire.fingerprint == typed.fingerprint
+        canon = canonical_scenario(wire)
+        assert canon["devices"][0]["memory"]["capacity_bytes"] == "inf"
+
+    def test_nan_rejected(self):
+        spec = scenario_from_dict({"devices": [
+            {"name": "d", "base": "v100", "memory": {"capacity_bytes": 1.0}}]})
+        bad = ScenarioSpec(devices=(
+            spec.devices[0].__class__(
+                name="d", base="v100",
+                memory=spec.devices[0].memory.__class__(
+                    capacity_bytes=math.nan),
+            ),
+        ))
+        with pytest.raises(ScenarioError, match="NaN"):
+            scenario_fingerprint(bad)
+
+
+class TestRoundTripAndLabels:
+    @given(data=scenario_dicts())
+    @settings(max_examples=50, deadline=None)
+    def test_to_dict_from_dict_roundtrip_is_identity(self, data):
+        spec = scenario_from_dict(data)
+        again = scenario_from_dict(scenario_to_dict(spec))
+        assert again.fingerprint == spec.fingerprint
+        assert scenario_to_dict(again) == scenario_to_dict(spec)
+
+    @given(data=scenario_dicts(), label=names)
+    @settings(max_examples=50, deadline=None)
+    def test_labels_never_change_the_fingerprint(self, data, label):
+        spec = scenario_from_dict(data)
+        relabelled = scenario_from_dict(
+            dict(data, name=label, description=f"about {label}"))
+        assert relabelled.fingerprint == spec.fingerprint
+
+    @given(data=scenario_dicts())
+    @settings(max_examples=50, deadline=None)
+    def test_cache_token_none_iff_semantically_empty(self, data):
+        spec = scenario_from_dict(data)
+        assert (spec.cache_token is None) == (not canonical_scenario(spec))
+        if spec.cache_token is not None:
+            assert spec.cache_token == spec.fingerprint
+            assert spec.fingerprint != EMPTY_SCENARIO.fingerprint
