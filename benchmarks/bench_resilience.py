@@ -1,0 +1,109 @@
+"""Price the resilience layer's production overhead: ≈ zero.
+
+With no fault plan installed, every :func:`fault_point` call is one
+contextvar read.  These benchmarks measure that read directly, count
+how many times the warm pipeline and the warm serve path actually
+consult it (by running once under a never-matching plan, whose injector
+tallies every site), and assert the product stays under 2 % of the
+respective warm wall time — the PR's no-chaos overhead budget.
+"""
+
+import time
+
+from repro.harness.cache import SUBSTRATE_CACHE
+from repro.harness.pipeline import run_pipeline
+from repro.resilience import (
+    FaultPlan,
+    FaultRule,
+    fault_context,
+    fault_point,
+)
+from repro.serve import ServeClient
+
+OVERHEAD_BUDGET = 0.02
+
+#: A plan that matches no real site: installs a counting injector
+#: without ever injecting, so ``snapshot()["seen"]`` tallies exactly
+#: how many hook consultations a workload performs.
+COUNTING_PLAN = FaultPlan(
+    name="counting", rules=(FaultRule(site="never:*"),)
+)
+
+
+def _hook_cost_s(calls: int = 200_000) -> float:
+    """Per-call cost of the disarmed hook (no injector installed)."""
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        fault_point("bench:disarmed")
+    return (time.perf_counter() - t0) / calls
+
+
+def bench_fault_point_disarmed(benchmark):
+    """The hook itself: one contextvar read, far under a microsecond."""
+
+    def burst():
+        for _ in range(1000):
+            fault_point("bench:disarmed")
+
+    benchmark(burst)
+    assert _hook_cost_s() < 5e-6
+
+
+def bench_pipeline_warm_hook_overhead(benchmark):
+    """Warm full-pipeline regeneration pays <2 % to the disarmed hooks."""
+    SUBSTRATE_CACHE.clear()
+    run_pipeline()  # prime every substrate
+
+    run = benchmark(run_pipeline)
+    assert len(run.results) == 13
+
+    with fault_context(COUNTING_PLAN) as injector:
+        t0 = time.perf_counter()
+        run_pipeline()
+        warm_s = time.perf_counter() - t0
+    consultations = sum(injector.snapshot()["seen"].values())
+    assert consultations >= 13  # at least one per artefact
+
+    overhead = consultations * _hook_cost_s() / warm_s
+    assert overhead < OVERHEAD_BUDGET, (
+        f"disarmed hooks cost {overhead:.2%} of the warm pipeline "
+        f"({consultations} consultations)"
+    )
+
+
+def bench_serve_warm_hook_overhead(benchmark):
+    """The warm serve path (cache hits) is hook-free by construction;
+    even the cold path's consultations stay inside the 2 % budget."""
+    requests = [
+        ("node_hours", {"scenario": s, "speedup": x})
+        for s in ("k_computer", "anl", "future")
+        for x in (2.0, 4.0, 8.0)
+    ]
+
+    with ServeClient(workers=2) as client:
+        client.query_many(requests)  # warm the result cache
+
+        def warm_round():
+            return client.query_many(requests)
+
+        responses = benchmark(warm_round)
+        assert all(r.cached for r in responses)
+
+        t0 = time.perf_counter()
+        warm_round()
+        warm_s = time.perf_counter() - t0
+
+        # Count consultations for the same traffic with an armed (but
+        # never-matching) plan: warm hits never reach the handler site.
+        client.engine._injector = None
+        with fault_context(COUNTING_PLAN) as injector:
+            client.engine._injector = injector
+            client.query_many(requests)
+        seen = injector.snapshot()["seen"]
+
+    warm_consultations = sum(
+        n for site, n in seen.items() if site.startswith("handler:")
+    )
+    assert warm_consultations == 0  # cache hits bypass the hook entirely
+    overhead = sum(seen.values()) * _hook_cost_s() / warm_s
+    assert overhead < OVERHEAD_BUDGET

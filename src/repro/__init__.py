@@ -14,8 +14,10 @@ The public API re-exports the entry points a downstream user needs:
 * cost-benefit extrapolation — Fig. 4 (:mod:`repro.extrapolate`,
   :mod:`repro.analysis`),
 * the artefact regeneration harness (:mod:`repro.harness`),
-* and the scenario overlay system — typed, fingerprinted what-ifs
-  threaded through every layer above (:mod:`repro.scenario`).
+* the scenario overlay system — typed, fingerprinted what-ifs
+  threaded through every layer above (:mod:`repro.scenario`),
+* and the resilience layer — deterministic fault injection, retries,
+  and circuit breakers (:mod:`repro.resilience`).
 """
 
 from repro.errors import ReproError
@@ -42,6 +44,16 @@ from repro.scenario import (
     load_scenario,
     scenario_context,
     scenario_from_dict,
+)
+from repro.resilience import (
+    CircuitBreaker,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+    fault_context,
+    fault_point,
+    load_fault_plan,
+    retry_call,
 )
 
 __version__ = "1.0.0"
@@ -93,6 +105,14 @@ __all__ = [
     "active_scenario",
     "scenario_from_dict",
     "load_scenario",
+    "FaultPlan",
+    "FaultRule",
+    "fault_context",
+    "fault_point",
+    "load_fault_plan",
+    "RetryPolicy",
+    "retry_call",
+    "CircuitBreaker",
     "package_version",
     "__version__",
 ]

@@ -3,6 +3,14 @@
 Every error raised by this library derives from :class:`ReproError`, so
 callers can catch library failures without masking genuine Python bugs
 (``TypeError`` from a misuse still propagates as-is).
+
+Each public error carries a machine-readable ``code`` — a stable
+snake_case identifier that survives serialization.  The serve layer
+maps codes to HTTP statuses from one table
+(:data:`repro.serve.http.STATUS_BY_CODE`) and includes the code in
+every error payload, so a client can branch on ``response["code"]``
+instead of parsing messages, and "unclassified 500" means exactly
+"an exception that escaped this taxonomy".
 """
 
 from __future__ import annotations
@@ -21,15 +29,34 @@ __all__ = [
     "QueryValidationError",
     "ServiceOverloaded",
     "QueryTimeout",
+    "CircuitOpen",
+    "FaultInjected",
+    "FaultPlanError",
+    "PipelineError",
+    "SubstrateBuildError",
+    "ArtifactError",
 ]
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by :mod:`repro`."""
+    """Base class for all errors raised by :mod:`repro`.
+
+    ``code`` is the machine-readable identity of the error class; it is
+    inherited, so subclasses that do not declare their own share the
+    parent's (``QueryValidationError`` without a code would report
+    ``serve_error``).  ``to_dict`` is the canonical wire form.
+    """
+
+    code = "repro_error"
+
+    def to_dict(self) -> dict:
+        return {"error": str(self), "code": self.code}
 
 
 class FormatError(ReproError, ValueError):
     """Invalid or unsupported floating-point format specification."""
+
+    code = "format_error"
 
 
 class DeviceError(ReproError, ValueError):
@@ -40,37 +67,55 @@ class DeviceError(ReproError, ValueError):
     registry.
     """
 
+    code = "device_error"
+
 
 class DispatchError(ReproError, RuntimeError):
     """BLAS dispatch failure (no active execution context, bad shapes)."""
+
+    code = "dispatch_error"
 
 
 class ProfilingError(ReproError, RuntimeError):
     """Misuse of the profiling API (unbalanced regions, closed profiles)."""
 
+    code = "profiling_error"
+
 
 class WorkloadError(ReproError, ValueError):
     """Unknown workload, or invalid workload configuration."""
+
+    code = "workload_error"
 
 
 class OzakiError(ReproError, ValueError):
     """Ozaki-scheme precondition violation (non-finite input, bad formats)."""
 
+    code = "ozaki_error"
+
 
 class GraphError(ReproError, ValueError):
     """Dependency-graph construction or analysis failure."""
+
+    code = "graph_error"
 
 
 class ScenarioError(ReproError, ValueError):
     """Invalid extrapolation scenario (domain shares not summing to one, …)."""
 
+    code = "scenario_error"
+
 
 class ServeError(ReproError, RuntimeError):
     """Base class for failures of the :mod:`repro.serve` query service."""
 
+    code = "serve_error"
+
 
 class QueryValidationError(ServeError, ValueError):
     """A what-if query names an unknown kind or carries invalid parameters."""
+
+    code = "query_validation"
 
 
 class ServiceOverloaded(ServeError):
@@ -80,6 +125,67 @@ class ServiceOverloaded(ServeError):
     start promptly instead of letting the queue grow without bound.
     """
 
+    code = "service_overloaded"
+
 
 class QueryTimeout(ServeError, TimeoutError):
     """A query's per-request deadline elapsed before its answer arrived."""
+
+    code = "query_timeout"
+
+
+class CircuitOpen(ServeError):
+    """A circuit breaker is open: the failing dependency is not called.
+
+    The request was rejected *before* doing work, to give the dependency
+    time to recover; the serve layer answers with stale data (flagged
+    ``"degraded": true``) when it has any, or maps this to HTTP 503.
+    """
+
+    code = "circuit_open"
+
+
+class FaultInjected(ReproError, RuntimeError):
+    """A deterministic fault-plan rule fired at this call site.
+
+    Only ever raised while a :class:`repro.resilience.FaultPlan` is
+    installed — production code paths with no plan cannot see it.
+    """
+
+    code = "fault_injected"
+
+    def __init__(self, message: str, *, site: str = "") -> None:
+        super().__init__(message)
+        self.site = site
+
+
+class FaultPlanError(ReproError, ValueError):
+    """Invalid fault-plan specification (unknown keys, bad rule values)."""
+
+    code = "fault_plan_error"
+
+
+class PipelineError(ReproError, RuntimeError):
+    """The artefact pipeline could not complete the requested run."""
+
+    code = "pipeline_error"
+
+
+class SubstrateBuildError(PipelineError):
+    """A shared substrate failed to build after exhausting its retries."""
+
+    code = "substrate_build_error"
+
+    def __init__(self, message: str, *, substrate: str = "") -> None:
+        super().__init__(message)
+        self.substrate = substrate
+
+
+class ArtifactError(PipelineError):
+    """An artefact generator failed after exhausting its retries."""
+
+    code = "artifact_error"
+
+    def __init__(self, message: str, *, artifact: str = "") -> None:
+        super().__init__(message)
+        self.artifact = artifact

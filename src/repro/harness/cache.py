@@ -9,10 +9,17 @@ full ``repro-paper`` run computes each substrate exactly once no matter
 how many artefacts — or worker threads — ask for it.
 
 The module is deliberately a leaf: it imports only the standard
-library (plus, lazily, the equally-leafy :mod:`repro.scenario`), so any
-layer (``repro.joblog``, ``repro.ozaki``, ``repro.workloads``, ...) can
-decorate its substrate factory with :func:`memoize_substrate` without
-creating an import cycle through ``repro.harness``.
+library (plus the equally-leafy :mod:`repro.resilience.faultplan` and,
+lazily, :mod:`repro.scenario`), so any layer (``repro.joblog``,
+``repro.ozaki``, ``repro.workloads``, ...) can decorate its substrate
+factory with :func:`memoize_substrate` without creating an import cycle
+through ``repro.harness``.
+
+Fault injection: every lookup consults :func:`fault_point` at site
+``cache:<substrate>``; an ``evict`` rule drops the entry first,
+simulating an eviction storm (the factory then recomputes, so values
+stay correct — only the hit/eviction pattern changes).  With no plan
+installed the hook is a single contextvar read.
 
 Scenario awareness: every memoized lookup resolves through the active
 :class:`~repro.scenario.spec.ScenarioSpec`.  A non-empty scenario (a)
@@ -32,6 +39,8 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable
+
+from repro.resilience.faultplan import fault_point
 
 __all__ = [
     "CacheStats",
@@ -133,6 +142,11 @@ class SubstrateCache:
         """Return the cached value for ``(substrate, key)``, computing it
         with ``factory`` on first request."""
         full_key = (substrate, freeze(key))
+        if fault_point(f"cache:{substrate}") == "evict":
+            with self._mutex:
+                if self._values.pop(full_key, None) is not None:
+                    self._key_locks.pop(full_key, None)
+                    self._evictions += 1
         with self._mutex:
             if full_key in self._values:
                 self._hits += 1
@@ -183,6 +197,21 @@ class SubstrateCache:
                 self._evictions,
                 self._max_entries,
             )
+
+    def invalidate(self, substrate: str) -> int:
+        """Drop every entry of one substrate; returns the count dropped.
+
+        Recovery hook: after a substrate build fails part-way, the
+        pipeline invalidates the name so the retry recomputes from
+        scratch instead of trusting a possibly half-built value.
+        """
+        with self._mutex:
+            doomed = [k for k in self._values if k[0] == substrate]
+            for full_key in doomed:
+                del self._values[full_key]
+                self._key_locks.pop(full_key, None)
+                self._evictions += 1
+            return len(doomed)
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""

@@ -1,4 +1,4 @@
-"""DAG-aware, parallel, memoized artefact pipeline.
+"""DAG-aware, parallel, memoized, *fault-isolated* artefact pipeline.
 
 The paper's evidence is 13 regenerable artefacts.  Most of them sit on
 a small set of shared *substrates* — the seeded K-computer year, the
@@ -14,14 +14,30 @@ module makes that structure explicit:
   unavailable) and are primed into the parent's cache — then runs the
   independent artefact generators on a thread pool;
 * each run produces a ``manifest`` recording per-substrate and
-  per-artefact wall time, the governing RNG seed, the SHA-256 of the
-  rendered text, and the cache hit/miss counters — written as
-  ``manifest.json`` by :func:`repro.harness.export.export_all` so
-  pipeline performance is observable across PRs.
+  per-artefact wall time, status and retry count, the governing RNG
+  seed, the SHA-256 of the rendered text, and the cache hit/miss
+  counters — written as ``manifest.json`` by
+  :func:`repro.harness.export.export_all` so pipeline performance is
+  observable across PRs.
 
 Because every generator is seeded and pulls shared state only through
 the cache, the results are identical whatever ``jobs`` is; the
 determinism suite (``tests/test_pipeline.py``) locks that in.
+
+Resilience: substrate builds and artefact generators run under seeded
+retry (:func:`repro.resilience.retry_call`; a failed build invalidates
+its cache entry first, so the retry recomputes from scratch), and a
+failure that survives its retries no longer aborts the run — the
+artefact (plus anything depending on a failed substrate) is recorded as
+``failed``/``skipped`` in the manifest while every healthy artefact
+completes.  ``repro-paper --resume DIR`` re-runs just the failures.
+Fault injection for chaos testing rides in via
+:func:`repro.resilience.fault_context` (or the explicit ``fault_plan``
+argument): the parent consults sites ``substrate:<name>`` and
+``artifact:<name>`` with one shared injector — so count-based rules are
+exact whatever the fan-out — while pool workers install the plan for
+the deeper ``cache:*`` sites; a ``kill`` rule hard-exits the worker
+process, exercising the broken-pool → thread-fallback recovery.
 """
 
 from __future__ import annotations
@@ -36,20 +52,46 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.harness.cache import SUBSTRATE_CACHE
-from repro.scenario import ScenarioSpec, active_scenario, scenario_context
+from repro.resilience import (
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    active_injector,
+    fault_context,
+    retry_call,
+)
+from repro.scenario import (
+    ScenarioSpec,
+    active_scenario,
+    scenario_context,
+    scenario_to_dict,
+)
 
 __all__ = [
     "SubstrateSpec",
     "SUBSTRATES",
     "ARTIFACT_SUBSTRATES",
     "PipelineResult",
+    "PIPELINE_RETRY_POLICY",
     "run_pipeline",
     "artifact_names",
 ]
 
 #: v2 added the ``scenario`` block (label + fingerprint of the overlay
 #: the run was produced under; baseline runs record a null fingerprint).
-MANIFEST_SCHEMA_VERSION = 2
+#: v3 added resilience: top-level ``status`` ("ok"/"partial") and
+#: ``fault_plan``, the full canonical scenario ``spec`` (so ``--resume``
+#: can reconstruct the overlay), and per-substrate/per-artefact
+#: ``status`` + ``retries`` (+ ``error`` for failures).
+MANIFEST_SCHEMA_VERSION = 3
+
+#: Default retry budget for substrate builds and artefact generators:
+#: three attempts with a short seeded backoff.  Deliberately snappy —
+#: the builders are deterministic, so a retry only helps against
+#: injected faults and genuinely transient environment errors.
+PIPELINE_RETRY_POLICY = RetryPolicy(
+    attempts=3, base_delay_s=0.01, multiplier=2.0, max_delay_s=0.1
+)
 
 
 @dataclass(frozen=True)
@@ -98,20 +140,29 @@ def _workload_profiles_factory() -> Callable[..., Any]:
 
 
 def _compute_substrate(
-    substrate: str, scenario: ScenarioSpec
+    substrate: str,
+    scenario: ScenarioSpec,
+    plan: FaultPlan | None = None,
+    die: bool = False,
 ) -> tuple[Any, float]:
     """Build one substrate's default entry; runs in a worker process.
 
-    The scenario is passed explicitly (contextvars do not survive the
-    trip into a pool worker), so seed overrides and overlay catalogues
-    apply in the child exactly as in the parent.  Returns the value
-    plus the child-side wall time, so the manifest records each
+    The scenario — and any fault plan — is passed explicitly
+    (contextvars do not survive the trip into a pool worker), so seed
+    overrides, overlay catalogues and ``cache:*`` fault sites apply in
+    the child exactly as in the parent.  ``die`` is the parent
+    forwarding a ``kill`` fault rule: the child hard-exits, breaking
+    the pool, and the parent's thread fallback recovers.  Returns the
+    value plus the child-side wall time, so the manifest records each
     substrate's own compute cost rather than the parent's
     wait-for-result time.
     """
+    if die:  # pragma: no cover - exercised via the chaos suite
+        os._exit(3)
     t0 = time.perf_counter()
-    with scenario_context(scenario):
-        value = SUBSTRATES[substrate].builder()()
+    with fault_context(plan):
+        with scenario_context(scenario):
+            value = SUBSTRATES[substrate].builder()()
     return value, time.perf_counter() - t0
 
 
@@ -207,65 +258,94 @@ def _cpu_capacity() -> int:
         return os.cpu_count() or 1
 
 
+def _describe(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
 def _warm_in_parallel(
     cold: list[str],
     jobs: int,
     substrate_meta: dict[str, dict],
     scenario: ScenarioSpec,
-) -> None:
-    """Compute cold substrates concurrently and prime the local cache.
+    injector: FaultInjector | None,
+) -> list[str]:
+    """Compute cold substrates in worker processes; prime the local cache.
 
-    Worker *processes* beat the GIL for the CPU-bound builders, but
-    they only pay off when there is more than one CPU to run on —
-    fork + result-pickling overhead on a single core would make
-    ``--jobs 8`` slower than serial, so such hosts use threads.  The
-    scenario rides into every worker explicitly: neither a forked
-    process pool's task thread nor a ``ThreadPoolExecutor`` worker
-    inherits the caller's contextvars.
+    Worker *processes* beat the GIL for the CPU-bound builders.  The
+    scenario (and fault plan) rides into every worker explicitly:
+    neither a forked pool's task thread nor a thread-pool worker
+    inherits the caller's contextvars.  Substrate-site fault rules are
+    consulted *in the parent* against the one shared injector — an
+    injected error, a dead worker (``kill``), or any child-side failure
+    leaves that substrate in the returned list, which the caller warms
+    again under retry.  Substrates warmed cleanly are primed and
+    recorded; the return value is whatever still needs warming.
     """
     workers = min(jobs, len(cold))
-    if _cpu_capacity() > 1 and "fork" in multiprocessing.get_all_start_methods():
-        ctx = multiprocessing.get_context("fork")
-        try:
-            with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-                futures = {
-                    s: pool.submit(_compute_substrate, s, scenario) for s in cold
-                }
-                with scenario_context(scenario):
-                    for substrate, future in futures.items():
-                        value, elapsed = future.result()
-                        SUBSTRATES[substrate].builder().prime(value)
-                        substrate_meta[substrate] = {
-                            "wall_time_s": elapsed,
-                            "seed": _effective_seed(substrate, scenario),
-                            "cached": False,
-                        }
-            return
-        except (OSError, BrokenProcessPool):  # pragma: no cover
-            pass  # fork denied or a worker died — fall back to threads
-    with ThreadPoolExecutor(
-        max_workers=workers, thread_name_prefix="repro-substrate"
-    ) as pool:
-        t0 = time.perf_counter()
-
-        def warm(substrate: str) -> None:
+    plan = injector.plan if injector is not None else None
+    remaining: list[str] = []
+    ctx = multiprocessing.get_context("fork")
+    try:
+        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+            futures = {}
+            for substrate in cold:
+                die = False
+                if injector is not None:
+                    try:
+                        die = (
+                            injector.fire(
+                                f"substrate:{substrate}", allow_kill=True
+                            )
+                            == "kill"
+                        )
+                    except Exception:
+                        # Injected build error: attempt #1 failed, the
+                        # retrying warm path recovers it.
+                        remaining.append(substrate)
+                        continue
+                futures[substrate] = pool.submit(
+                    _compute_substrate, substrate, scenario, plan, die
+                )
             with scenario_context(scenario):
-                SUBSTRATES[substrate].builder()()
-            substrate_meta[substrate] = {
-                "wall_time_s": time.perf_counter() - t0,
-                "seed": _effective_seed(substrate, scenario),
-                "cached": False,
-            }
-
-        list(pool.map(warm, cold))
+                for substrate, future in futures.items():
+                    try:
+                        value, elapsed = future.result()
+                    except (OSError, BrokenProcessPool):
+                        raise  # the pool itself died; recover below
+                    except Exception:
+                        remaining.append(substrate)
+                        continue
+                    SUBSTRATES[substrate].builder().prime(value)
+                    substrate_meta[substrate] = {
+                        "wall_time_s": elapsed,
+                        "seed": _effective_seed(substrate, scenario),
+                        "cached": False,
+                        "status": "ok",
+                        "retries": 0,
+                    }
+        return remaining
+    except (OSError, BrokenProcessPool):  # pragma: no cover - chaos path
+        # fork denied or a worker died — every substrate not yet primed
+        # falls back to the retrying (threaded) warm path.
+        return [s for s in cold if s not in substrate_meta]
 
 
 @dataclass
 class PipelineResult:
-    """Results dict (in selection order) plus the run manifest."""
+    """Results dict (in selection order) plus the run manifest.
+
+    ``results`` holds only the artefacts that completed; ``failures``
+    maps each failed or skipped artefact to its error description (the
+    manifest carries the same per-artefact detail).
+    """
 
     results: dict[str, dict]
     manifest: dict[str, Any] = field(default_factory=dict)
+    failures: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
 
 
 def _resolve(names: list[str] | None) -> list[str]:
@@ -284,6 +364,8 @@ def run_pipeline(
     *,
     jobs: int = 1,
     scenario: ScenarioSpec | None = None,
+    fault_plan: FaultPlan | FaultInjector | None = None,
+    retry_policy: RetryPolicy = PIPELINE_RETRY_POLICY,
 ) -> PipelineResult:
     """Regenerate the selected artefacts (all by default).
 
@@ -292,13 +374,28 @@ def run_pipeline(
     on up to ``jobs`` threads.  ``jobs=1`` runs everything in the
     calling thread.  ``scenario`` overlays the run (default: whatever
     :func:`repro.scenario.scenario_context` has installed, else the
-    baseline); the manifest records its label and fingerprint.  Raises
-    :class:`ValueError` for unknown artefact names or a non-positive
-    ``jobs``.
+    baseline); the manifest records its label, fingerprint and full
+    canonical spec.  ``fault_plan`` installs a chaos experiment
+    (default: whatever :func:`repro.resilience.fault_context` has
+    installed, else nothing).  Raises :class:`ValueError` for unknown
+    artefact names or a non-positive ``jobs``.
+
+    Failures are isolated, not fatal: a substrate or artefact that
+    still fails after ``retry_policy`` is recorded in the manifest
+    (``status: "failed"``; its dependants ``"skipped"``) and in
+    ``PipelineResult.failures``, while every healthy artefact completes
+    and the manifest's top-level ``status`` flips to ``"partial"``.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     spec = scenario if scenario is not None else active_scenario()
+    if isinstance(fault_plan, FaultPlan):
+        injector = None if fault_plan.is_empty else FaultInjector(fault_plan)
+    elif fault_plan is not None:
+        injector = fault_plan
+    else:
+        injector = active_injector()
+    jitter_seed = injector.plan.seed if injector is not None else 0
     selected = _resolve(names)
     functions = _artifact_functions()
     t_start = time.perf_counter()
@@ -314,59 +411,150 @@ def run_pipeline(
         if any(s in ARTIFACT_SUBSTRATES.get(n, ()) for n in selected)
     ]
     substrate_meta: dict[str, dict] = {}
+    failed_substrates: dict[str, str] = {}
 
     def warm(substrate: str) -> None:
+        """Warm one substrate in-process, under retry, recording meta."""
         cached = substrate in SUBSTRATE_CACHE
         t0 = time.perf_counter()
-        with scenario_context(spec):
-            SUBSTRATES[substrate].builder()()
-        substrate_meta[substrate] = {
-            "wall_time_s": time.perf_counter() - t0,
+
+        def attempt() -> Any:
+            with fault_context(injector):
+                if injector is not None:
+                    injector.fire(f"substrate:{substrate}")
+                with scenario_context(spec):
+                    return SUBSTRATES[substrate].builder()()
+
+        def on_retry(_attempt: int, _exc: BaseException) -> None:
+            # Never trust a half-built value: recompute from scratch.
+            SUBSTRATE_CACHE.invalidate(substrate)
+
+        meta = {
+            "wall_time_s": 0.0,
             "seed": _effective_seed(substrate, spec),
             "cached": cached,
         }
+        try:
+            _, retries = retry_call(
+                attempt,
+                policy=retry_policy,
+                seed=jitter_seed,
+                site=f"substrate:{substrate}",
+                on_retry=on_retry,
+            )
+        except Exception as exc:
+            SUBSTRATE_CACHE.invalidate(substrate)
+            failed_substrates[substrate] = _describe(exc)
+            meta.update(
+                status="failed",
+                retries=retry_policy.attempts - 1,
+                error=_describe(exc),
+            )
+        else:
+            meta.update(status="ok", retries=retries)
+        meta["wall_time_s"] = time.perf_counter() - t0
+        substrate_meta[substrate] = meta
 
     cold = [s for s in needed if s not in SUBSTRATE_CACHE]
     for substrate in needed:
         if substrate not in cold:  # record the hit; costs a dict lookup
             warm(substrate)
-    if jobs == 1 or len(cold) <= 1:
-        for substrate in cold:
-            warm(substrate)
-    elif cold:
-        _warm_in_parallel(cold, jobs, substrate_meta, spec)
+    if cold:
+        remaining = cold
+        if (
+            jobs > 1
+            and len(cold) > 1
+            and _cpu_capacity() > 1
+            and "fork" in multiprocessing.get_all_start_methods()
+        ):
+            remaining = _warm_in_parallel(
+                cold, jobs, substrate_meta, spec, injector
+            )
+        if jobs == 1 or len(remaining) <= 1:
+            for substrate in remaining:
+                warm(substrate)
+        elif remaining:
+            with ThreadPoolExecutor(
+                max_workers=min(jobs, len(remaining)),
+                thread_name_prefix="repro-substrate",
+            ) as pool:
+                list(pool.map(warm, remaining))
 
     # Phase 2: fan the (now independent) artefact generators out.  Each
-    # generator thread re-installs the scenario itself — pool threads
-    # never inherit the submitting thread's contextvars.
+    # generator thread re-installs the scenario (and injector) itself —
+    # pool threads never inherit the submitting thread's contextvars.
     timings: dict[str, float] = {}
+    artifact_meta: dict[str, dict] = {}
+    failures: dict[str, str] = {}
 
-    def generate(name: str) -> dict:
+    def generate(name: str) -> dict | None:
+        broken = [
+            s for s in ARTIFACT_SUBSTRATES.get(name, ())
+            if s in failed_substrates
+        ]
+        if broken:
+            timings[name] = 0.0
+            error = (
+                f"substrate {broken[0]!r} unavailable: "
+                f"{failed_substrates[broken[0]]}"
+            )
+            artifact_meta[name] = {
+                "status": "skipped", "retries": 0, "error": error,
+            }
+            failures[name] = error
+            return None
         t0 = time.perf_counter()
-        with scenario_context(spec):
-            result = functions[name]()
+
+        def attempt() -> dict:
+            with fault_context(injector):
+                if injector is not None:
+                    injector.fire(f"artifact:{name}")
+                with scenario_context(spec):
+                    return functions[name]()
+
+        try:
+            result, retries = retry_call(
+                attempt,
+                policy=retry_policy,
+                seed=jitter_seed,
+                site=f"artifact:{name}",
+            )
+        except Exception as exc:
+            timings[name] = time.perf_counter() - t0
+            artifact_meta[name] = {
+                "status": "failed",
+                "retries": retry_policy.attempts - 1,
+                "error": _describe(exc),
+            }
+            failures[name] = _describe(exc)
+            return None
         timings[name] = time.perf_counter() - t0
+        artifact_meta[name] = {"status": "ok", "retries": retries}
         return result
 
     if jobs == 1 or len(selected) <= 1:
-        results = {name: generate(name) for name in selected}
+        raw = {name: generate(name) for name in selected}
     else:
         with ThreadPoolExecutor(
             max_workers=min(jobs, len(selected)),
             thread_name_prefix="repro-artifact",
         ) as pool:
             futures = {name: pool.submit(generate, name) for name in selected}
-            results = {name: futures[name].result() for name in selected}
+            raw = {name: futures[name].result() for name in selected}
+    results = {name: r for name, r in raw.items() if r is not None}
 
     stats = SUBSTRATE_CACHE.stats()
     manifest = {
         "schema_version": MANIFEST_SCHEMA_VERSION,
         "generator": "repro-paper",
+        "status": "ok" if not failures else "partial",
         "jobs": jobs,
         "scenario": {
             "label": spec.label(),
             "fingerprint": spec.cache_token,
+            "spec": scenario_to_dict(spec),
         },
+        "fault_plan": injector.snapshot() if injector is not None else None,
         "total_wall_time_s": time.perf_counter() - t_start,
         "cache": {
             "hits": stats.hits,
@@ -380,9 +568,12 @@ def run_pipeline(
                 "wall_time_s": timings[name],
                 "seed": _artifact_seed(name, spec),
                 "substrates": list(ARTIFACT_SUBSTRATES.get(name, ())),
-                "text_sha256": text_sha256(results[name]),
+                "text_sha256": (
+                    text_sha256(results[name]) if name in results else None
+                ),
+                **artifact_meta[name],
             }
             for name in selected
         },
     }
-    return PipelineResult(results=results, manifest=manifest)
+    return PipelineResult(results=results, manifest=manifest, failures=failures)

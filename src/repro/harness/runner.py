@@ -97,7 +97,11 @@ ARTIFACTS: dict[str, callable] = {
 
 
 def run_all(
-    names: list[str] | None = None, *, jobs: int = 1, scenario=None
+    names: list[str] | None = None,
+    *,
+    jobs: int = 1,
+    scenario=None,
+    fault_plan=None,
 ) -> dict[str, dict]:
     """Regenerate the selected artefacts (all by default).
 
@@ -105,13 +109,28 @@ def run_all(
     the shared substrates have been warmed once (see
     :mod:`repro.harness.pipeline`); the results are identical whatever
     its value.  ``scenario`` (a :class:`repro.scenario.ScenarioSpec`)
-    overlays the run.  Raises :class:`ValueError` for an unknown
-    artefact name — the CLI (:func:`main`) translates that into a
-    ``SystemExit``.
+    overlays the run; ``fault_plan`` (a
+    :class:`repro.resilience.FaultPlan`) injects chaos.  Raises
+    :class:`ValueError` for an unknown artefact name — the CLI
+    (:func:`main`) translates that into a ``SystemExit`` — and
+    :class:`repro.errors.PipelineError` when any artefact is missing
+    from the returned dict because it failed its retries (callers
+    wanting the partial results instead use
+    :func:`~repro.harness.pipeline.run_pipeline` directly; the CLI does,
+    and flushes whatever completed).
     """
+    from repro.errors import PipelineError
     from repro.harness.pipeline import run_pipeline
 
-    return run_pipeline(names, jobs=jobs, scenario=scenario).results
+    run = run_pipeline(names, jobs=jobs, scenario=scenario, fault_plan=fault_plan)
+    if run.failures:
+        detail = "; ".join(
+            f"{name}: {error}" for name, error in sorted(run.failures.items())
+        )
+        raise PipelineError(
+            f"{len(run.failures)} artefact(s) did not complete — {detail}"
+        )
+    return run.results
 
 
 def _flag_value(args: list[str], flag: str, what: str) -> str | None:
@@ -127,20 +146,115 @@ def _flag_value(args: list[str], flag: str, what: str) -> str | None:
     return value
 
 
+def _print_results(results: dict[str, dict]) -> None:
+    for name, result in results.items():
+        print(f"\n=== {name} " + "=" * max(0, 66 - len(name)))
+        print(result["text"])
+
+
+def _resume(outdir: str, jobs: int) -> int:
+    """Re-run only the failed/skipped artefacts of a previous --output.
+
+    Reads ``manifest.json``, reconstructs the recorded scenario,
+    regenerates just the artefacts whose status is not ``"ok"`` (without
+    any fault plan — resume is the recovery run), and writes a merged
+    manifest: the surviving entries keep their original timings and
+    files, the re-run ones get fresh records.  Because every generator
+    is seeded, the recovered artefacts are byte-identical to a clean
+    run's.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.errors import ScenarioError
+    from repro.harness.export import export_all
+    from repro.harness.pipeline import run_pipeline
+    from repro.scenario import scenario_from_dict
+
+    path = Path(outdir) / "manifest.json"
+    if not path.is_file():
+        raise SystemExit(f"--resume: no manifest.json in {outdir!r}")
+    try:
+        manifest = json.loads(path.read_text())
+    except ValueError as exc:
+        raise SystemExit(f"--resume: {path} is not valid JSON: {exc}")
+    artifacts = manifest.get("artifacts") or {}
+    pending = sorted(
+        name
+        for name, entry in artifacts.items()
+        if entry.get("status", "ok") != "ok"
+    )
+    if not pending:
+        print(
+            f"[resume] nothing to do: all {len(artifacts)} artefact(s) "
+            f"in {outdir}/ completed"
+        )
+        return 0
+    scenario_block = manifest.get("scenario") or {}
+    if "spec" not in scenario_block:
+        raise SystemExit(
+            "--resume: manifest predates schema v3 (no scenario spec "
+            "recorded); re-run repro-paper from scratch instead"
+        )
+    try:
+        scenario = scenario_from_dict(scenario_block["spec"])
+    except ScenarioError as exc:
+        raise SystemExit(f"--resume: manifest scenario is invalid: {exc}")
+    print(
+        f"[resume] re-running {len(pending)} artefact(s): "
+        + ", ".join(pending)
+    )
+    run = run_pipeline(pending, jobs=jobs, scenario=scenario)
+    _print_results(run.results)
+    merged = dict(manifest)
+    for key in ("schema_version", "generator", "fault_plan",
+                "total_wall_time_s", "cache"):
+        merged[key] = run.manifest[key]
+    merged["jobs"] = jobs
+    merged["substrates"] = {
+        **(manifest.get("substrates") or {}),
+        **run.manifest["substrates"],
+    }
+    merged["artifacts"] = {**artifacts, **run.manifest["artifacts"]}
+    still_failing = sorted(
+        name
+        for name, entry in merged["artifacts"].items()
+        if entry.get("status", "ok") != "ok"
+    )
+    merged["status"] = "ok" if not still_failing else "partial"
+    export_all(run.results, outdir, run_manifest=merged)
+    if still_failing:
+        print(
+            f"[resume] {len(still_failing)} artefact(s) still failing: "
+            + ", ".join(still_failing),
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"[resume] run complete: all {len(merged['artifacts'])} "
+        f"artefact(s) healthy in {outdir}/"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Console entry point."""
     args = list(sys.argv[1:] if argv is None else argv)
     if args and args[0] in ("-h", "--help"):
         print(
-            "usage: repro-paper [--output DIR] [--jobs N] "
-            "[--scenario FILE] [artefact ...]"
+            "usage: repro-paper [--output DIR] [--jobs N] [--scenario FILE] "
+            "[--fault-plan FILE] [artefact ...]"
         )
+        print("       repro-paper --resume DIR [--jobs N]")
         print("artefacts:", " ".join(sorted(ARTIFACTS)))
         print("options:")
-        print("  --output DIR     write text/JSON/CSV files plus manifest.json")
-        print("  --jobs N         parallel workers for the artefact pipeline")
-        print("  --scenario FILE  run under a what-if overlay (JSON ScenarioSpec)")
-        print("  --version        print the package version and exit")
+        print("  --output DIR      write text/JSON/CSV files plus manifest.json")
+        print("  --jobs N          parallel workers for the artefact pipeline")
+        print("  --scenario FILE   run under a what-if overlay (JSON ScenarioSpec)")
+        print("  --fault-plan FILE inject a chaos experiment (JSON FaultPlan)")
+        print("  --resume DIR      re-run only the failed artefacts of a "
+              "previous --output")
+        print("  --version         print the package version and exit")
         return 0
     if "--version" in args:
         from repro import package_version
@@ -150,12 +264,21 @@ def main(argv: list[str] | None = None) -> int:
     outdir = _flag_value(args, "--output", "a directory argument")
     jobs_arg = _flag_value(args, "--jobs", "an integer argument")
     scenario_arg = _flag_value(args, "--scenario", "a JSON file argument")
+    fault_arg = _flag_value(args, "--fault-plan", "a JSON file argument")
+    resume_arg = _flag_value(args, "--resume", "a directory argument")
     jobs = 1
     if jobs_arg is not None:
         try:
             jobs = int(jobs_arg)
         except ValueError:
             raise SystemExit(f"--jobs expects an integer, got {jobs_arg!r}")
+    if resume_arg is not None:
+        if args or outdir or scenario_arg or fault_arg:
+            raise SystemExit(
+                "--resume takes only --jobs; the artefact selection, "
+                "scenario and output directory come from the manifest"
+            )
+        return _resume(resume_arg, jobs)
     scenario = None
     if scenario_arg is not None:
         from repro.errors import ScenarioError
@@ -165,15 +288,24 @@ def main(argv: list[str] | None = None) -> int:
             scenario = load_scenario(scenario_arg)
         except ScenarioError as exc:
             raise SystemExit(f"--scenario: {exc}")
+    fault_plan = None
+    if fault_arg is not None:
+        from repro.errors import FaultPlanError
+        from repro.resilience import load_fault_plan
+
+        try:
+            fault_plan = load_fault_plan(fault_arg)
+        except FaultPlanError as exc:
+            raise SystemExit(f"--fault-plan: {exc}")
     from repro.harness.pipeline import run_pipeline
 
     try:
-        run = run_pipeline(args or None, jobs=jobs, scenario=scenario)
+        run = run_pipeline(
+            args or None, jobs=jobs, scenario=scenario, fault_plan=fault_plan
+        )
     except ValueError as exc:
         raise SystemExit(str(exc))
-    for name, result in run.results.items():
-        print(f"\n=== {name} " + "=" * max(0, 66 - len(name)))
-        print(result["text"])
+    _print_results(run.results)
     cache = run.manifest["cache"]
     scenario_note = ""
     if scenario is not None:
@@ -184,11 +316,27 @@ def main(argv: list[str] | None = None) -> int:
         f"cache: {cache['hits']} hits / {cache['misses']} misses"
         f"{scenario_note})"
     )
+    # A partial run still flushes every completed artefact and the
+    # partial manifest — failed work is lost only if it never ran.
     if outdir is not None:
         from repro.harness.export import export_all
 
         written = export_all(run.results, outdir, run_manifest=run.manifest)
         print(f"\nwrote {len(written)} files to {outdir}/")
+    if run.failures:
+        for name, error in sorted(run.failures.items()):
+            print(f"[pipeline] FAILED {name}: {error}", file=sys.stderr)
+        hint = (
+            f"; recover with: repro-paper --resume {outdir}"
+            if outdir is not None
+            else ""
+        )
+        print(
+            f"[pipeline] partial run: {len(run.failures)} artefact(s) "
+            f"did not complete{hint}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

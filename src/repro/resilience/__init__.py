@@ -1,0 +1,52 @@
+"""Deterministic fault injection and recovery primitives.
+
+Two halves, mirroring :mod:`repro.scenario`'s spec/ambient split:
+
+* **Fault plans** (:mod:`repro.resilience.faultplan`) — a frozen,
+  JSON-loadable :class:`FaultPlan` with a canonical fingerprint,
+  installed ambiently via :func:`fault_context` and consulted by
+  instrumented call sites through :func:`fault_point`.  No plan
+  installed → a single contextvar read, effectively free.
+
+* **Recovery** (:mod:`~repro.resilience.retry`,
+  :mod:`~repro.resilience.breaker`) — seeded-deterministic exponential
+  backoff (:func:`retry_call`) and per-dependency circuit breakers
+  (:class:`CircuitBreaker`, :class:`BreakerRegistry`), wired into the
+  pipeline's substrate warming / artefact generation and the serve
+  engine's handler execution.
+"""
+
+from repro.resilience.breaker import BreakerRegistry, CircuitBreaker
+from repro.resilience.faultplan import (
+    EMPTY_FAULT_PLAN,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    active_injector,
+    fault_context,
+    fault_plan_fingerprint,
+    fault_plan_from_dict,
+    fault_plan_to_dict,
+    fault_point,
+    load_fault_plan,
+)
+from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy, retry_call
+
+__all__ = [
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjector",
+    "EMPTY_FAULT_PLAN",
+    "fault_plan_from_dict",
+    "fault_plan_to_dict",
+    "fault_plan_fingerprint",
+    "load_fault_plan",
+    "fault_context",
+    "active_injector",
+    "fault_point",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "retry_call",
+    "CircuitBreaker",
+    "BreakerRegistry",
+]

@@ -1,0 +1,175 @@
+"""Circuit breakers: stop calling a dependency that keeps failing.
+
+Classic three-state machine.  **closed** — calls flow, consecutive
+failures are counted.  **open** — after ``failure_threshold``
+consecutive failures, calls are rejected outright with
+:class:`~repro.errors.CircuitOpen` for ``recovery_s`` seconds, giving
+the dependency room to recover.  **half-open** — after the cool-down,
+exactly one trial call is admitted: success closes the breaker, failure
+re-opens it for another full cool-down.
+
+The serve engine keeps one breaker per query kind (a broken handler
+must not take down its neighbours) and answers rejected queries from
+its stale-while-revalidate store when it can; the clock is injectable
+so tests and chaos runs never sleep real time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from repro.errors import CircuitOpen
+
+__all__ = ["CircuitBreaker", "BreakerRegistry"]
+
+
+class CircuitBreaker:
+    """One dependency's three-state breaker (thread-safe)."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        failure_threshold: int = 3,
+        recovery_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_open: Callable[[str], None] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_s = recovery_s
+        self._clock = clock
+        self._on_open = on_open
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0  # consecutive, while closed
+        self._opened_at = 0.0
+        self._open_count = 0
+        self._rejected = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._peek_state()
+
+    def _peek_state(self) -> str:
+        # Caller holds the lock.  Open lazily decays to half-open.
+        if self._state == "open" and (
+            self._clock() - self._opened_at >= self.recovery_s
+        ):
+            self._state = "half_open"
+        return self._state
+
+    def before_call(self) -> bool:
+        """Admission gate: raises :class:`CircuitOpen` when open, admits
+        one trial when half-open (concurrent callers are rejected until
+        the trial reports back).  Returns ``True`` when this call
+        claimed the half-open trial slot — a caller whose work is then
+        rejected elsewhere must hand the slot back via
+        :meth:`abort_trial`."""
+        with self._lock:
+            state = self._peek_state()
+            if state == "closed":
+                return False
+            if state == "half_open":
+                # Claim the single trial slot by flipping to a sentinel.
+                self._state = "half_open_busy"
+                return True
+            self._rejected += 1
+            if state == "open":
+                remaining = self.recovery_s - (self._clock() - self._opened_at)
+                raise CircuitOpen(
+                    f"circuit {self.name!r} is open "
+                    f"({remaining:.2f}s until half-open)"
+                )
+            raise CircuitOpen(
+                f"circuit {self.name!r} is trialing recovery; rejected"
+            )
+
+    def abort_trial(self) -> None:
+        """Release a claimed half-open trial slot without a verdict
+        (the trial call never ran — e.g. it was shed downstream)."""
+        with self._lock:
+            if self._state == "half_open_busy":
+                self._state = "half_open"
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = "closed"
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == "half_open_busy":
+                self._trip()
+                return
+            self._failures += 1
+            if self._state == "closed" and (
+                self._failures >= self.failure_threshold
+            ):
+                self._trip()
+
+    def _trip(self) -> None:
+        # Caller holds the lock.
+        self._state = "open"
+        self._failures = 0
+        self._opened_at = self._clock()
+        self._open_count += 1
+        if self._on_open is not None:
+            self._on_open(self.name)
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            state = self._peek_state()
+            return {
+                "state": "half_open" if state == "half_open_busy" else state,
+                "consecutive_failures": self._failures,
+                "times_opened": self._open_count,
+                "rejected": self._rejected,
+            }
+
+
+class BreakerRegistry:
+    """Lazily-created named breakers sharing one configuration."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        recovery_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_open: Callable[[str], None] | None = None,
+    ) -> None:
+        self._kwargs = dict(
+            failure_threshold=failure_threshold,
+            recovery_s=recovery_s,
+            clock=clock,
+            on_open=on_open,
+        )
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def get(self, name: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                breaker = self._breakers[name] = CircuitBreaker(
+                    name, **self._kwargs
+                )
+            return breaker
+
+    def snapshot(self) -> dict[str, dict]:
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {name: b.snapshot() for name, b in sorted(breakers.items())}
+
+    def all_closed(self) -> bool:
+        with self._lock:
+            breakers = list(self._breakers.values())
+        return all(b.state == "closed" for b in breakers)

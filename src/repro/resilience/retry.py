@@ -1,0 +1,99 @@
+"""Seeded exponential backoff: deterministic retries for chaos replay.
+
+``retry_call`` wraps one callable invocation in a bounded retry loop
+with exponential backoff and *deterministic* jitter: the sleep sequence
+is drawn from a :class:`random.Random` keyed on ``(seed, site)``, so a
+chaos run under a pinned :class:`~repro.resilience.FaultPlan` replays
+the identical schedule every time.  Production runs pass ``seed=0`` and
+still get jitter — just a fixed, reproducible one, which is exactly
+what a determinism-first pipeline wants.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+__all__ = ["RetryPolicy", "retry_call", "DEFAULT_RETRY_POLICY"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try, and how long to wait between tries.
+
+    ``attempts`` counts total invocations (1 = no retry).  Backoff for
+    retry *i* (1-based) is ``base_delay_s * multiplier**(i-1)``, capped
+    at ``max_delay_s``, then scaled by a jitter factor drawn uniformly
+    from ``[1 - jitter, 1]``.
+    """
+
+    attempts: int = 3
+    base_delay_s: float = 0.01
+    multiplier: float = 2.0
+    max_delay_s: float = 0.25
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delays(self, *, seed: int = 0, site: str = "") -> list[float]:
+        """The full, deterministic backoff schedule for ``(seed, site)``."""
+        digest = hashlib.sha256(f"retry:{seed}:{site}".encode()).digest()
+        rng = random.Random(int.from_bytes(digest[:8], "big"))
+        out = []
+        for i in range(self.attempts - 1):
+            raw = min(self.base_delay_s * self.multiplier**i, self.max_delay_s)
+            out.append(raw * (1.0 - self.jitter * rng.random()))
+        return out
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def retry_call(
+    fn: Callable[[], T],
+    *,
+    policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+    seed: int = 0,
+    site: str = "",
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    no_retry_on: tuple[type[BaseException], ...] = (),
+    on_retry: Callable[[int, BaseException], None] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> tuple[T, int]:
+    """Call ``fn`` with up to ``policy.attempts`` tries.
+
+    Returns ``(result, retries)`` where ``retries`` is the number of
+    *extra* invocations recovery needed (0 on first-try success).
+    Exceptions outside ``retry_on`` — or inside ``no_retry_on``, which
+    wins — propagate immediately; the last exception propagates once the
+    attempts are exhausted.  ``on_retry(attempt, exc)`` is notified
+    before each re-invocation (metrics hook).
+    """
+    delays = policy.delays(seed=seed, site=site)
+    for attempt in range(policy.attempts):
+        try:
+            return fn(), attempt
+        except BaseException as exc:
+            final = attempt == policy.attempts - 1
+            retryable = isinstance(exc, retry_on) and not isinstance(
+                exc, no_retry_on
+            )
+            if final or not retryable:
+                raise
+            if on_retry is not None:
+                on_retry(attempt + 1, exc)
+            delay = delays[attempt]
+            if delay > 0:
+                sleep(delay)
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -17,6 +17,14 @@ under :func:`repro.scenario.scenario_context`, and the scenario's
 fingerprint keys the result cache and batch groups so what-ifs never
 share entries with the baseline.
 
+A resilience layer (:mod:`repro.resilience`) rides underneath: handler
+evaluations are retried on deterministic backoff, per-kind and
+per-substrate circuit breakers shed calls to failing dependencies, and
+a stale-while-revalidate store answers in degraded mode (the response
+envelope carries ``"degraded": true``) instead of surfacing a 500 when
+fresh computation is impossible.  ``/healthz`` and ``/readyz`` expose
+liveness and breaker-aware readiness over HTTP.
+
 >>> from repro.serve import ServeClient
 >>> with ServeClient() as client:
 ...     r = client.query("node_hours", {"scenario": "anl", "speedup": 4.0})
@@ -25,13 +33,14 @@ share entries with the baseline.
 """
 
 from repro.errors import (
+    CircuitOpen,
     QueryTimeout,
     QueryValidationError,
     ServeError,
     ServiceOverloaded,
 )
 from repro.serve.client import HttpServeClient, ServeClient
-from repro.serve.engine import QueryEngine, QueryResponse
+from repro.serve.engine import SERVE_RETRY_POLICY, QueryEngine, QueryResponse
 from repro.serve.handlers import DEFAULT_REGISTRY, SCENARIOS, default_registry
 from repro.serve.metrics import Metrics
 from repro.serve.queries import (
@@ -60,4 +69,6 @@ __all__ = [
     "QueryValidationError",
     "ServiceOverloaded",
     "QueryTimeout",
+    "CircuitOpen",
+    "SERVE_RETRY_POLICY",
 ]

@@ -22,6 +22,7 @@ import urllib.request
 from typing import Any, Sequence
 
 from repro.errors import (
+    CircuitOpen,
     QueryTimeout,
     QueryValidationError,
     ServeError,
@@ -142,6 +143,14 @@ class ServeClient:
         """The engine's registered-scenario listing."""
         return self.engine.describe_scenarios()
 
+    def health(self) -> dict[str, Any]:
+        """The engine's liveness payload (the ``/healthz`` body)."""
+        return self.engine.health()
+
+    def readiness(self) -> dict[str, Any]:
+        """The engine's readiness payload (the ``/readyz`` body)."""
+        return self.engine.readiness()
+
 
 class HttpServeClient:
     """Minimal stdlib HTTP client for a running ``repro-serve`` server."""
@@ -171,6 +180,8 @@ class HttpServeClient:
                 raise QueryValidationError(message) from None
             if exc.code == 429:
                 raise ServiceOverloaded(message) from None
+            if exc.code == 503:
+                raise CircuitOpen(message) from None
             if exc.code == 504:
                 raise QueryTimeout(message) from None
             raise ServeError(f"HTTP {exc.code}: {message}") from None
@@ -205,3 +216,16 @@ class HttpServeClient:
 
     def health(self) -> dict:
         return self._request("GET", "/healthz")
+
+    def ready(self) -> dict:
+        """The ``/readyz`` payload.  A not-ready server answers 503 with
+        the same JSON body, so that case returns the payload (with
+        ``"ready": False``) rather than raising."""
+        req = urllib.request.Request(self.base_url + "/readyz", method="GET")
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            if exc.code == 503:
+                return json.loads(exc.read().decode("utf-8"))
+            raise ServeError(f"HTTP {exc.code} from /readyz") from None

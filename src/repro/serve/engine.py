@@ -18,6 +18,23 @@ stays responsive), and four serving mechanisms:
   instead of queued, and every request carries a deadline
   (:class:`~repro.errors.QueryTimeout`).
 
+Plus the resilience layer (:mod:`repro.resilience`):
+
+* **retries** — a failed handler evaluation is re-invoked under seeded
+  exponential backoff (validation errors are not retried);
+* **circuit breakers** — one per query kind and one per substrate a
+  kind consumes; a dependency failing repeatedly is rejected *before*
+  doing work (:class:`~repro.errors.CircuitOpen`) until its recovery
+  window elapses;
+* **graceful degradation** — successful answers are also kept in a
+  stale-while-revalidate store; a breaker rejection or a post-retry
+  failure answers with the last good value flagged ``degraded: true``
+  instead of an error, when one exists;
+* **fault injection** — a :class:`~repro.resilience.FaultPlan` passed
+  to the engine (or ambient at construction) fires at the
+  ``handler:<kind>`` site inside every evaluation, so chaos tests
+  exercise exactly the production path.  No plan → one ``None`` check.
+
 Everything engine-side runs on one event loop — cross-thread callers go
 through :class:`repro.serve.client.ServeClient`, which owns a loop in a
 background thread.
@@ -33,19 +50,36 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import (
+    CircuitOpen,
     QueryTimeout,
     QueryValidationError,
     ScenarioError,
     ServeError,
     ServiceOverloaded,
 )
+from repro.resilience import (
+    BreakerRegistry,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    active_injector,
+    fault_context,
+    retry_call,
+)
 from repro.scenario import ScenarioSpec, scenario_context, scenario_from_dict
 from repro.serve.metrics import Metrics
 from repro.serve.queries import Query, QueryRegistry, canonical_params
 
-__all__ = ["QueryEngine", "QueryResponse"]
+__all__ = ["QueryEngine", "QueryResponse", "SERVE_RETRY_POLICY"]
 
 _STOP = object()
+_MISSING = object()
+
+#: Default retry budget for handler evaluations: snappy, bounded, and
+#: seeded so chaos runs replay the identical backoff schedule.
+SERVE_RETRY_POLICY = RetryPolicy(
+    attempts=3, base_delay_s=0.005, multiplier=2.0, max_delay_s=0.05
+)
 
 
 @dataclass(frozen=True)
@@ -62,6 +96,7 @@ class QueryResponse:
     cached: bool = False
     coalesced: bool = False
     batched: bool = False
+    degraded: bool = False
     latency_s: float = 0.0
 
     def to_dict(self) -> dict[str, Any]:
@@ -72,6 +107,7 @@ class QueryResponse:
             "cached": self.cached,
             "coalesced": self.coalesced,
             "batched": self.batched,
+            "degraded": self.degraded,
             "latency_s": self.latency_s,
         }
 
@@ -94,6 +130,41 @@ def _evaluate(query: Query) -> Any:
         return query.kind.handler(query.params)
 
 
+def _evaluate_with_recovery(
+    evaluate: Any,
+    query: Query,
+    injector: FaultInjector | None,
+    policy: RetryPolicy,
+    metrics: Metrics,
+) -> Any:
+    """One handler evaluation under fault injection + seeded retry
+    (executor thread).  ``evaluate`` is the zero-argument computation;
+    the ``handler:<kind>`` fault site fires before each attempt.
+    Validation errors are never retried — they are the caller's bug,
+    not a transient failure."""
+    site = f"handler:{query.kind.name}"
+
+    def attempt() -> Any:
+        with fault_context(injector):
+            if injector is not None:
+                injector.fire(site)
+            return evaluate()
+
+    def on_retry(_attempt: int, _exc: BaseException) -> None:
+        metrics.inc("retries")
+
+    seed = injector.plan.seed if injector is not None else 0
+    value, _retries = retry_call(
+        attempt,
+        policy=policy,
+        seed=seed,
+        site=site,
+        no_retry_on=(QueryValidationError,),
+        on_retry=on_retry,
+    )
+    return value
+
+
 class QueryEngine:
     """Asyncio serving engine over the registered what-if queries.
 
@@ -114,6 +185,20 @@ class QueryEngine:
         Largest micro-batch; further members start a new group.
     default_timeout_s:
         Per-query deadline when the caller does not pass one.
+    fault_plan:
+        A :class:`~repro.resilience.FaultPlan` (or prepared
+        :class:`~repro.resilience.FaultInjector`) to fire at the
+        ``handler:<kind>`` sites — chaos testing.  Defaults to whatever
+        :func:`~repro.resilience.fault_context` has installed at
+        construction time, i.e. normally nothing.
+    retry_policy:
+        Retry budget for handler evaluations (seeded backoff).
+    breaker_threshold / breaker_recovery_s:
+        Consecutive failures that open a per-kind (and per-substrate)
+        circuit breaker, and how long it stays open before trialing.
+    stale_size:
+        Entry bound of the stale-while-revalidate store backing
+        degraded answers (0 disables degradation).
     """
 
     def __init__(
@@ -127,6 +212,11 @@ class QueryEngine:
         max_batch: int = 64,
         default_timeout_s: float = 30.0,
         metrics: Metrics | None = None,
+        fault_plan: FaultPlan | FaultInjector | None = None,
+        retry_policy: RetryPolicy = SERVE_RETRY_POLICY,
+        breaker_threshold: int = 5,
+        breaker_recovery_s: float = 2.0,
+        stale_size: int = 1024,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -136,6 +226,8 @@ class QueryEngine:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if stale_size < 0:
+            raise ValueError(f"stale_size must be >= 0, got {stale_size}")
         if registry is None:
             from repro.serve.handlers import DEFAULT_REGISTRY
 
@@ -148,8 +240,25 @@ class QueryEngine:
         self.max_batch = max_batch
         self.default_timeout_s = default_timeout_s
         self.metrics = metrics or Metrics()
+        self.retry_policy = retry_policy
+        self.stale_size = stale_size
+        if isinstance(fault_plan, FaultPlan):
+            self._injector = (
+                None if fault_plan.is_empty else FaultInjector(fault_plan)
+            )
+        elif fault_plan is not None:
+            self._injector = fault_plan
+        else:
+            self._injector = active_injector()
+        self._breakers = BreakerRegistry(
+            failure_threshold=breaker_threshold,
+            recovery_s=breaker_recovery_s,
+            on_open=lambda _name: self.metrics.inc("breaker_opened"),
+        )
+        self._created = time.perf_counter()
 
         self._cache: OrderedDict[Any, Any] = OrderedDict()
+        self._stale: OrderedDict[Any, Any] = OrderedDict()
         self._inflight: dict[Any, asyncio.Future] = {}
         self._pending_batches: dict[tuple, _BatchGroup] = {}
         self._scenarios: dict[str, ScenarioSpec] = {}
@@ -201,6 +310,46 @@ class QueryEngine:
 
     async def __aexit__(self, *exc: Any) -> None:
         await self.stop()
+
+    # -- health -------------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """Liveness: the process answers and the engine's state.
+
+        Always ``ok: true`` if this returns at all — liveness is "the
+        event loop and HTTP thread are alive", not "dependencies are
+        healthy"; that is :meth:`readiness`."""
+        return {
+            "ok": True,
+            "started": self.started,
+            "uptime_s": time.perf_counter() - self._created,
+        }
+
+    def readiness(self) -> dict[str, Any]:
+        """Readiness: should traffic be routed here right now?
+
+        Not ready while the engine is stopped or any circuit breaker is
+        non-closed (an open breaker means a dependency is failing and
+        fresh answers for its kinds would be degraded or rejected).
+        Also reports which substrates are warm in the process-wide cache
+        and the active fault plan, so chaos runs are observable."""
+        from repro.harness.cache import SUBSTRATE_CACHE
+
+        breakers = self._breakers.snapshot()
+        ready = self.started and all(
+            b["state"] == "closed" for b in breakers.values()
+        )
+        return {
+            "ready": ready,
+            "started": self.started,
+            "breakers": breakers,
+            "warm_substrates": list(SUBSTRATE_CACHE.substrates()),
+            "fault_plan": (
+                self._injector.plan.label()
+                if self._injector is not None
+                else None
+            ),
+        }
 
     # -- scenarios ----------------------------------------------------------
 
@@ -270,8 +419,10 @@ class QueryEngine:
         an inline spec dict, or the name of a scenario registered with
         :meth:`register_scenario`.  Raises :class:`QueryValidationError`
         for bad input, :class:`ServiceOverloaded` when the admission
-        queue is full, and :class:`QueryTimeout` when the deadline
-        elapses first.
+        queue is full, :class:`QueryTimeout` when the deadline elapses
+        first, and :class:`CircuitOpen` when the kind's (or one of its
+        substrates') breaker is open and no stale answer exists — with
+        a stale answer, the response carries ``degraded=True`` instead.
         """
         if not self.started:
             raise ServeError("engine not started; use 'async with QueryEngine()'")
@@ -297,8 +448,28 @@ class QueryEngine:
         inflight = self._inflight.get(key)
         if inflight is not None:
             self.metrics.inc("coalesced")
-            value, _ = await self._await_result(inflight, timeout, query)
-            return self._respond(query, wire_params, value, t0, coalesced=True)
+            value, _, degraded = await self._await_result(
+                inflight, timeout, query
+            )
+            return self._respond(
+                query, wire_params, value, t0, coalesced=True,
+                degraded=degraded,
+            )
+
+        # The circuit-breaker gate: a fresh computation is the only path
+        # that exercises the dependency, so only fresh computations are
+        # gated — cache hits and coalesced waits stay breaker-free.
+        try:
+            claimed = self._gate_breakers(query)
+        except CircuitOpen:
+            self.metrics.inc("breaker_rejected")
+            stale = self._stale.get(key, _MISSING)
+            if stale is not _MISSING:
+                self.metrics.inc("degraded")
+                return self._respond(
+                    query, wire_params, stale, t0, degraded=True
+                )
+            raise
 
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._inflight[key] = future
@@ -306,12 +477,50 @@ class QueryEngine:
             self._admit(query, future)
         except ServiceOverloaded:
             self._inflight.pop(key, None)
+            for breaker in claimed:
+                breaker.abort_trial()  # the trial call never ran
             self.metrics.inc("shed")
             raise
-        value, n_members = await self._await_result(future, timeout, query)
-        return self._respond(
-            query, wire_params, value, t0, batched=n_members > 1
+        value, n_members, degraded = await self._await_result(
+            future, timeout, query
         )
+        return self._respond(
+            query, wire_params, value, t0, batched=n_members > 1,
+            degraded=degraded,
+        )
+
+    def _breakers_for(self, query: Query) -> tuple[str, ...]:
+        """Breaker names guarding one query: its kind plus every
+        substrate the kind declares it consumes."""
+        return (f"kind:{query.kind.name}",) + tuple(
+            f"substrate:{s}" for s in query.kind.substrates
+        )
+
+    def _gate_breakers(self, query: Query) -> list:
+        """Admission check against every breaker guarding ``query``.
+
+        Raises :class:`CircuitOpen` if any is open; returns the breakers
+        whose half-open trial slot this call claimed (so a downstream
+        rejection can hand the slots back)."""
+        claimed = []
+        try:
+            for name in self._breakers_for(query):
+                if self._breakers.get(name).before_call():
+                    claimed.append(self._breakers.get(name))
+        except CircuitOpen:
+            for breaker in claimed:
+                breaker.abort_trial()
+            raise
+        return claimed
+
+    def _record_outcome(self, query: Query, ok: bool) -> None:
+        """Report one evaluation's verdict to the breakers guarding it."""
+        for name in self._breakers_for(query):
+            breaker = self._breakers.get(name)
+            if ok:
+                breaker.record_success()
+            else:
+                breaker.record_failure()
 
     def _respond(
         self,
@@ -384,12 +593,18 @@ class QueryEngine:
     # -- workers ------------------------------------------------------------
 
     def _store(self, key: Any, value: Any) -> None:
-        if self.cache_size == 0:
-            return
-        self._cache[key] = value
-        self._cache.move_to_end(key)
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
+        if self.cache_size > 0:
+            self._cache[key] = value
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        if self.stale_size > 0:
+            # The stale store backs degraded answers: bigger bound, never
+            # invalidated by load — only by LRU against stale_size.
+            self._stale[key] = value
+            self._stale.move_to_end(key)
+            while len(self._stale) > self.stale_size:
+                self._stale.popitem(last=False)
 
     def _finish(
         self, query: Query, future: asyncio.Future, value: Any, n_members: int
@@ -397,12 +612,23 @@ class QueryEngine:
         self._store(query.cache_key, value)
         self._inflight.pop(query.cache_key, None)
         if not future.done():
-            future.set_result((value, n_members))
+            future.set_result((value, n_members, False))
 
     def _fail(
         self, query: Query, future: asyncio.Future, exc: BaseException
     ) -> None:
+        """Resolve a failed computation: stale answer if we have one
+        (flagged degraded), the typed error otherwise.  Validation
+        errors always propagate — serving stale data for a bad request
+        would mask the caller's bug."""
         self._inflight.pop(query.cache_key, None)
+        if not isinstance(exc, QueryValidationError):
+            stale = self._stale.get(query.cache_key, _MISSING)
+            if stale is not _MISSING:
+                self.metrics.inc("degraded")
+                if not future.done():
+                    future.set_result((stale, 1, True))
+                return
         self.metrics.inc("errors")
         if not future.done():
             future.set_exception(exc)
@@ -419,11 +645,19 @@ class QueryEngine:
                 query, future = item
                 try:
                     value = await loop.run_in_executor(
-                        self._executor, _evaluate, query
+                        self._executor,
+                        _evaluate_with_recovery,
+                        lambda q=query: _evaluate(q),
+                        query,
+                        self._injector,
+                        self.retry_policy,
+                        self.metrics,
                     )
                 except Exception as exc:
+                    self._record_outcome(query, ok=False)
                     self._fail(query, future, exc)
                 else:
+                    self._record_outcome(query, ok=True)
                     self.metrics.inc("computed")
                     self._finish(query, future, value, 1)
 
@@ -446,11 +680,21 @@ class QueryEngine:
                 return kind.batch_handler(representative.params, values)
 
         try:
-            answers = await loop.run_in_executor(self._executor, evaluate_batch)
+            answers = await loop.run_in_executor(
+                self._executor,
+                _evaluate_with_recovery,
+                evaluate_batch,
+                representative,
+                self._injector,
+                self.retry_policy,
+                self.metrics,
+            )
         except Exception as exc:
+            self._record_outcome(representative, ok=False)
             for query, future in members:
                 self._fail(query, future, exc)
             return
+        self._record_outcome(representative, ok=True)
         self.metrics.inc("computed", len(members))
         self.metrics.inc("batches")
         self.metrics.batch_size.observe(len(members))

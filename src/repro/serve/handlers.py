@@ -8,6 +8,13 @@ CI smoke job assert exactly that).  Expensive shared state — the
 split/summation runs behind Table VIII — flows through the process-wide
 substrate cache, so a cold first query warms the same entries a
 ``repro-paper`` run would and every later query reuses them.
+
+Purity is also what makes the resilience layer sound: the engine's
+retry wrapper may invoke a handler two or three times for one query,
+and its stale-while-revalidate store may replay an old answer — both
+are only correct because handlers are deterministic functions of
+(params, scenario) with no side effects beyond the idempotent substrate
+cache.  A new handler must keep that contract.
 """
 
 from __future__ import annotations
@@ -22,11 +29,7 @@ from repro.extrapolate.model import NodeHourModel
 from repro.errors import ScenarioError
 from repro.extrapolate.scenarios import (
     MACHINE_BUILDERS,
-    anl_scenario,
     build_machine,
-    fugaku_scenario,
-    future_scenario,
-    k_computer_scenario,
     machine_names,
 )
 from repro.harness.export import to_jsonable

@@ -14,10 +14,16 @@ Endpoints (JSON in, JSON out):
 * ``GET /kinds``   — every query kind and its parameter schema;
 * ``GET /scenarios`` — the registered named scenarios;
 * ``GET /metrics`` — the engine's metrics snapshot;
-* ``GET /healthz`` — liveness.
+* ``GET /healthz`` — liveness (the loop and HTTP thread are up);
+* ``GET /readyz``  — readiness: breaker states, warm substrates, and
+  the active fault plan; HTTP 503 while any breaker is non-closed.
 
-Errors map to statuses: invalid queries → 400, load shedding → 429,
-deadline expiry → 504, handler failures → 500.
+Every error response carries the exception's machine-readable ``code``
+(see :mod:`repro.errors`), and codes map to HTTP statuses from the one
+:data:`STATUS_BY_CODE` table — invalid queries → 400, load shedding →
+429, an open circuit breaker → 503, deadline expiry → 504; anything
+else in the taxonomy → 500 with its code, so a bare unclassified 500
+means exactly "an exception that escaped the taxonomy".
 """
 
 from __future__ import annotations
@@ -27,15 +33,25 @@ import sys
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
-from repro.errors import (
-    QueryTimeout,
-    QueryValidationError,
-    ReproError,
-    ServiceOverloaded,
-)
+from repro.errors import ReproError
+
 from repro.serve.client import ServeClient
 
-__all__ = ["ServeHTTPServer", "make_server", "main"]
+__all__ = ["ServeHTTPServer", "STATUS_BY_CODE", "make_server", "main"]
+
+#: The one code→HTTP-status table.  Codes absent here answer 500; the
+#: ``code`` field still rides in the payload, so even a 500 is typed.
+STATUS_BY_CODE: dict[str, int] = {
+    "query_validation": 400,
+    "scenario_error": 400,
+    "fault_plan_error": 400,
+    "service_overloaded": 429,
+    "circuit_open": 503,
+    "query_timeout": 504,
+}
+
+#: Status for a :class:`ReproError` whose code has no table entry.
+DEFAULT_ERROR_STATUS = 500
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -57,7 +73,10 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:
         client = self.server.client
         if self.path == "/healthz":
-            self._send(200, {"ok": True})
+            self._send(200, client.health())
+        elif self.path == "/readyz":
+            readiness = client.readiness()
+            self._send(200 if readiness["ready"] else 503, readiness)
         elif self.path == "/metrics":
             self._send(200, client.metrics())
         elif self.path == "/kinds":
@@ -82,14 +101,11 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             response = self.server.client.query(kind, params, scenario=scenario)
-        except QueryValidationError as exc:
-            self._send(400, {"error": str(exc)})
-        except ServiceOverloaded as exc:
-            self._send(429, {"error": str(exc)})
-        except QueryTimeout as exc:
-            self._send(504, {"error": str(exc)})
         except ReproError as exc:
-            self._send(500, {"error": str(exc)})
+            self._send(
+                STATUS_BY_CODE.get(exc.code, DEFAULT_ERROR_STATUS),
+                exc.to_dict(),
+            )
         else:
             payload = response.to_dict()
             payload["ok"] = True
@@ -172,6 +188,7 @@ def main(argv: list[str] | None = None) -> int:
         print("  --queue-size N     admission-queue bound (default 128)")
         print("  --cache-size N     result-cache entries (default 256)")
         print("  --scenario FILE    register a named what-if overlay (repeatable)")
+        print("  --fault-plan FILE  inject a chaos experiment (JSON FaultPlan)")
         print("  --timeout SECONDS  per-query deadline (default 30)")
         print("  --verbose          log every request")
         print("  --version          print the package version and exit")
@@ -192,6 +209,7 @@ def main(argv: list[str] | None = None) -> int:
         if raw is None:
             break
         scenario_files.append(raw)
+    fault_plan_file = _flag_value(args, "--fault-plan", "a JSON file argument")
     timeout_raw = _flag_value(args, "--timeout", "a number of seconds")
     verbose = "--verbose" in args
     if verbose:
@@ -202,6 +220,15 @@ def main(argv: list[str] | None = None) -> int:
         timeout = float(timeout_raw) if timeout_raw is not None else 30.0
     except ValueError:
         raise SystemExit(f"--timeout expects a number, got {timeout_raw!r}")
+    fault_plan = None
+    if fault_plan_file is not None:
+        from repro.errors import FaultPlanError
+        from repro.resilience import load_fault_plan
+
+        try:
+            fault_plan = load_fault_plan(fault_plan_file)
+        except FaultPlanError as exc:
+            raise SystemExit(f"--fault-plan: {exc}")
 
     server = make_server(
         host,
@@ -211,7 +238,14 @@ def main(argv: list[str] | None = None) -> int:
         max_queue=queue_size,
         cache_size=cache_size,
         default_timeout_s=timeout,
+        fault_plan=fault_plan,
     )
+    if fault_plan is not None:
+        print(
+            f"fault plan {fault_plan.label()!r} armed "
+            f"({fault_plan.fingerprint[:12]}, {len(fault_plan.rules)} rule(s))",
+            flush=True,
+        )
     if scenario_files:
         from repro.errors import ScenarioError
         from repro.scenario import load_scenario

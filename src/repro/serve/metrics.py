@@ -110,8 +110,10 @@ class Metrics:
     Counters follow the request lifecycle — every admitted request is
     exactly one of ``cache_hits``, ``coalesced``, or ``computed`` (the
     batched slice of ``computed`` is additionally counted in
-    ``batched``), and every rejection is one of ``shed``, ``timeouts``,
-    ``errors``, or ``invalid``.
+    ``batched``), every rejection is one of ``shed``, ``timeouts``,
+    ``errors``, or ``invalid``, and the resilience layer adds
+    ``retries`` (handler re-invocations), ``degraded`` (stale answers),
+    and the ``breaker_*`` pair.
     """
 
     COUNTERS = (
@@ -123,8 +125,12 @@ class Metrics:
         "batches",     # micro-batch evaluations performed
         "shed",        # rejected with ServiceOverloaded
         "timeouts",    # per-query deadline expired
-        "errors",      # handler raised
+        "errors",      # handler failed (after retries, no stale fallback)
         "invalid",     # rejected before admission (bad kind/params)
+        "retries",         # handler re-invocations by the retry layer
+        "degraded",        # answered with stale data (breaker open / failure)
+        "breaker_rejected",  # rejected by an open circuit breaker
+        "breaker_opened",    # closed->open breaker transitions
     )
 
     def __init__(self) -> None:

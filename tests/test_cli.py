@@ -94,9 +94,12 @@ class TestOutputFlag:
         assert main(["--jobs", "2", "sec3a", "--output", str(tmp_path)]) == 0
         capsys.readouterr()
         manifest = json.loads((tmp_path / "manifest.json").read_text())
-        assert manifest["schema_version"] == 2
+        assert manifest["schema_version"] == 3
         assert manifest["jobs"] == 2
-        assert manifest["scenario"] == {"label": "baseline", "fingerprint": None}
+        assert manifest["status"] == "ok"
+        assert manifest["scenario"] == {
+            "label": "baseline", "fingerprint": None, "spec": {},
+        }
         entry = manifest["artifacts"]["sec3a"]
         assert entry["seed"] == 20180401
         assert entry["substrates"] == ["k_year"]

@@ -214,14 +214,20 @@ class TestRunPipeline:
     def test_manifest_shape(self):
         run = run_pipeline(["sec3a"], jobs=2)
         m = run.manifest
-        assert m["schema_version"] == 2
+        assert m["schema_version"] == 3
         assert m["jobs"] == 2
-        assert m["scenario"] == {"label": "baseline", "fingerprint": None}
+        assert m["status"] == "ok"
+        assert m["fault_plan"] is None
+        assert m["scenario"] == {
+            "label": "baseline", "fingerprint": None, "spec": {},
+        }
         assert m["total_wall_time_s"] > 0
         assert set(m["artifacts"]) == {"sec3a"}
         entry = m["artifacts"]["sec3a"]
         assert entry["substrates"] == ["k_year"]
         assert entry["seed"] == 20180401
+        assert entry["status"] == "ok"
+        assert entry["retries"] == 0
         assert entry["wall_time_s"] >= 0
         assert len(entry["text_sha256"]) == 64
         assert m["substrates"]["k_year"]["seed"] == 20180401

@@ -215,10 +215,14 @@ class TestPipelineIntegration:
     def test_manifest_records_fingerprint(self):
         from repro.harness.pipeline import run_pipeline
 
+        from repro.scenario import scenario_to_dict
+
         spec = scenario_from_dict(AI_MIX)
         run = run_pipeline(["table2"], scenario=spec)
         assert run.manifest["scenario"] == {
-            "label": "ai20", "fingerprint": spec.fingerprint,
+            "label": "ai20",
+            "fingerprint": spec.fingerprint,
+            "spec": scenario_to_dict(spec),
         }
 
     def test_seed_override_changes_artifact_and_manifest(self):

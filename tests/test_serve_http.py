@@ -53,7 +53,17 @@ def fig4_golden():
 
 class TestEndpoints:
     def test_healthz(self, http):
-        assert http.health() == {"ok": True}
+        health = http.health()
+        assert health["ok"] is True
+        assert health["started"] is True
+        assert health["uptime_s"] >= 0
+
+    def test_readyz(self, http):
+        ready = http.ready()
+        assert ready["ready"] is True
+        assert ready["started"] is True
+        assert ready["breakers"] == {}
+        assert ready["fault_plan"] is None
 
     def test_kinds_lists_every_registered_kind(self, http):
         kinds = http.kinds()
