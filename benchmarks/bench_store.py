@@ -1,0 +1,75 @@
+"""Price the durable store's crash-safety tax: < 10 % of a run.
+
+Every artefact flush now pays for a SHA-256 of the payload, a temp
+file, two fsyncs (file, then parent directory), an atomic rename, and
+a handful of fsync'd journal records.  These benchmarks measure that
+tax two ways — the raw per-file cost against a volatile ``write()``
+baseline, and the end-to-end cost of a full durable export amortised
+against the pipeline run it protects — and assert the amortised figure
+stays under the PR's 10 % budget.  Durability is bought per artefact
+flush, not per simulated FLOP, so the bill shrinks as the science
+grows.
+"""
+
+import time
+
+from repro.harness.cache import SUBSTRATE_CACHE
+from repro.harness.export import _artifact_payloads, export_all
+from repro.harness.pipeline import run_pipeline
+from repro.harness.store import durable_write
+
+OVERHEAD_BUDGET = 0.10
+
+
+def _volatile_export(results, outdir) -> None:
+    """The pre-durability writer: buffered writes, no checksums, no
+    journal, no fsync — what a crash can shred."""
+    for name, result in results.items():
+        for filename, data in _artifact_payloads(name, result).items():
+            with open(outdir / filename, "wb") as fh:
+                fh.write(data)
+
+
+def bench_durable_write_raw(benchmark, tmp_path):
+    """One durable flush of a representative (64 KiB) payload."""
+    payload = b"x" * 65536
+    target = tmp_path / "artefact.json"
+
+    benchmark(lambda: durable_write(target, payload))
+
+
+def bench_export_amortised_overhead(benchmark, tmp_path):
+    """A full durable export costs < 10 % of the run it makes safe."""
+    SUBSTRATE_CACHE.clear()
+    t0 = time.perf_counter()
+    run = run_pipeline()
+    pipeline_s = time.perf_counter() - t0
+    assert len(run.results) == 13
+
+    durable_dir = tmp_path / "durable"
+    volatile_dir = tmp_path / "volatile"
+    durable_dir.mkdir()
+    volatile_dir.mkdir()
+
+    t0 = time.perf_counter()
+    written = export_all(run.results, durable_dir, run_manifest=run.manifest)
+    durable_s = time.perf_counter() - t0
+    assert len(written) >= 13
+
+    t0 = time.perf_counter()
+    _volatile_export(run.results, volatile_dir)
+    volatile_s = time.perf_counter() - t0
+
+    # The tax is what durability adds beyond volatile writes, priced
+    # against the whole run the manifest certifies.
+    tax = max(0.0, durable_s - volatile_s) / (pipeline_s + durable_s)
+    assert tax < OVERHEAD_BUDGET, (
+        f"durable export adds {tax:.2%} over a volatile export "
+        f"(durable {durable_s * 1e3:.1f} ms, volatile "
+        f"{volatile_s * 1e3:.1f} ms, pipeline {pipeline_s * 1e3:.0f} ms)"
+    )
+
+    benchmark(lambda: export_all(
+        run.results, durable_dir, run_manifest=run.manifest
+    ))
+    SUBSTRATE_CACHE.clear()

@@ -35,6 +35,9 @@ __all__ = [
     "PipelineError",
     "SubstrateBuildError",
     "ArtifactError",
+    "StoreError",
+    "SnapshotError",
+    "ServiceDraining",
 ]
 
 
@@ -163,6 +166,37 @@ class FaultPlanError(ReproError, ValueError):
     """Invalid fault-plan specification (unknown keys, bad rule values)."""
 
     code = "fault_plan_error"
+
+
+class StoreError(ReproError, RuntimeError):
+    """A durable write or journal append could not complete.
+
+    Raised by :mod:`repro.harness.store` when the fsync/replace sequence
+    fails (a dying disk, a full filesystem, an injected ``fsync-error``
+    fault) — the destination file is guaranteed untouched.
+    """
+
+    code = "store_error"
+
+
+class SnapshotError(ReproError, ValueError):
+    """A cache snapshot failed validation (bad format, checksum mismatch).
+
+    The serve layer treats this as "cold start": a corrupt snapshot is
+    reported and ignored, never trusted and never fatal.
+    """
+
+    code = "snapshot_error"
+
+
+class ServiceDraining(ServeError):
+    """The service is draining for shutdown; new work is not accepted.
+
+    Mapped to HTTP 503 with a ``Retry-After`` header — callers should
+    retry against another replica (or the restarted process).
+    """
+
+    code = "service_draining"
 
 
 class PipelineError(ReproError, RuntimeError):

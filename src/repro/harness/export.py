@@ -5,18 +5,38 @@
 artefact is tabular — a `<name>.csv` for spreadsheet/plotting
 pipelines, plus one `manifest.json` describing the whole run (schema in
 EXPERIMENTS.md): per-artefact wall time, governing seed, substrate
-list, SHA-256 of the rendered text, written files, and the substrate
-cache's hit/miss counters.
+list, SHA-256 of the rendered text, per-file SHA-256 checksums, and the
+substrate cache's hit/miss counters.
+
+Durability (schema v4): every byte goes through
+:mod:`repro.harness.store` — temp file + fsync + ``os.replace`` +
+parent-dir fsync — under a write-ahead ``journal.jsonl`` (``start``
+before, ``commit`` with checksum after each file, ``artifact_done``
+per artefact, ``manifest_committed`` last).  The manifest is written
+*last* and atomically, and an artefact whose export fails is recorded
+as ``export_failed`` with no files — a manifest on disk never
+references bytes that were not flushed.  All text is written UTF-8
+with ``"\\n"`` endings untouched (CSV keeps the csv module's
+``"\\r\\n"``), so checksums are platform-independent.
 """
 
 from __future__ import annotations
 
 import csv
 import dataclasses
+import io
 import json
 import math
 from pathlib import Path
 from typing import Any
+
+from repro.errors import StoreError
+from repro.harness.store import (
+    JOURNAL_NAME,
+    RunJournal,
+    durable_write,
+    durable_write_json,
+)
 
 __all__ = ["to_jsonable", "export_artifact", "export_all", "write_manifest"]
 
@@ -58,41 +78,65 @@ def to_jsonable(obj: Any) -> Any:
     return repr(obj)
 
 
-def _rows_to_csv(rows: list[dict], path: Path) -> None:
-    if not rows:
-        return
+def _rows_to_csv_text(rows: list[dict]) -> str:
+    """Render rows as CSV text (the csv module's ``\\r\\n`` endings kept,
+    so the bytes — and hence the checksums — are identical on every
+    platform)."""
     fieldnames: list[str] = []
     for row in rows:
         for key in row:
             if key not in fieldnames:
                 fieldnames.append(key)
-    with path.open("w", newline="") as fh:
-        writer = csv.DictWriter(fh, fieldnames=fieldnames)
-        writer.writeheader()
-        for row in rows:
-            writer.writerow({k: to_jsonable(v) for k, v in row.items()})
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fieldnames)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({k: to_jsonable(v) for k, v in row.items()})
+    return buf.getvalue()
 
 
-def export_artifact(name: str, result: dict, outdir: Path) -> list[Path]:
-    """Write one artefact's text/JSON/CSV files; returns written paths."""
-    outdir.mkdir(parents=True, exist_ok=True)
-    written: list[Path] = []
+def _artifact_payloads(name: str, result: dict) -> dict[str, bytes]:
+    """The exact bytes one artefact exports, per filename."""
+    payloads: dict[str, bytes] = {}
     if "text" in result:
-        p = outdir / f"{name}.txt"
-        p.write_text(result["text"] + "\n")
-        written.append(p)
-    payload = {
-        k: to_jsonable(v) for k, v in result.items() if k != "text"
-    }
-    p = outdir / f"{name}.json"
-    p.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    written.append(p)
+        payloads[f"{name}.txt"] = (result["text"] + "\n").encode("utf-8")
+    payload = {k: to_jsonable(v) for k, v in result.items() if k != "text"}
+    payloads[f"{name}.json"] = (
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    ).encode("utf-8")
     rows = result.get("rows")
     if isinstance(rows, list) and rows and isinstance(rows[0], dict):
-        p = outdir / f"{name}.csv"
-        _rows_to_csv(rows, p)
-        written.append(p)
-    return written
+        payloads[f"{name}.csv"] = _rows_to_csv_text(rows).encode("utf-8")
+    return payloads
+
+
+def export_artifact(
+    name: str,
+    result: dict,
+    outdir: Path,
+    *,
+    journal: RunJournal | None = None,
+) -> dict[str, str]:
+    """Durably write one artefact's text/JSON/CSV files.
+
+    Returns ``{filename: sha256}`` for every file written.  With a
+    ``journal``, each file gets a ``start`` record before its bytes
+    move and a ``commit`` record after the rename is durable, closed by
+    one ``artifact_done`` — the trail ``--verify``/``--resume`` audit.
+    """
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    digests: dict[str, str] = {}
+    for filename, data in _artifact_payloads(name, result).items():
+        if journal is not None:
+            journal.start(name, filename)
+        digest = durable_write(outdir / filename, data)
+        if journal is not None:
+            journal.commit(name, filename, digest)
+        digests[filename] = digest
+    if journal is not None:
+        journal.artifact_done(name)
+    return digests
 
 
 def write_manifest(
@@ -100,14 +144,21 @@ def write_manifest(
     outdir: Path,
     *,
     run_manifest: dict | None = None,
-    files: dict[str, list[str]] | None = None,
+    files: dict[str, dict[str, str]] | None = None,
+    export_failures: dict[str, str] | None = None,
+    journal: RunJournal | None = None,
 ) -> Path:
-    """Write ``manifest.json`` for an exported artefact set.
+    """Write ``manifest.json`` for an exported artefact set — last, and
+    atomically through the durable store.
 
     ``run_manifest`` is the pipeline's record (timings, seeds, cache
     counters) when the export follows a :func:`~repro.harness.pipeline.
     run_pipeline` run; without one, a minimal manifest with text hashes
     but no timings is synthesised so every export stays self-describing.
+    ``files`` maps each artefact to its written ``{filename: sha256}``
+    checksums (schema v4); an artefact in ``export_failures`` is
+    recorded ``export_failed`` with *no* files, so the manifest never
+    references bytes that were not flushed.
     """
     from repro.harness.pipeline import (
         ARTIFACT_SUBSTRATES,
@@ -127,6 +178,8 @@ def write_manifest(
             "substrates": {},
             "artifacts": {},
         }
+    manifest["schema_version"] = MANIFEST_SCHEMA_VERSION
+    manifest["journal"] = JOURNAL_NAME if journal is not None else None
     for name, result in results.items():
         entry = manifest["artifacts"].setdefault(
             name,
@@ -135,11 +188,23 @@ def write_manifest(
                 "seed": None,
                 "substrates": list(ARTIFACT_SUBSTRATES.get(name, ())),
                 "text_sha256": text_sha256(result),
+                "status": "ok",
+                "retries": 0,
             },
         )
-        entry["files"] = sorted((files or {}).get(name, []))
+        entry["files"] = dict(sorted((files or {}).get(name, {}).items()))
+    for name, error in (export_failures or {}).items():
+        entry = manifest["artifacts"].get(name)
+        if entry is None:
+            continue
+        entry["status"] = "export_failed"
+        entry["error"] = f"export failed: {error}"
+        entry["files"] = {}
+        manifest["status"] = "partial"
     path = outdir / "manifest.json"
-    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    digest = durable_write_json(path, manifest)
+    if journal is not None:
+        journal.manifest_committed(digest)
     return path
 
 
@@ -149,21 +214,63 @@ def export_all(
     *,
     run_manifest: dict | None = None,
 ) -> list[Path]:
-    """Export every regenerated artefact into ``outdir``.
+    """Export every regenerated artefact into ``outdir``, crash-safely.
 
-    Always finishes with a ``manifest.json`` covering the exported set;
-    pass the pipeline's ``run_manifest`` to include timings and cache
-    counters in it.
+    Opens a fresh write-ahead journal (``run_start`` carries the
+    artefact selection and scenario spec, so a crash *before* the
+    manifest exists is still recoverable), exports each artefact
+    through the durable store, and finishes with an atomically-written
+    ``manifest.json`` covering exactly the flushed files.  An artefact
+    whose export fails is isolated — the others still flush, the
+    manifest records it ``export_failed`` — and a :class:`StoreError`
+    naming the casualties is raised *after* the manifest is safely on
+    disk, so ``repro-paper --resume DIR`` can regenerate them.
     """
     outdir = Path(outdir)
     outdir.mkdir(parents=True, exist_ok=True)
-    written: list[Path] = []
-    files: dict[str, list[str]] = {}
-    for name, result in results.items():
-        paths = export_artifact(name, result, outdir)
-        files[name] = [p.name for p in paths]
-        written.extend(paths)
-    written.append(
-        write_manifest(results, outdir, run_manifest=run_manifest, files=files)
+    selection = sorted(
+        (run_manifest or {}).get("artifacts") or list(results)
     )
+    scenario_spec = ((run_manifest or {}).get("scenario") or {}).get("spec")
+    written: list[Path] = []
+    files: dict[str, dict[str, str]] = {}
+    failures: dict[str, str] = {}
+    from repro.harness.pipeline import MANIFEST_SCHEMA_VERSION
+
+    with RunJournal(outdir) as journal:
+        journal.run_start(
+            generator="repro-paper",
+            schema_version=MANIFEST_SCHEMA_VERSION,
+            selection=selection,
+            scenario=scenario_spec,
+        )
+        for name, result in results.items():
+            try:
+                digests = export_artifact(
+                    name, result, outdir, journal=journal
+                )
+            except StoreError as exc:
+                failures[name] = str(exc)
+                journal.record("export_failed", artifact=name, error=str(exc))
+                continue
+            files[name] = digests
+            written.extend(outdir / filename for filename in digests)
+        written.append(
+            write_manifest(
+                results,
+                outdir,
+                run_manifest=run_manifest,
+                files=files,
+                export_failures=failures,
+                journal=journal,
+            )
+        )
+    if failures:
+        detail = "; ".join(
+            f"{name}: {error}" for name, error in sorted(failures.items())
+        )
+        raise StoreError(
+            f"{len(failures)} artefact(s) failed to export "
+            f"(manifest records them export_failed) — {detail}"
+        )
     return written

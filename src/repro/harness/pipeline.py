@@ -83,7 +83,12 @@ __all__ = [
 #: ``fault_plan``, the full canonical scenario ``spec`` (so ``--resume``
 #: can reconstruct the overlay), and per-substrate/per-artefact
 #: ``status`` + ``retries`` (+ ``error`` for failures).
-MANIFEST_SCHEMA_VERSION = 3
+#: v4 added durability: per-artefact ``files`` became a
+#: ``{filename: sha256}`` map over the exact bytes the durable store
+#: flushed, and the top-level ``journal`` pointer names the write-ahead
+#: ``journal.jsonl`` the export ran under — together what
+#: ``repro-paper --verify`` audits and ``--resume`` recovers from.
+MANIFEST_SCHEMA_VERSION = 4
 
 #: Default retry budget for substrate builds and artefact generators:
 #: three attempts with a short seeded backoff.  Deliberately snappy —

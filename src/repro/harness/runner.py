@@ -152,77 +152,231 @@ def _print_results(results: dict[str, dict]) -> None:
         print(result["text"])
 
 
-def _resume(outdir: str, jobs: int) -> int:
-    """Re-run only the failed/skipped artefacts of a previous --output.
+def _load_manifest(outdir) -> dict | None:
+    """Parse ``manifest.json`` if one exists and is readable.
 
-    Reads ``manifest.json``, reconstructs the recorded scenario,
-    regenerates just the artefacts whose status is not ``"ok"`` (without
-    any fault plan — resume is the recovery run), and writes a merged
-    manifest: the surviving entries keep their original timings and
-    files, the re-run ones get fresh records.  Because every generator
-    is seeded, the recovered artefacts are byte-identical to a clean
-    run's.
+    An unreadable/invalid manifest is quarantined (``manifest.json.corrupt``)
+    and treated as absent — with schema v4 the durable store makes a torn
+    manifest impossible for our own runs, so invalid JSON means external
+    damage, and the journal is the remaining source of truth.
     """
     import json
     from pathlib import Path
 
-    from repro.errors import ScenarioError
-    from repro.harness.export import export_all
-    from repro.harness.pipeline import run_pipeline
-    from repro.scenario import scenario_from_dict
+    from repro.harness.store import quarantine
 
     path = Path(outdir) / "manifest.json"
     if not path.is_file():
-        raise SystemExit(f"--resume: no manifest.json in {outdir!r}")
+        return None
     try:
-        manifest = json.loads(path.read_text())
-    except ValueError as exc:
-        raise SystemExit(f"--resume: {path} is not valid JSON: {exc}")
-    artifacts = manifest.get("artifacts") or {}
-    pending = sorted(
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+    except (ValueError, OSError) as exc:
+        corpse = quarantine(path)
+        print(
+            f"[store] manifest.json is not valid JSON ({exc}); "
+            f"quarantined to {corpse.name}",
+            file=sys.stderr,
+        )
+        return None
+    return manifest if isinstance(manifest, dict) else None
+
+
+def _verify(outdir: str) -> int:
+    """``repro-paper --verify DIR``: journal + checksum audit.
+
+    Every file the manifest (v4 checksums) or journal names is verified
+    against its recorded SHA-256; torn and corrupt files are quarantined
+    to ``*.corrupt`` (never deleted), missing and unexpected files are
+    reported.  Exit 0 means every artefact is trustworthy.
+    """
+    from pathlib import Path
+
+    from repro.harness.store import audit_run, read_journal
+
+    if not Path(outdir).is_dir():
+        raise SystemExit(f"--verify: {outdir!r} is not a directory")
+    manifest = _load_manifest(outdir)
+    records = read_journal(outdir)
+    if manifest is None and not records:
+        raise SystemExit(
+            f"--verify: {outdir!r} has neither manifest.json nor "
+            "journal.jsonl — nothing to audit against"
+        )
+    audit = audit_run(outdir, manifest, records, quarantine_corrupt=True)
+    counts = {}
+    for report in audit.files:
+        counts[report.status] = counts.get(report.status, 0) + 1
+    summary = ", ".join(
+        f"{counts[s]} {s}"
+        for s in ("ok", "missing", "torn", "corrupt", "extra")
+        if counts.get(s)
+    )
+    print(f"[verify] {outdir}/: {len(audit.files)} file(s) — {summary or '0 ok'}")
+    for report in audit.files:
+        if report.status == "ok":
+            continue
+        detail = {
+            "missing": "expected but absent",
+            "torn": "write started but never committed; quarantined",
+            "corrupt": "checksum mismatch; quarantined",
+            "extra": "not named by manifest or journal",
+        }[report.status]
+        owner = f" [{report.artifact}]" if report.artifact else ""
+        print(f"[verify]   {report.status:7s} {report.file}{owner} — {detail}")
+    if audit.broken:
+        print(
+            "[verify] broken artefact(s): "
+            + ", ".join(sorted(audit.broken))
+        )
+    if audit.ok:
+        print("[verify] OK: every artefact matches its recorded checksums")
+        return 0
+    print(
+        f"[verify] FAIL: recover with: repro-paper --resume {outdir}",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def _resume(outdir: str, jobs: int) -> int:
+    """Re-run exactly the artefacts a previous --output cannot vouch for.
+
+    Recovery unions two sources: the manifest's own verdicts (any entry
+    whose status is not ``"ok"``) and the journal + checksum audit
+    (torn/corrupt/missing files, exports that never reached
+    ``artifact_done``).  Torn and corrupt files are quarantined first,
+    so nothing downstream trusts them.  When the crash struck *before*
+    ``manifest.json`` existed, the journal's ``run_start`` record
+    supplies the artefact selection and scenario, so even a
+    manifest-less directory recovers.  Because every generator is
+    seeded, the recovered artefacts are byte-identical to a clean run's.
+    """
+    from pathlib import Path
+
+    from repro.errors import ScenarioError, StoreError
+    from repro.harness.export import export_all
+    from repro.harness.pipeline import ARTIFACT_SUBSTRATES, run_pipeline
+    from repro.harness.store import audit_run, read_journal, sha256_file
+    from repro.scenario import scenario_from_dict
+
+    out = Path(outdir)
+    if not out.is_dir():
+        raise SystemExit(f"--resume: {outdir!r} is not a directory")
+    manifest = _load_manifest(outdir)
+    records = read_journal(outdir)
+    if manifest is None and not records:
+        raise SystemExit(
+            f"--resume: {outdir!r} has neither manifest.json nor "
+            "journal.jsonl — nothing to recover; re-run repro-paper "
+            f"--output {outdir}"
+        )
+    audit = audit_run(outdir, manifest, records, quarantine_corrupt=True)
+    artifacts = (manifest or {}).get("artifacts") or {}
+    if manifest is not None:
+        selection = sorted(artifacts) or audit.selection or []
+    else:
+        selection = audit.selection or []
+    if not selection:
+        raise SystemExit(
+            "--resume: the journal records no run_start selection; "
+            f"re-run repro-paper --output {outdir}"
+        )
+    pending = {
         name
         for name, entry in artifacts.items()
         if entry.get("status", "ok") != "ok"
-    )
+    }
+    pending |= set(audit.broken)
+    if manifest is None:
+        # No manifest at all: only journal-trusted artefacts survive.
+        pending |= set(selection) - audit.trusted
+    pending = sorted(pending & set(selection) | set(audit.broken))
     if not pending:
         print(
-            f"[resume] nothing to do: all {len(artifacts)} artefact(s) "
-            f"in {outdir}/ completed"
+            f"[resume] nothing to do: all {len(selection)} artefact(s) "
+            f"in {outdir}/ verified healthy"
         )
         return 0
-    scenario_block = manifest.get("scenario") or {}
-    if "spec" not in scenario_block:
+    scenario_spec = ((manifest or {}).get("scenario") or {}).get("spec")
+    if scenario_spec is None:
+        scenario_spec = audit.scenario
+    if scenario_spec is None and manifest is not None:
         raise SystemExit(
             "--resume: manifest predates schema v3 (no scenario spec "
             "recorded); re-run repro-paper from scratch instead"
         )
-    try:
-        scenario = scenario_from_dict(scenario_block["spec"])
-    except ScenarioError as exc:
-        raise SystemExit(f"--resume: manifest scenario is invalid: {exc}")
+    scenario = None
+    if scenario_spec is not None:
+        try:
+            scenario = scenario_from_dict(scenario_spec)
+        except ScenarioError as exc:
+            raise SystemExit(f"--resume: recorded scenario is invalid: {exc}")
+    for reason in sorted(set(audit.broken.values())):
+        print(f"[resume] damage: {reason}")
     print(
         f"[resume] re-running {len(pending)} artefact(s): "
         + ", ".join(pending)
     )
     run = run_pipeline(pending, jobs=jobs, scenario=scenario)
     _print_results(run.results)
-    merged = dict(manifest)
+    merged = dict(manifest) if manifest is not None else {}
     for key in ("schema_version", "generator", "fault_plan",
-                "total_wall_time_s", "cache"):
+                "total_wall_time_s", "cache", "scenario"):
         merged[key] = run.manifest[key]
     merged["jobs"] = jobs
     merged["substrates"] = {
-        **(manifest.get("substrates") or {}),
+        **((manifest or {}).get("substrates") or {}),
         **run.manifest["substrates"],
     }
     merged["artifacts"] = {**artifacts, **run.manifest["artifacts"]}
+    # Journal-trusted artefacts a (missing or pre-v4) manifest does not
+    # record get synthesised entries: their bytes on disk are verified,
+    # only the timing provenance is gone.
+    file_hashes: dict[str, dict[str, str]] = {}
+    for report in audit.files:
+        if report.artifact and report.status == "ok":
+            file_hashes.setdefault(report.artifact, {})[report.file] = (
+                report.actual_sha256
+            )
+    for name in audit.trusted - set(merged["artifacts"]):
+        txt = out / f"{name}.txt"
+        text_hash = None
+        if txt.is_file():
+            # The .txt file is the rendered text plus one trailing "\n";
+            # text_sha256 hashes the text alone.
+            import hashlib
+
+            text_hash = hashlib.sha256(
+                txt.read_bytes()[:-1]
+            ).hexdigest()
+        merged["artifacts"][name] = {
+            "wall_time_s": None,
+            "seed": None,
+            "substrates": list(ARTIFACT_SUBSTRATES.get(name, ())),
+            "text_sha256": text_hash,
+            "status": "ok",
+            "retries": 0,
+            "files": dict(sorted(file_hashes.get(name, {}).items())),
+        }
+    # Upgrade any surviving schema<=3 entries (file lists, no hashes) to
+    # v4 checksum maps from the audited bytes on disk.
+    for name, entry in merged["artifacts"].items():
+        files = entry.get("files")
+        if isinstance(files, list):
+            entry["files"] = {
+                fname: sha256_file(out / fname) for fname in sorted(files)
+            }
     still_failing = sorted(
         name
         for name, entry in merged["artifacts"].items()
         if entry.get("status", "ok") != "ok"
     )
     merged["status"] = "ok" if not still_failing else "partial"
-    export_all(run.results, outdir, run_manifest=merged)
+    try:
+        export_all(run.results, outdir, run_manifest=merged)
+    except StoreError as exc:
+        print(f"[resume] export failed: {exc}", file=sys.stderr)
+        return 1
     if still_failing:
         print(
             f"[resume] {len(still_failing)} artefact(s) still failing: "
@@ -246,14 +400,17 @@ def main(argv: list[str] | None = None) -> int:
             "[--fault-plan FILE] [artefact ...]"
         )
         print("       repro-paper --resume DIR [--jobs N]")
+        print("       repro-paper --verify DIR")
         print("artefacts:", " ".join(sorted(ARTIFACTS)))
         print("options:")
         print("  --output DIR      write text/JSON/CSV files plus manifest.json")
         print("  --jobs N          parallel workers for the artefact pipeline")
         print("  --scenario FILE   run under a what-if overlay (JSON ScenarioSpec)")
         print("  --fault-plan FILE inject a chaos experiment (JSON FaultPlan)")
-        print("  --resume DIR      re-run only the failed artefacts of a "
-              "previous --output")
+        print("  --resume DIR      re-run the failed/torn/corrupt artefacts of "
+              "a previous --output")
+        print("  --verify DIR      audit artefacts against manifest + journal "
+              "checksums; quarantine corrupt files")
         print("  --version         print the package version and exit")
         return 0
     if "--version" in args:
@@ -266,12 +423,21 @@ def main(argv: list[str] | None = None) -> int:
     scenario_arg = _flag_value(args, "--scenario", "a JSON file argument")
     fault_arg = _flag_value(args, "--fault-plan", "a JSON file argument")
     resume_arg = _flag_value(args, "--resume", "a directory argument")
+    verify_arg = _flag_value(args, "--verify", "a directory argument")
     jobs = 1
     if jobs_arg is not None:
         try:
             jobs = int(jobs_arg)
         except ValueError:
             raise SystemExit(f"--jobs expects an integer, got {jobs_arg!r}")
+    if verify_arg is not None:
+        if (args or outdir or scenario_arg or fault_arg or resume_arg
+                or jobs_arg is not None):
+            raise SystemExit(
+                "--verify audits an existing directory and takes no "
+                "other options"
+            )
+        return _verify(verify_arg)
     if resume_arg is not None:
         if args or outdir or scenario_arg or fault_arg:
             raise SystemExit(
@@ -319,9 +485,27 @@ def main(argv: list[str] | None = None) -> int:
     # A partial run still flushes every completed artefact and the
     # partial manifest — failed work is lost only if it never ran.
     if outdir is not None:
+        from repro.errors import StoreError
         from repro.harness.export import export_all
+        from repro.resilience import fault_context
 
-        written = export_all(run.results, outdir, run_manifest=run.manifest)
+        # The export runs under the same fault plan as the pipeline so
+        # store:* chaos rules (torn-write, bit-flip, fsync-error) reach
+        # the durable-write path; with no plan this installs nothing.
+        try:
+            with fault_context(fault_plan):
+                written = export_all(
+                    run.results, outdir, run_manifest=run.manifest
+                )
+        except StoreError as exc:
+            # The manifest is on disk and records the casualties as
+            # export_failed; --resume regenerates exactly those.
+            print(f"[store] {exc}", file=sys.stderr)
+            print(
+                f"[store] recover with: repro-paper --resume {outdir}",
+                file=sys.stderr,
+            )
+            return 1
         print(f"\nwrote {len(written)} files to {outdir}/")
     if run.failures:
         for name, error in sorted(run.failures.items()):

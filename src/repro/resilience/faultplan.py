@@ -10,7 +10,11 @@ are stable strings the instrumented layers publish:
 * ``artifact:<name>``   — one artefact generator invocation,
 * ``handler:<kind>``    — one serve handler evaluation (scalar or batch),
 * ``cache:<substrate>`` — a substrate-cache lookup (``evict`` rules
-  simulate eviction storms by dropping the entry first).
+  simulate eviction storms by dropping the entry first),
+* ``store:<filename>``  — one durable write in
+  :mod:`repro.harness.store` (the ``torn-write`` / ``bit-flip`` /
+  ``fsync-error`` kinds simulate crash-mid-write, silent media
+  corruption, and a failing durability barrier).
 
 Rules fire either for the first ``times`` matching invocations
 (count-based, exactly reproducible) or with probability ``rate`` from a
@@ -60,7 +64,17 @@ __all__ = [
 ]
 
 #: What a firing rule does at its site.
-_KINDS = ("error", "latency", "evict", "kill")
+_KINDS = (
+    "error", "latency", "evict", "kill",
+    "torn-write", "bit-flip", "fsync-error",
+)
+
+#: Kinds whose semantics belong to the *call site*, not the injector:
+#: :meth:`FaultInjector.fire` returns the kind string and the site
+#: implements the failure (the durable store's ``store:*`` sites — see
+#: :mod:`repro.harness.store`).  At a site that does not understand the
+#: kind, the returned string is ignored and the call proceeds normally.
+_SITE_KINDS = frozenset({"evict", "torn-write", "bit-flip", "fsync-error"})
 
 
 @dataclass(frozen=True)
@@ -77,7 +91,10 @@ class FaultRule:
     * ``"evict"``   — ask the substrate cache to drop the entry first
       (only meaningful at ``cache:*`` sites; elsewhere it is a no-op),
     * ``"kill"``    — hard-exit the process (pipeline pool workers only;
-      sites that cannot tolerate process death degrade it to ``error``).
+      sites that cannot tolerate process death degrade it to ``error``),
+    * ``"torn-write"`` / ``"bit-flip"`` / ``"fsync-error"`` — durable-
+      store failures, implemented by the ``store:*`` sites (a torn write
+      SIGKILLs the process mid-write; elsewhere they are no-ops).
     """
 
     site: str
@@ -314,8 +331,8 @@ class FaultInjector:
             time.sleep(matched.latency_s)
         if matched.kind == "latency":
             return None
-        if matched.kind == "evict":
-            return "evict"
+        if matched.kind in _SITE_KINDS:
+            return matched.kind
         if matched.kind == "kill" and allow_kill:
             return "kill"
         raise FaultInjected(

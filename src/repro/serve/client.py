@@ -26,6 +26,7 @@ from repro.errors import (
     QueryTimeout,
     QueryValidationError,
     ServeError,
+    ServiceDraining,
     ServiceOverloaded,
 )
 from repro.serve.engine import QueryEngine, QueryResponse
@@ -151,6 +152,66 @@ class ServeClient:
         """The engine's readiness payload (the ``/readyz`` body)."""
         return self.engine.readiness()
 
+    # -- lifecycle: drain + cache snapshot ----------------------------------
+
+    def begin_drain(self) -> None:
+        """Stop the engine admitting new queries (thread-safe flag)."""
+        self.engine.begin_drain()
+
+    def drain(self, timeout_s: float = 10.0) -> bool:
+        """Refuse new work and wait for in-flight queries to settle;
+        ``True`` when the engine went idle inside the deadline."""
+        return self._run(self.engine.drain(timeout_s))
+
+    def save_cache_snapshot(self, path: Any) -> int:
+        """Flush the result cache to a checksummed snapshot file
+        (durably written); returns the number of entries flushed."""
+        from repro.serve.snapshot import save_snapshot
+
+        async def _export() -> list:
+            return self.engine.cache_entries()
+
+        entries = self._run(_export())
+        count = save_snapshot(path, entries)
+        self.engine.metrics.inc("snapshot_saved", count)
+        return count
+
+    def load_cache_snapshot(self, path: Any) -> int:
+        """Warm the result cache from a snapshot file; returns how many
+        entries landed.  Raises :class:`~repro.errors.SnapshotError`
+        when the file fails validation — the caller's contract is to
+        treat that as a cold start, never a crash."""
+        from repro.serve.snapshot import load_snapshot
+
+        entries = load_snapshot(path)
+
+        async def _restore() -> int:
+            return self.engine.restore_cache(entries)
+
+        count = self._run(_restore())
+        self.engine.metrics.inc("snapshot_restored", count)
+        return count
+
+
+#: Wire error code -> client-side exception type.  The payload's
+#: ``code`` field is authoritative (one HTTP status can carry several
+#: codes: 503 is both "circuit open" and "draining"); the HTTP status
+#: is only the fallback for replies without one.
+_ERROR_BY_CODE = {
+    "query_validation": QueryValidationError,
+    "service_overloaded": ServiceOverloaded,
+    "circuit_open": CircuitOpen,
+    "service_draining": ServiceDraining,
+    "query_timeout": QueryTimeout,
+}
+
+_ERROR_BY_STATUS = {
+    400: QueryValidationError,
+    429: ServiceOverloaded,
+    503: CircuitOpen,
+    504: QueryTimeout,
+}
+
 
 class HttpServeClient:
     """Minimal stdlib HTTP client for a running ``repro-serve`` server."""
@@ -172,18 +233,18 @@ class HttpServeClient:
                 return json.loads(resp.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
             payload = exc.read().decode("utf-8", "replace")
+            code = None
             try:
-                message = json.loads(payload).get("error", payload)
+                parsed = json.loads(payload)
+                message = parsed.get("error", payload)
+                code = parsed.get("code")
             except (ValueError, AttributeError):
                 message = payload
-            if exc.code == 400:
-                raise QueryValidationError(message) from None
-            if exc.code == 429:
-                raise ServiceOverloaded(message) from None
-            if exc.code == 503:
-                raise CircuitOpen(message) from None
-            if exc.code == 504:
-                raise QueryTimeout(message) from None
+            error_type = _ERROR_BY_CODE.get(code) or _ERROR_BY_STATUS.get(
+                exc.code
+            )
+            if error_type is not None:
+                raise error_type(message) from None
             raise ServeError(f"HTTP {exc.code}: {message}") from None
 
     def query(

@@ -55,6 +55,7 @@ from repro.errors import (
     QueryValidationError,
     ScenarioError,
     ServeError,
+    ServiceDraining,
     ServiceOverloaded,
 )
 from repro.resilience import (
@@ -265,6 +266,7 @@ class QueryEngine:
         self._queue: asyncio.Queue | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._worker_tasks: list[asyncio.Task] = []
+        self._draining = False
 
         self.metrics.register_gauge(
             "queue_depth", lambda: self._queue.qsize() if self._queue else 0
@@ -311,6 +313,61 @@ class QueryEngine:
     async def __aexit__(self, *exc: Any) -> None:
         await self.stop()
 
+    # -- graceful drain -----------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop admitting new queries; in-flight work keeps running.
+
+        A plain flag write, so it is safe to call from any thread (the
+        signal-handling thread of the HTTP front end) — :meth:`submit`
+        reads it on the event loop before touching any other state.
+        """
+        self._draining = True
+
+    async def drain(self, timeout_s: float = 10.0) -> bool:
+        """Refuse new work and wait for every in-flight query to settle.
+
+        Returns ``True`` when the engine went idle within ``timeout_s``
+        — no in-flight computations, no gathering micro-batches, an
+        empty admission queue — and ``False`` when the deadline struck
+        first (the caller shuts down anyway; the abandoned work was
+        already rejected-or-running and its callers hold the futures).
+        Idempotent: draining an idle engine returns immediately.
+        """
+        self._draining = True
+        if not self.started:
+            return True
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout_s
+        while (
+            self._inflight
+            or self._pending_batches
+            or (self._queue is not None and not self._queue.empty())
+        ):
+            if loop.time() >= deadline:
+                return False
+            await asyncio.sleep(0.005)
+        return True
+
+    # -- cache snapshot hand-off --------------------------------------------
+
+    def cache_entries(self) -> list[tuple[Any, Any]]:
+        """The result cache's ``(key, value)`` pairs, LRU-oldest first
+        (call on the engine's loop — e.g. via ``ServeClient``)."""
+        return list(self._cache.items())
+
+    def restore_cache(self, entries: list[tuple[Any, Any]]) -> int:
+        """Seed the result (and stale) cache from snapshot entries,
+        oldest first so the LRU order survives the round trip; returns
+        how many entries landed (the cache bound may evict overflow)."""
+        for key, value in entries:
+            self._store(key, value)
+        return len(self._cache)
+
     # -- health -------------------------------------------------------------
 
     def health(self) -> dict[str, Any]:
@@ -336,12 +393,15 @@ class QueryEngine:
         from repro.harness.cache import SUBSTRATE_CACHE
 
         breakers = self._breakers.snapshot()
-        ready = self.started and all(
-            b["state"] == "closed" for b in breakers.values()
+        ready = (
+            self.started
+            and not self._draining
+            and all(b["state"] == "closed" for b in breakers.values())
         )
         return {
             "ready": ready,
             "started": self.started,
+            "draining": self._draining,
             "breakers": breakers,
             "warm_substrates": list(SUBSTRATE_CACHE.substrates()),
             "fault_plan": (
@@ -418,14 +478,22 @@ class QueryEngine:
         ``scenario`` overlays the evaluation: a :class:`ScenarioSpec`,
         an inline spec dict, or the name of a scenario registered with
         :meth:`register_scenario`.  Raises :class:`QueryValidationError`
-        for bad input, :class:`ServiceOverloaded` when the admission
-        queue is full, :class:`QueryTimeout` when the deadline elapses
-        first, and :class:`CircuitOpen` when the kind's (or one of its
+        for bad input, :class:`ServiceDraining` once :meth:`begin_drain`
+        /:meth:`drain` has been called, :class:`ServiceOverloaded` when
+        the admission queue is full, :class:`QueryTimeout` when the
+        deadline elapses first, and :class:`CircuitOpen` when the kind's
+        (or one of its
         substrates') breaker is open and no stale answer exists — with
         a stale answer, the response carries ``degraded=True`` instead.
         """
         if not self.started:
             raise ServeError("engine not started; use 'async with QueryEngine()'")
+        if self._draining:
+            self.metrics.inc("drain_rejected")
+            raise ServiceDraining(
+                "service is draining for shutdown; retry against another "
+                "replica"
+            )
         try:
             query = self.registry.build(
                 kind, params, scenario=self._resolve_scenario(scenario)

@@ -15,25 +15,38 @@ Endpoints (JSON in, JSON out):
 * ``GET /scenarios`` — the registered named scenarios;
 * ``GET /metrics`` — the engine's metrics snapshot;
 * ``GET /healthz`` — liveness (the loop and HTTP thread are up);
-* ``GET /readyz``  — readiness: breaker states, warm substrates, and
-  the active fault plan; HTTP 503 while any breaker is non-closed.
+* ``GET /readyz``  — readiness: breaker states, warm substrates, the
+  active fault plan, and the draining flag; HTTP 503 while any breaker
+  is non-closed or the process is draining.
 
 Every error response carries the exception's machine-readable ``code``
 (see :mod:`repro.errors`), and codes map to HTTP statuses from the one
 :data:`STATUS_BY_CODE` table — invalid queries → 400, load shedding →
-429, an open circuit breaker → 503, deadline expiry → 504; anything
-else in the taxonomy → 500 with its code, so a bare unclassified 500
-means exactly "an exception that escaped the taxonomy".
+429, an open circuit breaker or a draining service → 503, deadline
+expiry → 504; anything else in the taxonomy → 500 with its code, so a
+bare unclassified 500 means exactly "an exception that escaped the
+taxonomy".  Retryable rejections additionally carry a ``Retry-After``
+header (:data:`RETRY_AFTER_BY_CODE`).
+
+Lifecycle: SIGTERM/SIGINT start a graceful drain — readiness flips to
+503 so load balancers stop routing here, new ``/query`` work is
+refused with 503 + ``Retry-After``, in-flight queries (and the handler
+threads carrying them) finish under ``--drain-timeout``, the result
+cache is flushed to the ``--cache-snapshot`` file (checksummed; a
+corrupt snapshot at next startup means a cold start, never a crash),
+and the process exits 0.
 """
 
 from __future__ import annotations
 
 import json
 import sys
+import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
-from repro.errors import ReproError
+from repro.errors import ReproError, ServiceDraining
 
 from repro.serve.client import ServeClient
 
@@ -47,73 +60,114 @@ STATUS_BY_CODE: dict[str, int] = {
     "fault_plan_error": 400,
     "service_overloaded": 429,
     "circuit_open": 503,
+    "service_draining": 503,
     "query_timeout": 504,
 }
 
 #: Status for a :class:`ReproError` whose code has no table entry.
 DEFAULT_ERROR_STATUS = 500
 
+#: ``Retry-After`` seconds attached to retryable rejections: shedding
+#: and draining clear in about a second (or a load balancer moves the
+#: caller to another replica); an open breaker needs its recovery
+#: window.
+RETRY_AFTER_BY_CODE: dict[str, int] = {
+    "service_overloaded": 1,
+    "service_draining": 1,
+    "circuit_open": 2,
+}
+
 
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server: "ServeHTTPServer"
 
-    def _send(self, status: int, payload: dict[str, Any]) -> None:
+    def _send(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        *,
+        retry_after: int | None = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_error(self, exc: ReproError) -> None:
+        self._send(
+            STATUS_BY_CODE.get(exc.code, DEFAULT_ERROR_STATUS),
+            exc.to_dict(),
+            retry_after=RETRY_AFTER_BY_CODE.get(exc.code),
+        )
 
     def log_message(self, fmt: str, *args: Any) -> None:
         if self.server.verbose:  # pragma: no cover - log formatting
             super().log_message(fmt, *args)
 
     def do_GET(self) -> None:
-        client = self.server.client
-        if self.path == "/healthz":
-            self._send(200, client.health())
-        elif self.path == "/readyz":
-            readiness = client.readiness()
-            self._send(200 if readiness["ready"] else 503, readiness)
-        elif self.path == "/metrics":
-            self._send(200, client.metrics())
-        elif self.path == "/kinds":
-            self._send(200, client.kinds())
-        elif self.path == "/scenarios":
-            self._send(200, client.scenarios())
-        else:
-            self._send(404, {"error": f"no such endpoint: {self.path}"})
+        with self.server.track_request():
+            client = self.server.client
+            if self.path == "/healthz":
+                self._send(200, client.health())
+            elif self.path == "/readyz":
+                readiness = client.readiness()
+                self._send(200 if readiness["ready"] else 503, readiness)
+            elif self.path == "/metrics":
+                self._send(200, client.metrics())
+            elif self.path == "/kinds":
+                self._send(200, client.kinds())
+            elif self.path == "/scenarios":
+                self._send(200, client.scenarios())
+            else:
+                self._send(404, {"error": f"no such endpoint: {self.path}"})
 
     def do_POST(self) -> None:
-        if self.path != "/query":
-            self._send(404, {"error": f"no such endpoint: {self.path}"})
-            return
-        try:
-            length = int(self.headers.get("Content-Length", 0))
-            request = json.loads(self.rfile.read(length) or b"{}")
-            kind = request["kind"]
-            params = request.get("params") or {}
-            scenario = request.get("scenario")
-        except (ValueError, KeyError, TypeError) as exc:
-            self._send(400, {"error": f"malformed query request: {exc}"})
-            return
-        try:
-            response = self.server.client.query(kind, params, scenario=scenario)
-        except ReproError as exc:
-            self._send(
-                STATUS_BY_CODE.get(exc.code, DEFAULT_ERROR_STATUS),
-                exc.to_dict(),
-            )
-        else:
-            payload = response.to_dict()
-            payload["ok"] = True
-            self._send(200, payload)
+        with self.server.track_request():
+            if self.path != "/query":
+                self._send(404, {"error": f"no such endpoint: {self.path}"})
+                return
+            if self.server.draining:
+                # Rejected at the door: the drain sequence counts this
+                # handler thread, but the engine never sees the query.
+                self._send_error(ServiceDraining(
+                    "service is draining for shutdown; retry against "
+                    "another replica"
+                ))
+                return
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                request = json.loads(self.rfile.read(length) or b"{}")
+                kind = request["kind"]
+                params = request.get("params") or {}
+                scenario = request.get("scenario")
+            except (ValueError, KeyError, TypeError) as exc:
+                self._send(400, {"error": f"malformed query request: {exc}"})
+                return
+            try:
+                response = self.server.client.query(
+                    kind, params, scenario=scenario
+                )
+            except ReproError as exc:
+                self._send_error(exc)
+            else:
+                payload = response.to_dict()
+                payload["ok"] = True
+                self._send(200, payload)
 
 
 class ServeHTTPServer(ThreadingHTTPServer):
-    """HTTP server bound to one started :class:`ServeClient`."""
+    """HTTP server bound to one started :class:`ServeClient`.
+
+    Tracks its in-flight request count so a graceful shutdown can wait
+    for the handler threads — ``daemon_threads`` means nobody else
+    will — and carries the ``draining`` flag the handlers consult to
+    turn new ``/query`` work away with 503 + ``Retry-After``.
+    """
 
     daemon_threads = True
 
@@ -126,12 +180,51 @@ class ServeHTTPServer(ThreadingHTTPServer):
     ) -> None:
         self.client = client
         self.verbose = verbose
+        self.draining = False
+        self._active_lock = threading.Lock()
+        self._active_requests = 0
         super().__init__(address, _Handler)
 
     @property
     def url(self) -> str:
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
+
+    def track_request(self) -> "_RequestTracker":
+        return _RequestTracker(self)
+
+    def active_requests(self) -> int:
+        with self._active_lock:
+            return self._active_requests
+
+    def begin_drain(self) -> None:
+        """Flip to draining: ``/readyz`` answers 503, new ``/query``
+        requests are turned away, the engine stops admitting work."""
+        self.draining = True
+        self.client.begin_drain()
+
+    def await_quiescence(self, timeout_s: float) -> bool:
+        """Wait for the in-flight HTTP handlers to finish (``True``) or
+        the deadline (``False``)."""
+        deadline = time.monotonic() + timeout_s
+        while self.active_requests() > 0:
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.005)
+        return True
+
+
+class _RequestTracker:
+    def __init__(self, server: ServeHTTPServer) -> None:
+        self._server = server
+
+    def __enter__(self) -> None:
+        with self._server._active_lock:
+            self._server._active_requests += 1
+
+    def __exit__(self, *exc: Any) -> None:
+        with self._server._active_lock:
+            self._server._active_requests -= 1
 
 
 def make_server(
@@ -177,7 +270,18 @@ def _int_flag(args: list[str], flag: str, default: int) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Console entry point for ``repro-serve``."""
+    """Console entry point for ``repro-serve``.
+
+    SIGTERM/SIGINT trigger a graceful drain instead of an abrupt exit:
+    ``/readyz`` flips to 503 and new ``/query`` work is refused with
+    503 + ``Retry-After`` immediately, in-flight queries run to
+    completion under ``--drain-timeout``, the result cache is flushed
+    to ``--cache-snapshot`` (checksummed, durably written), and the
+    process exits 0.  A second signal during the drain is ignored —
+    the drain deadline bounds shutdown either way.
+    """
+    import signal
+
     args = list(sys.argv[1:] if argv is None else argv)
     if args and args[0] in ("-h", "--help"):
         print("usage: repro-serve [--host HOST] [--port PORT] [options]")
@@ -190,6 +294,10 @@ def main(argv: list[str] | None = None) -> int:
         print("  --scenario FILE    register a named what-if overlay (repeatable)")
         print("  --fault-plan FILE  inject a chaos experiment (JSON FaultPlan)")
         print("  --timeout SECONDS  per-query deadline (default 30)")
+        print("  --cache-snapshot FILE  warm the cache from FILE at startup "
+              "(corrupt = cold start) and flush it back on graceful shutdown")
+        print("  --drain-timeout SECONDS  in-flight grace on SIGTERM/SIGINT "
+              "(default 10)")
         print("  --verbose          log every request")
         print("  --version          print the package version and exit")
         return 0
@@ -211,6 +319,10 @@ def main(argv: list[str] | None = None) -> int:
         scenario_files.append(raw)
     fault_plan_file = _flag_value(args, "--fault-plan", "a JSON file argument")
     timeout_raw = _flag_value(args, "--timeout", "a number of seconds")
+    snapshot_file = _flag_value(
+        args, "--cache-snapshot", "a snapshot file argument"
+    )
+    drain_raw = _flag_value(args, "--drain-timeout", "a number of seconds")
     verbose = "--verbose" in args
     if verbose:
         args.remove("--verbose")
@@ -220,6 +332,12 @@ def main(argv: list[str] | None = None) -> int:
         timeout = float(timeout_raw) if timeout_raw is not None else 30.0
     except ValueError:
         raise SystemExit(f"--timeout expects a number, got {timeout_raw!r}")
+    try:
+        drain_timeout = float(drain_raw) if drain_raw is not None else 10.0
+    except ValueError:
+        raise SystemExit(
+            f"--drain-timeout expects a number, got {drain_raw!r}"
+        )
     fault_plan = None
     if fault_plan_file is not None:
         from repro.errors import FaultPlanError
@@ -265,15 +383,89 @@ def main(argv: list[str] | None = None) -> int:
                 f"({spec.fingerprint[:12]})",
                 flush=True,
             )
+    if snapshot_file is not None:
+        import os
+
+        from repro.errors import SnapshotError
+
+        if os.path.exists(snapshot_file):
+            try:
+                restored = server.client.load_cache_snapshot(snapshot_file)
+            except SnapshotError as exc:
+                # Cold start, by contract: warmth is optional, crashing
+                # on a damaged snapshot is not.
+                print(f"cache snapshot rejected, starting cold: {exc}",
+                      flush=True)
+            else:
+                print(
+                    f"cache warmed from {snapshot_file} "
+                    f"({restored} entries)",
+                    flush=True,
+                )
+        else:
+            print(
+                f"no cache snapshot at {snapshot_file}, starting cold",
+                flush=True,
+            )
+
+    shutdown_requested = threading.Event()
+
+    def _request_shutdown(signum: int, _frame: Any) -> None:
+        if not shutdown_requested.is_set():
+            print(
+                f"received {signal.Signals(signum).name}; "
+                f"draining (grace {drain_timeout:g}s)",
+                flush=True,
+            )
+            shutdown_requested.set()
+
+    signal.signal(signal.SIGTERM, _request_shutdown)
+    signal.signal(signal.SIGINT, _request_shutdown)
+
+    serve_thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve-http", daemon=True
+    )
+    serve_thread.start()
     print(f"repro-serve listening on {server.url}", flush=True)
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
-        pass
-    finally:
-        server.shutdown()
-        server.server_close()
-        server.client.close()
+    shutdown_requested.wait()
+
+    # The drain sequence: refuse new work first, then wait for what is
+    # already running — engine in-flight queries AND the HTTP handler
+    # threads carrying their responses (daemon threads; nobody else
+    # waits for them) — then flush the cache and exit cleanly.
+    t0 = time.monotonic()
+    server.begin_drain()
+    engine_idle = server.client.drain(drain_timeout)
+    remaining = max(0.0, drain_timeout - (time.monotonic() - t0))
+    http_idle = server.await_quiescence(remaining)
+    if engine_idle and http_idle:
+        print(
+            f"drained in {time.monotonic() - t0:.2f}s "
+            "(zero in-flight queries dropped)",
+            flush=True,
+        )
+    else:
+        print(
+            f"drain deadline ({drain_timeout:g}s) struck with work "
+            "in flight; shutting down anyway",
+            flush=True,
+        )
+    if snapshot_file is not None:
+        try:
+            flushed = server.client.save_cache_snapshot(snapshot_file)
+        except ReproError as exc:  # StoreError/SnapshotError: warmth lost
+            print(f"cache snapshot flush failed: {exc}", flush=True)
+        else:
+            print(
+                f"cache snapshot flushed to {snapshot_file} "
+                f"({flushed} entries)",
+                flush=True,
+            )
+    server.shutdown()
+    serve_thread.join()
+    server.server_close()
+    server.client.close()
+    print("repro-serve exited cleanly", flush=True)
     return 0
 
 

@@ -131,6 +131,9 @@ class Metrics:
         "degraded",        # answered with stale data (breaker open / failure)
         "breaker_rejected",  # rejected by an open circuit breaker
         "breaker_opened",    # closed->open breaker transitions
+        "drain_rejected",     # rejected because the service is draining
+        "snapshot_saved",     # cache entries flushed to a shutdown snapshot
+        "snapshot_restored",  # cache entries restored from a startup snapshot
     )
 
     def __init__(self) -> None:

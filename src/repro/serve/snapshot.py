@@ -1,0 +1,149 @@
+"""Checksummed result-cache snapshots for ``repro-serve``.
+
+A graceful shutdown flushes the engine's result cache to disk so the
+next process starts warm instead of recomputing every popular answer.
+The file is JSON with a format marker, a version, and a SHA-256 over
+the canonical encoding of the entries — and it is written through
+:func:`repro.harness.store.durable_write`, so a crash mid-flush leaves
+the previous snapshot (or nothing), never a torn one.
+
+Loading is paranoid by design: *any* defect — wrong marker, wrong
+version, checksum mismatch, malformed entry — raises
+:class:`~repro.errors.SnapshotError`, and the caller's contract is to
+treat that as a cold start.  A corrupt snapshot costs warmth, never
+correctness, and never a crash.
+
+Cache keys are the engine's structural tuples
+(``(hash, seeds)`` or ``(hash, seeds, scenario_fingerprint)`` with
+``seeds`` a tuple of ``(substrate, seed)`` pairs — see
+:meth:`repro.serve.queries.Query.cache_key`); they are serialised
+field-by-field and rebuilt exactly, so a restored entry is hit by the
+same queries that populated it.  A key whose substrate seeds no longer
+match the running code simply never matches again — stale warmth ages
+out, it is never served wrongly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import SnapshotError
+
+__all__ = ["SNAPSHOT_FORMAT", "SNAPSHOT_VERSION", "save_snapshot",
+           "load_snapshot"]
+
+SNAPSHOT_FORMAT = "repro-serve-cache"
+SNAPSHOT_VERSION = 1
+
+
+def _encode_key(key: tuple) -> dict[str, Any]:
+    if len(key) == 2:
+        query_hash, seeds = key
+        fingerprint = None
+    else:
+        query_hash, seeds, fingerprint = key
+    return {
+        "hash": query_hash,
+        "seeds": [[name, seed] for name, seed in seeds],
+        "fingerprint": fingerprint,
+    }
+
+
+def _decode_key(obj: Any) -> tuple:
+    try:
+        seeds = tuple((name, seed) for name, seed in obj["seeds"])
+        if obj.get("fingerprint") is None:
+            return (obj["hash"], seeds)
+        return (obj["hash"], seeds, obj["fingerprint"])
+    except (TypeError, KeyError, ValueError) as exc:
+        raise SnapshotError(f"snapshot entry has a malformed key: {exc}") from exc
+
+
+def _payload_digest(payload: dict[str, Any]) -> str:
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def save_snapshot(path: str | Path, entries: list[tuple[tuple, Any]]) -> int:
+    """Durably write the cache ``entries`` to ``path``; returns the count.
+
+    Raises :class:`~repro.errors.StoreError` if the durable write fails
+    and :class:`SnapshotError` if an entry's value is not
+    JSON-encodable (cached values are wire payloads, so this indicates
+    a handler bug worth surfacing at flush time, not at next load).
+    """
+    payload = {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "entries": [
+            {"key": _encode_key(key), "value": value}
+            for key, value in entries
+        ],
+    }
+    try:
+        document = {
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "sha256": _payload_digest(payload),
+            "payload": payload,
+        }
+        body = json.dumps(document, sort_keys=True, indent=2) + "\n"
+    except (TypeError, ValueError) as exc:
+        raise SnapshotError(f"cache snapshot is not serialisable: {exc}") from exc
+    from repro.harness.store import durable_write
+
+    durable_write(Path(path), body.encode("utf-8"))
+    return len(payload["entries"])
+
+
+def load_snapshot(path: str | Path) -> list[tuple[tuple, Any]]:
+    """Read and validate a snapshot; returns its ``(key, value)`` entries.
+
+    Raises :class:`SnapshotError` for anything short of a pristine file
+    — the caller cold-starts.  A missing file is also a
+    :class:`SnapshotError` (distinguishable by message), so call sites
+    have exactly one failure path.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    try:
+        document = json.loads(raw)
+    except ValueError as exc:
+        raise SnapshotError(f"snapshot {path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise SnapshotError(f"snapshot {path} is not an object")
+    if document.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(
+            f"snapshot {path} has format {document.get('format')!r}, "
+            f"expected {SNAPSHOT_FORMAT!r}"
+        )
+    if document.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot {path} is version {document.get('version')!r}, "
+            f"this build reads {SNAPSHOT_VERSION}"
+        )
+    payload = document.get("payload")
+    if not isinstance(payload, dict):
+        raise SnapshotError(f"snapshot {path} has no payload object")
+    digest = _payload_digest(payload)
+    if digest != document.get("sha256"):
+        raise SnapshotError(
+            f"snapshot {path} failed its checksum "
+            f"(recorded {str(document.get('sha256'))[:12]}…, "
+            f"computed {digest[:12]}…)"
+        )
+    raw_entries = payload.get("entries")
+    if not isinstance(raw_entries, list):
+        raise SnapshotError(f"snapshot {path} has no entries list")
+    entries: list[tuple[tuple, Any]] = []
+    for i, raw_entry in enumerate(raw_entries):
+        if not isinstance(raw_entry, dict) or "key" not in raw_entry:
+            raise SnapshotError(f"snapshot {path}: entries[{i}] is malformed")
+        entries.append((_decode_key(raw_entry["key"]), raw_entry.get("value")))
+    return entries

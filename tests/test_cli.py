@@ -87,23 +87,26 @@ class TestOutputFlag:
         assert names == {
             "table1.txt", "table1.json", "table1.csv",
             "sec3a.txt", "sec3a.json",
-            "manifest.json",
+            "manifest.json", "journal.jsonl",
         }
 
     def test_output_manifest_records_run(self, tmp_path, capsys):
         assert main(["--jobs", "2", "sec3a", "--output", str(tmp_path)]) == 0
         capsys.readouterr()
         manifest = json.loads((tmp_path / "manifest.json").read_text())
-        assert manifest["schema_version"] == 3
+        assert manifest["schema_version"] == 4
         assert manifest["jobs"] == 2
         assert manifest["status"] == "ok"
+        assert manifest["journal"] == "journal.jsonl"
         assert manifest["scenario"] == {
             "label": "baseline", "fingerprint": None, "spec": {},
         }
         entry = manifest["artifacts"]["sec3a"]
         assert entry["seed"] == 20180401
         assert entry["substrates"] == ["k_year"]
-        assert entry["files"] == ["sec3a.json", "sec3a.txt"]
+        assert sorted(entry["files"]) == ["sec3a.json", "sec3a.txt"]
+        for digest in entry["files"].values():
+            assert len(digest) == 64
         assert entry["wall_time_s"] is not None
         assert manifest["cache"]["misses"] >= 0
 

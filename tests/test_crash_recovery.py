@@ -1,0 +1,156 @@
+"""Crash-recovery tests: kill the exporter mid-write, then heal.
+
+These run ``repro-paper`` in a subprocess because the ``torn-write``
+fault kind delivers a real ``SIGKILL`` in the middle of an artefact
+flush — the honest simulation of power loss.  The contract under test
+is the PR's acceptance criterion: ``--verify`` must flag *exactly* the
+damaged files, and ``--resume`` must re-run exactly the broken
+artefacts and converge to bytes identical to the checked-in goldens.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+ARTIFACTS = REPO / "artifacts"
+SELECTION = ["sec3a", "fig1"]
+GOLDEN_FILES = ["fig1.json", "fig1.txt", "sec3a.json", "sec3a.txt"]
+
+
+def repro_paper(args, cwd=REPO):
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    return subprocess.run(
+        [sys.executable, "-m", "repro.harness.runner", *args],
+        capture_output=True, text=True, env=env, cwd=cwd, timeout=120,
+    )
+
+
+def write_plan(tmp_path, rules, seed=7):
+    plan = tmp_path / "plan.json"
+    plan.write_text(json.dumps({"name": "crash", "seed": seed,
+                                "rules": rules}))
+    return plan
+
+
+def assert_matches_goldens(outdir):
+    for name in GOLDEN_FILES:
+        assert (outdir / name).read_bytes() == (
+            ARTIFACTS / name
+        ).read_bytes(), f"{name} differs from golden"
+
+
+class TestTornWriteSigkill:
+    """Power loss mid-flush: half an artefact file on disk, no manifest."""
+
+    @pytest.fixture(scope="class")
+    def crashed(self, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("torn")
+        outdir = tmp_path / "out"
+        plan = write_plan(tmp_path, [
+            {"site": "store:sec3a.json", "kind": "torn-write",
+             "rate": 1.0, "times": 1},
+        ])
+        proc = repro_paper(["--fault-plan", str(plan),
+                            "--output", str(outdir), *SELECTION])
+        return proc, outdir
+
+    def test_process_died_by_sigkill(self, crashed):
+        proc, outdir = crashed
+        assert proc.returncode == -signal.SIGKILL
+        assert not (outdir / "manifest.json").exists()
+        assert (outdir / "journal.jsonl").exists()
+
+    def test_verify_flags_exactly_the_torn_file(self, crashed):
+        _, outdir = crashed
+        proc = repro_paper(["--verify", str(outdir)])
+        assert proc.returncode == 1
+        assert "sec3a.json" in proc.stdout and "torn" in proc.stdout
+        assert "--resume" in proc.stderr
+        # The torn bytes are preserved as evidence, never deleted.
+        assert (outdir / "sec3a.json.corrupt").exists()
+
+    def test_resume_heals_to_golden_bytes(self, crashed):
+        _, outdir = crashed
+        proc = repro_paper(["--resume", str(outdir)])
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        manifest = json.loads((outdir / "manifest.json").read_text())
+        assert manifest["schema_version"] == 4
+        assert manifest["status"] == "ok"
+        assert sorted(manifest["artifacts"]) == sorted(SELECTION)
+        assert_matches_goldens(outdir)
+        # Second resume is a no-op: everything verifies healthy.
+        again = repro_paper(["--resume", str(outdir)])
+        assert again.returncode == 0
+        assert "nothing to do" in again.stdout
+
+
+class TestSilentBitFlip:
+    """The run 'succeeds', but one artefact's bytes rotted on disk."""
+
+    def test_verify_catches_and_resume_heals(self, tmp_path):
+        outdir = tmp_path / "out"
+        plan = write_plan(tmp_path, [
+            {"site": "store:fig1.json", "kind": "bit-flip",
+             "rate": 1.0, "times": 1},
+        ])
+        proc = repro_paper(["--fault-plan", str(plan),
+                            "--output", str(outdir), *SELECTION])
+        assert proc.returncode == 0  # corruption is silent at write time
+
+        check = repro_paper(["--verify", str(outdir)])
+        assert check.returncode == 1
+        assert "fig1.json" in check.stdout and "corrupt" in check.stdout
+        # Healthy files are not named as damaged.
+        assert "sec3a.json" not in check.stdout
+        assert (outdir / "fig1.json.corrupt").exists()
+
+        heal = repro_paper(["--resume", str(outdir)])
+        assert heal.returncode == 0, heal.stdout + heal.stderr
+        assert "fig1" in heal.stdout  # names what it re-ran
+        assert_matches_goldens(outdir)
+        verify = repro_paper(["--verify", str(outdir)])
+        assert verify.returncode == 0
+        assert "OK" in verify.stdout
+
+
+class TestFsyncError:
+    """A failed flush surfaces as a typed error, not a stack trace."""
+
+    def test_export_fails_cleanly_and_resume_heals(self, tmp_path):
+        outdir = tmp_path / "out"
+        plan = write_plan(tmp_path, [
+            {"site": "store:fig1.txt", "kind": "fsync-error",
+             "rate": 1.0, "times": 1},
+        ])
+        proc = repro_paper(["--fault-plan", str(plan),
+                            "--output", str(outdir), *SELECTION])
+        assert proc.returncode == 1
+        assert "[store]" in proc.stderr
+        assert "--resume" in proc.stderr
+        assert "Traceback" not in proc.stderr
+        # The manifest still landed, recording the casualty.
+        manifest = json.loads((outdir / "manifest.json").read_text())
+        assert manifest["status"] == "partial"
+        assert manifest["artifacts"]["fig1"]["status"] == "export_failed"
+        assert manifest["artifacts"]["sec3a"]["status"] == "ok"
+
+        heal = repro_paper(["--resume", str(outdir)])
+        assert heal.returncode == 0, heal.stdout + heal.stderr
+        assert_matches_goldens(outdir)
+
+
+class TestVerifyGoldens:
+    def test_checked_in_goldens_verify_clean(self):
+        proc = repro_paper(["--verify", str(ARTIFACTS)])
+        assert proc.returncode == 0, proc.stdout
+        assert "OK" in proc.stdout
+
+    def test_verify_conflicts_with_other_flags(self):
+        proc = repro_paper(["--verify", str(ARTIFACTS), "--jobs", "2"])
+        assert proc.returncode != 0

@@ -51,17 +51,26 @@ class TestExport:
             "rows": [{"a": 1, "b": 2.5}, {"a": 3, "b": math.inf}],
         }
         written = export_artifact("demo", result, tmp_path)
-        names = {p.name for p in written}
-        assert names == {"demo.txt", "demo.json", "demo.csv"}
+        assert set(written) == {"demo.txt", "demo.json", "demo.csv"}
         assert (tmp_path / "demo.txt").read_text().strip() == "hello"
         payload = json.loads((tmp_path / "demo.json").read_text())
         assert payload["rows"][1]["b"] == "inf"
         csv_text = (tmp_path / "demo.csv").read_text()
         assert "a,b" in csv_text
 
+    def test_export_artifact_checksums_match_disk(self, tmp_path):
+        import hashlib
+
+        written = export_artifact("demo", {"text": "t", "value": 1}, tmp_path)
+        for name, digest in written.items():
+            on_disk = hashlib.sha256(
+                (tmp_path / name).read_bytes()
+            ).hexdigest()
+            assert on_disk == digest, name
+
     def test_export_without_rows_skips_csv(self, tmp_path):
         written = export_artifact("x", {"text": "t", "value": 1}, tmp_path)
-        assert {p.suffix for p in written} == {".txt", ".json"}
+        assert {name.rsplit(".", 1)[1] for name in written} == {"txt", "json"}
 
     def test_export_all_real_artifacts(self, tmp_path):
         from repro.harness import run_all

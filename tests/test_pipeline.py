@@ -214,7 +214,7 @@ class TestRunPipeline:
     def test_manifest_shape(self):
         run = run_pipeline(["sec3a"], jobs=2)
         m = run.manifest
-        assert m["schema_version"] == 3
+        assert m["schema_version"] == 4
         assert m["jobs"] == 2
         assert m["status"] == "ok"
         assert m["fault_plan"] is None
