@@ -1,0 +1,272 @@
+"""The cluster's shared vocabulary: routing keys, shard state, aggregation.
+
+Everything the router, supervisor, and workers agree on lives here —
+how a wire query becomes a ring key, how a shard's identity and health
+are tracked, how a worker announces itself on stdout, and how N worker
+metrics snapshots fold into one cluster view.
+
+The routing key is the same canonical SHA-256 the serve engine already
+caches and coalesces on (:func:`repro.serve.queries.canonical_hash`),
+extended with the scenario identity: routing on the *canonical* form —
+after int→float coercion and ``"inf"`` normalisation — is what makes
+``{"speedup": 4}`` and ``{"speedup": 4.0}`` land on the same shard and
+hit the same LRU entry, which is the whole point of sharding by
+fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import QueryValidationError, ScenarioError
+from repro.serve.queries import QueryRegistry, canonical_hash
+
+__all__ = [
+    "routing_key",
+    "ShardInfo",
+    "ShardTable",
+    "worker_banner",
+    "parse_worker_banner",
+    "aggregate_metrics",
+]
+
+#: The stdout line a worker prints once its HTTP server is bound; the
+#: supervisor parses it to learn the worker's ephemeral port.
+_BANNER_PREFIX = "repro-cluster-worker shard"
+
+
+def worker_banner(shard_id: int, url: str) -> str:
+    return f"{_BANNER_PREFIX} {shard_id} listening on {url}"
+
+
+def parse_worker_banner(line: str) -> tuple[int, str] | None:
+    """``(shard_id, url)`` if ``line`` is a worker banner, else ``None``."""
+    line = line.strip()
+    if not line.startswith(_BANNER_PREFIX):
+        return None
+    try:
+        rest = line[len(_BANNER_PREFIX):].strip()
+        shard_word, _, url = rest.partition(" listening on ")
+        return int(shard_word), url.strip()
+    except ValueError:
+        return None
+
+
+def routing_key(
+    kind: str,
+    params: dict[str, Any] | None,
+    scenario: Any = None,
+    *,
+    registry: QueryRegistry | None = None,
+) -> str:
+    """The ring key for one wire query: canonical hash ⊕ scenario token.
+
+    Validates ``kind``/``params`` against the registry (the router
+    rejects malformed queries with 400 *before* spending a network hop)
+    and canonicalises them exactly like the engine's cache key, so
+    every spelling of the same question routes to the same shard.
+
+    The scenario token is the spec fingerprint for inline specs and the
+    name for server-registered references — both stable identities.
+    Overlay traffic therefore shards independently of the baseline,
+    spreading a popular what-if across the ring instead of pinning all
+    its variants onto the baseline's shard.
+    """
+    if registry is None:
+        from repro.serve.handlers import DEFAULT_REGISTRY
+
+        registry = DEFAULT_REGISTRY
+    built = registry.get(kind).build_params(params)
+    base = canonical_hash(kind, built)
+    if scenario is None:
+        token = ""
+    elif isinstance(scenario, str):
+        token = f"name:{scenario}"
+    elif isinstance(scenario, dict):
+        from repro.scenario import scenario_from_dict
+
+        try:
+            token = scenario_from_dict(scenario).fingerprint
+        except ScenarioError as exc:
+            raise QueryValidationError(f"bad scenario: {exc}") from exc
+    else:
+        from repro.scenario import ScenarioSpec
+
+        if isinstance(scenario, ScenarioSpec):
+            token = scenario.fingerprint
+        else:
+            raise QueryValidationError(
+                "scenario must be a name, an inline object, or null; "
+                f"got {type(scenario).__name__}"
+            )
+    if not token:
+        return base
+    return hashlib.sha256(f"{base}|{token}".encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ShardInfo:
+    """One shard's live identity, as the supervisor tracks it."""
+
+    shard_id: int
+    url: str | None = None
+    pid: int | None = None
+    state: str = "starting"  # starting | up | down | restarting
+    restarts: int = 0
+    snapshot_file: str | None = None
+    cooldown_until: float = field(default=0.0, repr=False)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "shard_id": self.shard_id,
+            "url": self.url,
+            "pid": self.pid,
+            "state": self.state,
+            "restarts": self.restarts,
+            "snapshot_file": self.snapshot_file,
+        }
+
+
+class ShardTable:
+    """Thread-safe shard_id → :class:`ShardInfo` map.
+
+    The supervisor writes (spawn, death, restart); the router reads on
+    every request.  Mutations go through methods so readers always see
+    a consistent (url, state) pair.
+    """
+
+    def __init__(self, shard_ids: list[int]) -> None:
+        self._lock = threading.Lock()
+        self._shards = {sid: ShardInfo(shard_id=sid) for sid in shard_ids}
+
+    def shard_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._shards))
+
+    def get(self, shard_id: int) -> ShardInfo:
+        with self._lock:
+            info = self._shards[shard_id]
+            return ShardInfo(**{
+                k: getattr(info, k)
+                for k in ("shard_id", "url", "pid", "state", "restarts",
+                          "snapshot_file", "cooldown_until")
+            })
+
+    def mark_up(self, shard_id: int, url: str, pid: int | None) -> None:
+        with self._lock:
+            info = self._shards[shard_id]
+            info.url = url
+            info.pid = pid
+            info.state = "up"
+            info.cooldown_until = 0.0
+
+    def mark_down(self, shard_id: int, state: str = "down") -> None:
+        with self._lock:
+            info = self._shards[shard_id]
+            info.state = state
+            info.url = None
+            info.pid = None
+
+    def count_restart(self, shard_id: int) -> None:
+        with self._lock:
+            self._shards[shard_id].restarts += 1
+
+    def set_snapshot_file(self, shard_id: int, path: str | None) -> None:
+        with self._lock:
+            self._shards[shard_id].snapshot_file = path
+
+    def set_cooldown(self, shard_id: int, until: float) -> None:
+        """Stop routing to a shard until ``until`` (monotonic seconds)
+        — the router's reaction to a ``Retry-After`` on a draining
+        shard's 503."""
+        with self._lock:
+            self._shards[shard_id].cooldown_until = until
+
+    def routable(self, shard_id: int, now: float) -> str | None:
+        """The shard's URL when it should receive traffic right now."""
+        with self._lock:
+            info = self._shards[shard_id]
+            if info.state != "up" or info.url is None:
+                return None
+            if info.cooldown_until > now:
+                return None
+            return info.url
+
+    def snapshot(self) -> dict[int, dict[str, Any]]:
+        with self._lock:
+            return {sid: info.to_dict()
+                    for sid, info in sorted(self._shards.items())}
+
+
+def _weighted_ratio(parts: list[tuple[float, float]]) -> float:
+    """Sum-of-numerators over sum-of-denominators (0 when empty)."""
+    num = sum(n for n, _ in parts)
+    den = sum(d for _, d in parts)
+    return num / den if den else 0.0
+
+
+def aggregate_metrics(
+    shard_metrics: dict[int, dict[str, Any] | None],
+    table_snapshot: dict[int, dict[str, Any]],
+    router_snapshot: dict[str, Any],
+) -> dict[str, Any]:
+    """Fold per-worker metrics snapshots into the cluster ``/metrics``.
+
+    ``shard_metrics`` maps shard id → the worker's own snapshot (or
+    ``None`` for a shard that is down/restarting — its slot still
+    appears, so dashboards see the hole).  Aggregate qps is the sum of
+    per-shard qps; ratios are recomputed from summed counters (a
+    weighted average — averaging ratios would over-count idle shards);
+    aggregate p99 is the worst shard's p99 (the user-visible tail).
+    """
+    shards: dict[str, Any] = {}
+    ratio_parts: list[tuple[float, float]] = []
+    qps_total = 0.0
+    requests_total = 0
+    p99_worst = 0.0
+    counter_totals: dict[str, int] = {}
+    for sid, meta in sorted(table_snapshot.items()):
+        snap = shard_metrics.get(sid)
+        entry: dict[str, Any] = dict(meta)
+        if snap is not None:
+            counters = snap.get("counters", {})
+            derived = snap.get("derived", {})
+            latency = snap.get("latency_s", {})
+            entry["qps"] = derived.get("qps", 0.0)
+            entry["requests"] = counters.get("requests", 0)
+            entry["cache_hit_ratio"] = derived.get("cache_hit_ratio", 0.0)
+            entry["p99_s"] = latency.get("p99", 0.0)
+            entry["metrics"] = snap
+            qps_total += entry["qps"]
+            requests_total += entry["requests"]
+            ratio_parts.append(
+                (counters.get("cache_hits", 0), counters.get("requests", 0))
+            )
+            p99_worst = max(p99_worst, entry["p99_s"])
+            for name, value in counters.items():
+                counter_totals[name] = counter_totals.get(name, 0) + value
+        else:
+            entry["metrics"] = None
+        shards[str(sid)] = entry
+    return {
+        "cluster": {
+            "size": len(table_snapshot),
+            "shards_up": sum(
+                1 for meta in table_snapshot.values() if meta["state"] == "up"
+            ),
+            "restarts": sum(
+                meta["restarts"] for meta in table_snapshot.values()
+            ),
+            "router": router_snapshot,
+        },
+        "shards": shards,
+        "aggregate": {
+            "qps": qps_total,
+            "requests": requests_total,
+            "cache_hit_ratio": _weighted_ratio(ratio_parts),
+            "p99_s": p99_worst,
+            "counters": counter_totals,
+        },
+    }

@@ -1,0 +1,663 @@
+"""The asyncio cluster router: one front door, N shared-nothing shards.
+
+A single-threaded asyncio HTTP server (stdlib only) that speaks the
+exact ``repro-serve`` wire protocol, so :class:`HttpServeClient`, curl,
+and the CI smoke scripts work unchanged against a cluster.  For every
+``POST /query`` it:
+
+1. validates and canonicalises the query (malformed input is a typed
+   400 *here*, before spending a network hop);
+2. consistent-hashes the canonical fingerprint to a shard
+   (:class:`~repro.cluster.ring.HashRing`), so each worker's LRU +
+   substrate caches stay hot for its slice of the query space;
+3. forwards over a keep-alive connection pool to the worker, and
+   annotates the answer with ``"shard"`` and ``"spilled"``;
+4. on a dead, draining, cooling-down, or breaker-open shard, spills to
+   the next ring neighbour(s) — bounded by ``spill`` — and, when the
+   whole preference list is unavailable, answers a typed 503
+   ``shard_unavailable`` with a ``Retry-After`` hint.
+
+Shard failure detection is two-layered: transport errors feed a
+per-shard circuit breaker (repeatedly unreachable shards are skipped
+without waiting for timeouts), and a worker answering 503
+``service_draining`` has its ``Retry-After`` honoured as a routing
+cooldown — the supervisor restarts it meanwhile.
+
+Worker errors that are *query* outcomes (400/429/504, typed 500s) pass
+through untouched: the router only reroutes infrastructure failures,
+never retries failed computations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import urllib.parse
+from typing import Any
+
+from repro.cluster.protocol import (
+    ShardTable,
+    aggregate_metrics,
+    routing_key,
+)
+from repro.cluster.ring import HashRing
+from repro.errors import (
+    CircuitOpen,
+    QueryValidationError,
+    ReproError,
+    ServiceDraining,
+    ShardUnavailable,
+)
+from repro.resilience import BreakerRegistry
+from repro.serve.http import DEFAULT_ERROR_STATUS, STATUS_BY_CODE
+from repro.serve.metrics import Counter, Histogram, render_text_metrics
+
+__all__ = ["ClusterRouter"]
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+#: Router-side counters (the worker lifecycle counters live on the
+#: workers; these cover the routing layer itself).
+ROUTER_COUNTERS = (
+    "requests",          # /query requests reaching the router
+    "routed",            # answered by some shard (any worker status)
+    "spilled",           # answered by a ring neighbour, not the primary
+    "shard_errors",      # transport failures talking to a shard
+    "breaker_skipped",   # shards skipped because their breaker was open
+    "cooldown_skipped",  # shards skipped inside a Retry-After cooldown
+    "unroutable",        # whole preference list unavailable (typed 503)
+    "invalid",           # rejected at the router (bad kind/params)
+    "drain_rejected",    # rejected because the router is draining
+)
+
+
+def _response_bytes(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    retry_after: float | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    head = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: " + ("keep-alive" if keep_alive else "close"),
+    ]
+    if retry_after is not None:
+        head.append(f"Retry-After: {retry_after:g}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+
+class _WorkerPool:
+    """Keep-alive connections to one worker URL (event-loop confined)."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._idle: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+
+    async def request(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One HTTP exchange; a stale pooled connection is retried once
+        on a fresh one, a fresh-connection failure propagates."""
+        for attempt in (0, 1):
+            reused = bool(self._idle)
+            if reused:
+                reader, writer = self._idle.pop()
+            else:
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+            try:
+                request = (
+                    f"{method} {path} HTTP/1.1\r\n"
+                    f"Host: {self.host}:{self.port}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: keep-alive\r\n\r\n"
+                ).encode("latin-1") + body
+                writer.write(request)
+                await writer.drain()
+                status, headers, payload = await self._read_response(reader)
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                writer.close()
+                if reused and attempt == 0:
+                    continue  # the worker closed an idle connection
+                raise
+            if headers.get("connection", "").lower() == "close":
+                writer.close()
+            else:
+                self._idle.append((reader, writer))
+            return status, headers, payload
+        raise ConnectionError("unreachable")  # pragma: no cover
+
+    @staticmethod
+    async def _read_response(
+        reader: asyncio.StreamReader,
+    ) -> tuple[int, dict[str, str], bytes]:
+        line = await reader.readline()
+        if not line:
+            raise ConnectionError("worker closed the connection")
+        parts = line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ConnectionError(f"malformed status line {line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            hline = await reader.readline()
+            if hline in (b"\r\n", b"\n"):
+                break
+            if not hline:
+                raise ConnectionError("worker truncated response headers")
+            name, _, value = hline.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0))
+        payload = await reader.readexactly(length) if length else b""
+        return status, headers, payload
+
+    def close(self) -> None:
+        for _, writer in self._idle:
+            writer.close()
+        self._idle.clear()
+
+
+class ClusterRouter:
+    """The consistent-hash routing front end (owns its event loop)."""
+
+    def __init__(
+        self,
+        table: ShardTable,
+        ring: HashRing,
+        *,
+        registry: Any = None,
+        scenarios: dict[str, Any] | None = None,
+        spill: int = 1,
+        breaker_threshold: int = 3,
+        breaker_recovery_s: float = 1.0,
+        request_timeout_s: float = 75.0,
+        probe_timeout_s: float = 5.0,
+        verbose: bool = False,
+    ) -> None:
+        if spill < 0:
+            raise ValueError(f"spill must be >= 0, got {spill}")
+        self.table = table
+        self.ring = ring
+        self.spill = spill
+        self.request_timeout_s = request_timeout_s
+        self.probe_timeout_s = probe_timeout_s
+        self.verbose = verbose
+        self._registry = registry
+        self._scenarios = dict(scenarios or {})
+        self.counters: dict[str, Counter] = {
+            n: Counter() for n in ROUTER_COUNTERS
+        }
+        self.latency = Histogram()
+        self._breakers = BreakerRegistry(
+            failure_threshold=breaker_threshold,
+            recovery_s=breaker_recovery_s,
+        )
+        self._pools: dict[str, _WorkerPool] = {}
+        self._draining = False
+        self._active = 0
+        self._active_lock = threading.Lock()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self.url: str | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self, host: str = "127.0.0.1", port: int = 0) -> "ClusterRouter":
+        if self._loop is not None:
+            raise RuntimeError("router already started")
+        if self._registry is None:
+            from repro.serve.handlers import DEFAULT_REGISTRY
+
+            self._registry = DEFAULT_REGISTRY
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-cluster-router",
+            daemon=True,
+        )
+        self._thread.start()
+
+        async def _bind() -> tuple[str, int]:
+            self._server = await asyncio.start_server(
+                self._handle_conn, host, port
+            )
+            bound = self._server.sockets[0].getsockname()
+            return bound[0], bound[1]
+
+        bound_host, bound_port = asyncio.run_coroutine_threadsafe(
+            _bind(), self._loop
+        ).result(timeout=30)
+        self.url = f"http://{bound_host}:{bound_port}"
+        return self
+
+    def stop(self) -> None:
+        if self._loop is None:
+            return
+
+        async def _teardown() -> None:
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+            for pool in self._pools.values():
+                pool.close()
+            self._pools.clear()
+
+        asyncio.run_coroutine_threadsafe(
+            _teardown(), self._loop
+        ).result(timeout=30)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+        self._server = None
+
+    def begin_drain(self) -> None:
+        """New queries answer 503 + ``Retry-After``; probes keep working."""
+        self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def active_requests(self) -> int:
+        with self._active_lock:
+            return self._active
+
+    def await_quiescence(self, timeout_s: float) -> bool:
+        import time
+
+        deadline = time.monotonic() + timeout_s
+        while self.active_requests() > 0:
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.005)
+        return True
+
+    # -- metrics -------------------------------------------------------------
+
+    def _inc(self, counter: str, n: int = 1) -> None:
+        self.counters[counter].inc(n)
+
+    def router_snapshot(self) -> dict[str, Any]:
+        return {
+            "counters": {n: c.value for n, c in self.counters.items()},
+            "latency_s": self.latency.summary(),
+            "breakers": self._breakers.snapshot(),
+            "draining": self._draining,
+            "spill": self.spill,
+        }
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body = request
+                with self._active_lock:
+                    self._active += 1
+                try:
+                    response = await self._dispatch(method, target, body)
+                except ReproError as exc:
+                    response = self._error_response(exc)
+                except Exception as exc:  # router bug: typed, not bare
+                    response = self._error_response(
+                        ReproError(f"router failure: {exc}")
+                    )
+                finally:
+                    with self._active_lock:
+                        self._active -= 1
+                close = headers.get("connection", "").lower() == "close"
+                status, payload, content_type, retry_after = response
+                writer.write(_response_bytes(
+                    status, payload,
+                    content_type=content_type,
+                    retry_after=retry_after,
+                    keep_alive=not close,
+                ))
+                await writer.drain()
+                if close:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise ConnectionError(f"malformed request line {line!r}")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        for _ in range(200):
+            hline = await reader.readline()
+            if hline in (b"\r\n", b"\n"):
+                break
+            if not hline:
+                raise ConnectionError("client truncated request headers")
+            name, _, value = hline.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0))
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    def _error_response(
+        self, exc: ReproError
+    ) -> tuple[int, bytes, str, float | None]:
+        status = STATUS_BY_CODE.get(exc.code, DEFAULT_ERROR_STATUS)
+        return (
+            status,
+            json.dumps(exc.to_dict()).encode("utf-8"),
+            "application/json",
+            exc.retry_after,
+        )
+
+    @staticmethod
+    def _json(
+        status: int, payload: Any
+    ) -> tuple[int, bytes, str, float | None]:
+        return status, json.dumps(payload).encode("utf-8"), \
+            "application/json", None
+
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, bytes, str, float | None]:
+        parsed = urllib.parse.urlsplit(target)
+        path = parsed.path
+        if method == "POST" and path == "/query":
+            return await self._handle_query(body)
+        if method != "GET":
+            return self._json(
+                404, {"error": f"no such endpoint: {method} {path}"}
+            )
+        if path == "/healthz":
+            return self._json(200, self._health())
+        if path == "/readyz":
+            readiness = await self._readiness()
+            return self._json(200 if readiness["ready"] else 503, readiness)
+        if path == "/metrics":
+            query = urllib.parse.parse_qs(parsed.query)
+            as_text = query.get("format", ["json"])[-1] == "text"
+            aggregated = await self._metrics()
+            if as_text:
+                return (
+                    200,
+                    self._render_cluster_text(aggregated).encode("utf-8"),
+                    "text/plain; charset=utf-8",
+                    None,
+                )
+            return self._json(200, aggregated)
+        if path == "/kinds":
+            return self._json(200, self._registry.describe())
+        if path == "/scenarios":
+            return self._json(200, {
+                name: {
+                    "description": spec.description,
+                    "fingerprint": spec.fingerprint,
+                    "devices": [d.name for d in spec.devices],
+                    "workloads": [w.qualified_name for w in spec.workloads],
+                    "machines": [m.name for m in spec.machines],
+                }
+                for name, spec in sorted(self._scenarios.items())
+            })
+        if path == "/shards":
+            return self._json(200, {
+                "shards": {
+                    str(sid): meta
+                    for sid, meta in self.table.snapshot().items()
+                },
+                "ring": {
+                    "members": list(self.ring.members()),
+                    "vnodes": self.ring.vnodes,
+                    "seed": self.ring.seed,
+                },
+                "spill": self.spill,
+            })
+        return self._json(404, {"error": f"no such endpoint: {path}"})
+
+    # -- the routing path ----------------------------------------------------
+
+    async def _handle_query(
+        self, body: bytes
+    ) -> tuple[int, bytes, str, float | None]:
+        self._inc("requests")
+        if self._draining:
+            self._inc("drain_rejected")
+            return self._error_response(ServiceDraining(
+                "cluster is draining for shutdown; retry later"
+            ))
+        try:
+            request = json.loads(body or b"{}")
+            kind = request["kind"]
+            params = request.get("params") or {}
+            scenario = request.get("scenario")
+        except (ValueError, KeyError, TypeError) as exc:
+            self._inc("invalid")
+            return self._json(400, {"error": f"malformed query request: {exc}"})
+        try:
+            key = routing_key(kind, params, scenario, registry=self._registry)
+        except QueryValidationError as exc:
+            self._inc("invalid")
+            return self._error_response(exc)
+
+        t0 = self._loop.time()
+        preference = self.ring.preference(key, self.spill + 1)
+        skipped: list[str] = []
+        for rank, shard in enumerate(preference):
+            url = self.table.routable(shard, t0)
+            if url is None:
+                info = self.table.get(shard)
+                if info.cooldown_until > t0:
+                    self._inc("cooldown_skipped")
+                    skipped.append(f"shard {shard} cooling down")
+                else:
+                    skipped.append(f"shard {shard} {info.state}")
+                continue
+            breaker = self._breakers.get(f"shard:{shard}")
+            try:
+                breaker.before_call()
+            except CircuitOpen:
+                self._inc("breaker_skipped")
+                skipped.append(f"shard {shard} breaker open")
+                continue
+            try:
+                status, headers, payload = await asyncio.wait_for(
+                    self._pool_for(url).request("POST", "/query", body),
+                    timeout=self.request_timeout_s,
+                )
+            except (ConnectionError, OSError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError) as exc:
+                breaker.record_failure()
+                self._inc("shard_errors")
+                skipped.append(f"shard {shard} unreachable ({exc})")
+                continue
+            breaker.record_success()
+            retry_after = self._retry_after(headers)
+            if status == 503 and self._wire_code(payload) == \
+                    "service_draining":
+                # The shard is going away (graceful restart/shutdown).
+                # Honour its Retry-After as a routing cooldown and let
+                # the next ring neighbour take the query.
+                self.table.set_cooldown(
+                    shard, t0 + (retry_after or 1.0)
+                )
+                skipped.append(f"shard {shard} draining")
+                continue
+            self._inc("routed")
+            if rank > 0:
+                self._inc("spilled")
+            if status == 200:
+                payload = self._annotate(payload, shard, spilled=rank > 0)
+            self.latency.observe(self._loop.time() - t0)
+            return status, payload, "application/json", retry_after
+        self._inc("unroutable")
+        return self._error_response(ShardUnavailable(
+            f"no shard available for this query "
+            f"(tried {len(preference)}: {'; '.join(skipped)})"
+        ))
+
+    @staticmethod
+    def _retry_after(headers: dict[str, str]) -> float | None:
+        raw = headers.get("retry-after")
+        if raw is None:
+            return None
+        try:
+            return float(raw)
+        except ValueError:
+            return None
+
+    @staticmethod
+    def _wire_code(payload: bytes) -> str | None:
+        try:
+            return json.loads(payload).get("code")
+        except (ValueError, AttributeError):
+            return None
+
+    @staticmethod
+    def _annotate(payload: bytes, shard: int, *, spilled: bool) -> bytes:
+        try:
+            parsed = json.loads(payload)
+        except ValueError:
+            return payload
+        parsed["shard"] = shard
+        parsed["spilled"] = spilled
+        return json.dumps(parsed).encode("utf-8")
+
+    def _pool_for(self, url: str) -> _WorkerPool:
+        pool = self._pools.get(url)
+        if pool is None:
+            split = urllib.parse.urlsplit(url)
+            pool = self._pools[url] = _WorkerPool(
+                split.hostname, split.port
+            )
+        return pool
+
+    # -- aggregated observability --------------------------------------------
+
+    def _health(self) -> dict[str, Any]:
+        states = [meta["state"] for meta in self.table.snapshot().values()]
+        return {
+            "ok": True,
+            "role": "cluster-router",
+            "draining": self._draining,
+            "shards_up": states.count("up"),
+            "cluster_size": len(states),
+        }
+
+    async def _fan_out_get(self, path: str) -> dict[int, Any]:
+        """GET ``path`` from every up worker concurrently; a failing
+        worker contributes ``None`` (down shards are reported, not
+        errors)."""
+        now = self._loop.time()
+        targets = {
+            sid: self.table.routable(sid, now)
+            for sid in self.table.shard_ids()
+        }
+
+        async def _one(url: str | None) -> Any:
+            if url is None:
+                return None
+            try:
+                status, _, payload = await asyncio.wait_for(
+                    self._pool_for(url).request("GET", path, b""),
+                    timeout=self.probe_timeout_s,
+                )
+            except (ConnectionError, OSError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError):
+                return None
+            try:
+                return {"status": status, "payload": json.loads(payload)}
+            except ValueError:
+                return None
+
+        results = await asyncio.gather(
+            *(_one(url) for url in targets.values())
+        )
+        return dict(zip(targets.keys(), results))
+
+    async def _readiness(self) -> dict[str, Any]:
+        """Cluster readiness: the router is not draining, every shard
+        is up, and every worker's own ``/readyz`` agrees."""
+        probes = await self._fan_out_get("/readyz")
+        shards = {}
+        all_ready = True
+        for sid, meta in self.table.snapshot().items():
+            probe = probes.get(sid)
+            worker_ready = bool(
+                probe and probe["payload"].get("ready", False)
+            )
+            shard_ready = meta["state"] == "up" and worker_ready
+            all_ready = all_ready and shard_ready
+            shards[str(sid)] = {
+                "state": meta["state"],
+                "restarts": meta["restarts"],
+                "ready": shard_ready,
+                "detail": probe["payload"] if probe else None,
+            }
+        return {
+            "ready": all_ready and not self._draining,
+            "draining": self._draining,
+            "shards": shards,
+        }
+
+    async def _metrics(self) -> dict[str, Any]:
+        probes = await self._fan_out_get("/metrics")
+        shard_metrics = {
+            sid: (probe["payload"] if probe and probe["status"] == 200
+                  else None)
+            for sid, probe in probes.items()
+        }
+        return aggregate_metrics(
+            shard_metrics, self.table.snapshot(), self.router_snapshot()
+        )
+
+    @staticmethod
+    def _render_cluster_text(aggregated: dict[str, Any]) -> str:
+        """The aggregated snapshot as plain-text exposition: cluster
+        lines, router counters, then every live shard's full snapshot
+        under a ``shard="<id>"`` label."""
+        cluster = aggregated["cluster"]
+        agg = aggregated["aggregate"]
+        lines = [
+            f"repro_cluster_size {cluster['size']}",
+            f"repro_cluster_shards_up {cluster['shards_up']}",
+            f"repro_cluster_restarts_total {cluster['restarts']}",
+            f"repro_cluster_qps {agg['qps']:.9g}",
+            f"repro_cluster_requests_total {agg['requests']}",
+            f"repro_cluster_cache_hit_ratio {agg['cache_hit_ratio']:.9g}",
+            f"repro_cluster_p99_seconds {agg['p99_s']:.9g}",
+        ]
+        for name, value in sorted(
+            cluster["router"]["counters"].items()
+        ):
+            lines.append(f"repro_cluster_router_{name}_total {value}")
+        text = "\n".join(lines) + "\n"
+        for sid, entry in sorted(aggregated["shards"].items()):
+            snap = entry.get("metrics")
+            if snap is not None:
+                text += render_text_metrics(snap, labels={"shard": sid})
+        return text

@@ -1,0 +1,109 @@
+"""One cluster worker: a full serve engine owning one shard.
+
+A worker is ``repro-serve`` with a shard identity: the complete engine
+(LRU result cache, substrate cache, scenarios, fault plans, circuit
+breakers, graceful drain) bound to an ephemeral port, announced to the
+supervisor through a parseable stdout banner, and flushing its
+per-shard cache snapshot both periodically and on graceful shutdown —
+the periodic flush is what lets a SIGKILL'd worker reboot *warm* from
+its last checkpoint.
+
+Shared-nothing by construction: workers never talk to each other, and
+the only coordination is the consistent-hash ring the router applies.
+Run directly as ``python -m repro.cluster.worker --shard-id K`` (the
+supervisor does exactly this).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cluster.protocol import worker_banner
+from repro.serve.http import (
+    _flag_value,
+    _float_flag,
+    _int_flag,
+    load_fault_plan_arg,
+    make_server,
+    parse_handler_concurrency,
+    register_scenario_files,
+    restore_snapshot,
+    run_serve_loop,
+)
+
+__all__ = ["main"]
+
+#: How often a worker checkpoints its result cache to the shard
+#: snapshot, absent an explicit ``--snapshot-interval``.  Frequent
+#: enough that a crashed worker's warm boot is minutes-fresh at worst,
+#: cheap enough to be noise (the snapshot is a few KB of JSON).
+DEFAULT_SNAPSHOT_INTERVAL_S = 5.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for one shard worker (spawned by the supervisor)."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    shard_id = _int_flag(args, "--shard-id", -1)
+    if shard_id < 0:
+        raise SystemExit("--shard-id N (>= 0) is required for a cluster worker")
+    host = _flag_value(args, "--host", "a bind address") or "127.0.0.1"
+    port = _int_flag(args, "--port", 0)
+    handler_concurrency = parse_handler_concurrency(args)
+    queue_size = _int_flag(args, "--queue-size", 128)
+    cache_size = _int_flag(args, "--cache-size", 256)
+    scenario_files = []
+    while True:
+        raw = _flag_value(args, "--scenario", "a JSON file argument")
+        if raw is None:
+            break
+        scenario_files.append(raw)
+    fault_plan_file = _flag_value(args, "--fault-plan", "a JSON file argument")
+    timeout = _float_flag(args, "--timeout", 30.0)
+    snapshot_file = _flag_value(
+        args, "--cache-snapshot", "a snapshot file argument"
+    )
+    snapshot_interval = _float_flag(
+        args, "--snapshot-interval", DEFAULT_SNAPSHOT_INTERVAL_S
+    )
+    drain_timeout = _float_flag(args, "--drain-timeout", 10.0)
+    verbose = "--verbose" in args
+    if verbose:
+        args.remove("--verbose")
+    if args:
+        raise SystemExit(
+            f"unknown worker argument {args[0]!r}; "
+            "see python -m repro.cluster.worker --help"
+        )
+    fault_plan = load_fault_plan_arg(fault_plan_file)
+
+    server = make_server(
+        host,
+        port,
+        verbose=verbose,
+        workers=handler_concurrency,
+        max_queue=queue_size,
+        cache_size=cache_size,
+        default_timeout_s=timeout,
+        fault_plan=fault_plan,
+    )
+    # Shard identity rides the worker's own metrics, so even a raw
+    # per-worker /metrics scrape is attributable.
+    server.client.engine.metrics.register_gauge(
+        "shard_id", lambda: float(shard_id)
+    )
+    register_scenario_files(server, scenario_files)
+    if snapshot_file is not None:
+        restore_snapshot(server, snapshot_file)
+    name = f"repro-cluster-worker shard {shard_id}"
+    return run_serve_loop(
+        server,
+        snapshot_file=snapshot_file,
+        drain_timeout=drain_timeout,
+        snapshot_interval=snapshot_interval,
+        name=name,
+        banner=worker_banner(shard_id, server.url),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -38,6 +38,8 @@ __all__ = [
     "StoreError",
     "SnapshotError",
     "ServiceDraining",
+    "ClusterError",
+    "ShardUnavailable",
 ]
 
 
@@ -48,12 +50,23 @@ class ReproError(Exception):
     inherited, so subclasses that do not declare their own share the
     parent's (``QueryValidationError`` without a code would report
     ``serve_error``).  ``to_dict`` is the canonical wire form.
+
+    ``retry_after`` is the retry hint in seconds for rejections that
+    clear with time (load shedding, draining, an open breaker, a shard
+    mid-restart).  It rides both the wire payload and the HTTP
+    ``Retry-After`` header, and clients re-attach it to the exceptions
+    they raise, so in-process and HTTP callers see the same hint —
+    the cluster router leans on it when a shard answers "draining".
     """
 
     code = "repro_error"
+    retry_after: float | None = None
 
     def to_dict(self) -> dict:
-        return {"error": str(self), "code": self.code}
+        out = {"error": str(self), "code": self.code}
+        if self.retry_after is not None:
+            out["retry_after"] = self.retry_after
+        return out
 
 
 class FormatError(ReproError, ValueError):
@@ -129,6 +142,7 @@ class ServiceOverloaded(ServeError):
     """
 
     code = "service_overloaded"
+    retry_after = 1.0
 
 
 class QueryTimeout(ServeError, TimeoutError):
@@ -146,6 +160,7 @@ class CircuitOpen(ServeError):
     """
 
     code = "circuit_open"
+    retry_after = 2.0
 
 
 class FaultInjected(ReproError, RuntimeError):
@@ -197,6 +212,28 @@ class ServiceDraining(ServeError):
     """
 
     code = "service_draining"
+    retry_after = 1.0
+
+
+class ClusterError(ReproError, RuntimeError):
+    """Base class for failures of the :mod:`repro.cluster` layer
+    (supervisor misconfiguration, a worker that never came up, an
+    empty hash ring)."""
+
+    code = "cluster_error"
+
+
+class ShardUnavailable(ClusterError):
+    """No shard could answer: the routed shard and its ring neighbours
+    are all down, draining, or breaker-rejected.
+
+    The cluster router's terminal 503 — spill-over is bounded, so a
+    query whose whole preference list is unavailable is rejected with a
+    retry hint rather than queued indefinitely.
+    """
+
+    code = "shard_unavailable"
+    retry_after = 1.0
 
 
 class PipelineError(ReproError, RuntimeError):

@@ -28,6 +28,7 @@ from repro.errors import (
     ServeError,
     ServiceDraining,
     ServiceOverloaded,
+    ShardUnavailable,
 )
 from repro.serve.engine import QueryEngine, QueryResponse
 
@@ -202,6 +203,7 @@ _ERROR_BY_CODE = {
     "service_overloaded": ServiceOverloaded,
     "circuit_open": CircuitOpen,
     "service_draining": ServiceDraining,
+    "shard_unavailable": ShardUnavailable,
     "query_timeout": QueryTimeout,
 }
 
@@ -214,7 +216,8 @@ _ERROR_BY_STATUS = {
 
 
 class HttpServeClient:
-    """Minimal stdlib HTTP client for a running ``repro-serve`` server."""
+    """Minimal stdlib HTTP client for a running ``repro-serve`` server
+    (single-process or the cluster router — same protocol)."""
 
     def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
         self.base_url = base_url.rstrip("/")
@@ -234,18 +237,33 @@ class HttpServeClient:
         except urllib.error.HTTPError as exc:
             payload = exc.read().decode("utf-8", "replace")
             code = None
+            retry_after = None
             try:
                 parsed = json.loads(payload)
                 message = parsed.get("error", payload)
                 code = parsed.get("code")
+                retry_after = parsed.get("retry_after")
             except (ValueError, AttributeError):
                 message = payload
+            header = exc.headers.get("Retry-After") if exc.headers else None
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    pass
             error_type = _ERROR_BY_CODE.get(code) or _ERROR_BY_STATUS.get(
                 exc.code
             )
             if error_type is not None:
-                raise error_type(message) from None
-            raise ServeError(f"HTTP {exc.code}: {message}") from None
+                err = error_type(message)
+            else:
+                err = ServeError(f"HTTP {exc.code}: {message}")
+            if retry_after is not None:
+                # Uniform surface: the wire hint (header or payload)
+                # lands on the raised exception, exactly like the
+                # in-process path's class default.
+                err.retry_after = retry_after
+            raise err from None
 
     def query(
         self,

@@ -13,7 +13,9 @@ Endpoints (JSON in, JSON out):
   the name of a ``--scenario``-registered one) overlays the evaluation;
 * ``GET /kinds``   — every query kind and its parameter schema;
 * ``GET /scenarios`` — the registered named scenarios;
-* ``GET /metrics`` — the engine's metrics snapshot;
+* ``GET /metrics`` — the engine's metrics snapshot (JSON);
+  ``GET /metrics?format=text`` — the same snapshot as plain-text
+  ``name{labels} value`` exposition lines for scrapers;
 * ``GET /healthz`` — liveness (the loop and HTTP thread are up);
 * ``GET /readyz``  — readiness: breaker states, warm substrates, the
   active fault plan, and the draining flag; HTTP 503 while any breaker
@@ -43,14 +45,23 @@ import json
 import sys
 import threading
 import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from repro.errors import ReproError, ServiceDraining
 
 from repro.serve.client import ServeClient
+from repro.serve.metrics import render_text_metrics
 
-__all__ = ["ServeHTTPServer", "STATUS_BY_CODE", "make_server", "main"]
+__all__ = [
+    "ServeHTTPServer",
+    "STATUS_BY_CODE",
+    "make_server",
+    "main",
+    "run_serve_loop",
+    "parse_handler_concurrency",
+]
 
 #: The one code→HTTP-status table.  Codes absent here answer 500; the
 #: ``code`` field still rides in the payload, so even a 500 is typed.
@@ -61,6 +72,7 @@ STATUS_BY_CODE: dict[str, int] = {
     "service_overloaded": 429,
     "circuit_open": 503,
     "service_draining": 503,
+    "shard_unavailable": 503,
     "query_timeout": 504,
 }
 
@@ -80,6 +92,10 @@ RETRY_AFTER_BY_CODE: dict[str, int] = {
 
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
+    # Small header + body writes otherwise collide with delayed ACK on
+    # the peer (a ~40 ms stall per round trip through the cluster
+    # router's keep-alive connections).
+    disable_nagle_algorithm = True
     server: "ServeHTTPServer"
 
     def _send(
@@ -87,22 +103,33 @@ class _Handler(BaseHTTPRequestHandler):
         status: int,
         payload: dict[str, Any],
         *,
-        retry_after: int | None = None,
+        retry_after: float | None = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         if retry_after is not None:
-            self.send_header("Retry-After", str(retry_after))
+            self.send_header("Retry-After", f"{retry_after:g}")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
     def _send_error(self, exc: ReproError) -> None:
+        retry_after = exc.retry_after
+        if retry_after is None:
+            retry_after = RETRY_AFTER_BY_CODE.get(exc.code)
         self._send(
             STATUS_BY_CODE.get(exc.code, DEFAULT_ERROR_STATUS),
             exc.to_dict(),
-            retry_after=RETRY_AFTER_BY_CODE.get(exc.code),
+            retry_after=retry_after,
         )
 
     def log_message(self, fmt: str, *args: Any) -> None:
@@ -112,13 +139,18 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:
         with self.server.track_request():
             client = self.server.client
+            parsed = urllib.parse.urlsplit(self.path)
             if self.path == "/healthz":
                 self._send(200, client.health())
             elif self.path == "/readyz":
                 readiness = client.readiness()
                 self._send(200 if readiness["ready"] else 503, readiness)
-            elif self.path == "/metrics":
-                self._send(200, client.metrics())
+            elif parsed.path == "/metrics":
+                query = urllib.parse.parse_qs(parsed.query)
+                if query.get("format", ["json"])[-1] == "text":
+                    self._send_text(200, render_text_metrics(client.metrics()))
+                else:
+                    self._send(200, client.metrics())
             elif self.path == "/kinds":
                 self._send(200, client.kinds())
             elif self.path == "/scenarios":
@@ -269,144 +301,117 @@ def _int_flag(args: list[str], flag: str, default: int) -> int:
         raise SystemExit(f"{flag} expects an integer, got {raw!r}")
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Console entry point for ``repro-serve``.
-
-    SIGTERM/SIGINT trigger a graceful drain instead of an abrupt exit:
-    ``/readyz`` flips to 503 and new ``/query`` work is refused with
-    503 + ``Retry-After`` immediately, in-flight queries run to
-    completion under ``--drain-timeout``, the result cache is flushed
-    to ``--cache-snapshot`` (checksummed, durably written), and the
-    process exits 0.  A second signal during the drain is ignored —
-    the drain deadline bounds shutdown either way.
-    """
-    import signal
-
-    args = list(sys.argv[1:] if argv is None else argv)
-    if args and args[0] in ("-h", "--help"):
-        print("usage: repro-serve [--host HOST] [--port PORT] [options]")
-        print("options:")
-        print("  --host HOST        bind address (default 127.0.0.1)")
-        print("  --port PORT        bind port; 0 picks one (default 8077)")
-        print("  --workers N        concurrent handler evaluations (default 4)")
-        print("  --queue-size N     admission-queue bound (default 128)")
-        print("  --cache-size N     result-cache entries (default 256)")
-        print("  --scenario FILE    register a named what-if overlay (repeatable)")
-        print("  --fault-plan FILE  inject a chaos experiment (JSON FaultPlan)")
-        print("  --timeout SECONDS  per-query deadline (default 30)")
-        print("  --cache-snapshot FILE  warm the cache from FILE at startup "
-              "(corrupt = cold start) and flush it back on graceful shutdown")
-        print("  --drain-timeout SECONDS  in-flight grace on SIGTERM/SIGINT "
-              "(default 10)")
-        print("  --verbose          log every request")
-        print("  --version          print the package version and exit")
-        return 0
-    if "--version" in args:
-        from repro import package_version
-
-        print(f"repro-serve {package_version()}")
-        return 0
-    host = _flag_value(args, "--host", "a bind address") or "127.0.0.1"
-    port = _int_flag(args, "--port", 8077)
-    workers = _int_flag(args, "--workers", 4)
-    queue_size = _int_flag(args, "--queue-size", 128)
-    cache_size = _int_flag(args, "--cache-size", 256)
-    scenario_files = []
-    while True:
-        raw = _flag_value(args, "--scenario", "a JSON file argument")
-        if raw is None:
-            break
-        scenario_files.append(raw)
-    fault_plan_file = _flag_value(args, "--fault-plan", "a JSON file argument")
-    timeout_raw = _flag_value(args, "--timeout", "a number of seconds")
-    snapshot_file = _flag_value(
-        args, "--cache-snapshot", "a snapshot file argument"
-    )
-    drain_raw = _flag_value(args, "--drain-timeout", "a number of seconds")
-    verbose = "--verbose" in args
-    if verbose:
-        args.remove("--verbose")
-    if args:
-        raise SystemExit(f"unknown argument {args[0]!r}; see repro-serve --help")
+def _float_flag(args: list[str], flag: str, default: float) -> float:
+    raw = _flag_value(args, flag, "a number of seconds")
+    if raw is None:
+        return default
     try:
-        timeout = float(timeout_raw) if timeout_raw is not None else 30.0
+        return float(raw)
     except ValueError:
-        raise SystemExit(f"--timeout expects a number, got {timeout_raw!r}")
-    try:
-        drain_timeout = float(drain_raw) if drain_raw is not None else 10.0
-    except ValueError:
-        raise SystemExit(
-            f"--drain-timeout expects a number, got {drain_raw!r}"
-        )
-    fault_plan = None
-    if fault_plan_file is not None:
-        from repro.errors import FaultPlanError
-        from repro.resilience import load_fault_plan
+        raise SystemExit(f"{flag} expects a number, got {raw!r}")
 
-        try:
-            fault_plan = load_fault_plan(fault_plan_file)
-        except FaultPlanError as exc:
-            raise SystemExit(f"--fault-plan: {exc}")
 
-    server = make_server(
-        host,
-        port,
-        verbose=verbose,
-        workers=workers,
-        max_queue=queue_size,
-        cache_size=cache_size,
-        default_timeout_s=timeout,
-        fault_plan=fault_plan,
-    )
-    if fault_plan is not None:
+def parse_handler_concurrency(args: list[str], default: int = 4) -> int:
+    """Pop ``--handler-concurrency N`` (or its deprecated ``--workers``
+    alias, with a warning) from ``args``."""
+    concurrency = _int_flag(args, "--handler-concurrency", default)
+    if "--workers" in args:
+        legacy = _int_flag(args, "--workers", default)
         print(
-            f"fault plan {fault_plan.label()!r} armed "
-            f"({fault_plan.fingerprint[:12]}, {len(fault_plan.rules)} rule(s))",
+            "warning: --workers is deprecated (it now means in-process "
+            "handler concurrency, not cluster size); use "
+            "--handler-concurrency N — or --cluster N for a sharded "
+            "worker pool",
+            file=sys.stderr,
             flush=True,
         )
-    if scenario_files:
-        from repro.errors import ScenarioError
-        from repro.scenario import load_scenario
+        concurrency = legacy
+    return concurrency
 
-        for path in scenario_files:
-            try:
-                spec = server.client.engine.register_scenario(
-                    load_scenario(path)
-                )
-            except ScenarioError as exc:
-                server.shutdown()
-                server.server_close()
-                server.client.close()
-                raise SystemExit(f"--scenario {path}: {exc}")
-            print(
-                f"registered scenario {spec.name!r} "
-                f"({spec.fingerprint[:12]})",
-                flush=True,
-            )
-    if snapshot_file is not None:
-        import os
 
-        from repro.errors import SnapshotError
+def load_fault_plan_arg(path: str | None):
+    """``--fault-plan`` parsing shared by serve and cluster workers."""
+    if path is None:
+        return None
+    from repro.errors import FaultPlanError
+    from repro.resilience import load_fault_plan
 
-        if os.path.exists(snapshot_file):
-            try:
-                restored = server.client.load_cache_snapshot(snapshot_file)
-            except SnapshotError as exc:
-                # Cold start, by contract: warmth is optional, crashing
-                # on a damaged snapshot is not.
-                print(f"cache snapshot rejected, starting cold: {exc}",
-                      flush=True)
-            else:
-                print(
-                    f"cache warmed from {snapshot_file} "
-                    f"({restored} entries)",
-                    flush=True,
-                )
+    try:
+        return load_fault_plan(path)
+    except FaultPlanError as exc:
+        raise SystemExit(f"--fault-plan: {exc}")
+
+
+def register_scenario_files(server: ServeHTTPServer,
+                            scenario_files: list[str]) -> None:
+    """Register each ``--scenario`` file on the server's engine,
+    tearing the server down on a bad spec."""
+    if not scenario_files:
+        return
+    from repro.errors import ScenarioError
+    from repro.scenario import load_scenario
+
+    for path in scenario_files:
+        try:
+            spec = server.client.engine.register_scenario(load_scenario(path))
+        except ScenarioError as exc:
+            server.shutdown()
+            server.server_close()
+            server.client.close()
+            raise SystemExit(f"--scenario {path}: {exc}")
+        print(
+            f"registered scenario {spec.name!r} ({spec.fingerprint[:12]})",
+            flush=True,
+        )
+
+
+def restore_snapshot(server: ServeHTTPServer, snapshot_file: str) -> None:
+    """Warm the cache from ``snapshot_file`` if it exists; a damaged
+    snapshot is reported and ignored (cold start, never a crash)."""
+    import os
+
+    from repro.errors import SnapshotError
+
+    if os.path.exists(snapshot_file):
+        try:
+            restored = server.client.load_cache_snapshot(snapshot_file)
+        except SnapshotError as exc:
+            # Cold start, by contract: warmth is optional, crashing
+            # on a damaged snapshot is not.
+            print(f"cache snapshot rejected, starting cold: {exc}",
+                  flush=True)
         else:
             print(
-                f"no cache snapshot at {snapshot_file}, starting cold",
+                f"cache warmed from {snapshot_file} ({restored} entries)",
                 flush=True,
             )
+    else:
+        print(f"no cache snapshot at {snapshot_file}, starting cold",
+              flush=True)
+
+
+def run_serve_loop(
+    server: ServeHTTPServer,
+    *,
+    snapshot_file: str | None,
+    drain_timeout: float,
+    snapshot_interval: float = 0.0,
+    name: str = "repro-serve",
+    banner: str | None = None,
+) -> int:
+    """Serve until SIGTERM/SIGINT, then drain gracefully and exit 0.
+
+    The run loop shared by the single-process front end and every
+    cluster worker: install the signal handlers, announce the bound
+    address (``banner`` overrides the default ``"<name> listening on
+    <url>"`` line — the cluster supervisor parses it), optionally flush
+    the cache snapshot every ``snapshot_interval`` seconds so a
+    SIGKILL'd worker still reboots warm from its last flush, and on the
+    first signal run the drain sequence: refuse new work, wait for
+    in-flight queries and their HTTP handler threads, flush the final
+    snapshot, exit cleanly.
+    """
+    import signal
 
     shutdown_requested = threading.Event()
 
@@ -423,10 +428,29 @@ def main(argv: list[str] | None = None) -> int:
     signal.signal(signal.SIGINT, _request_shutdown)
 
     serve_thread = threading.Thread(
-        target=server.serve_forever, name="repro-serve-http", daemon=True
+        target=server.serve_forever, name=f"{name}-http", daemon=True
     )
     serve_thread.start()
-    print(f"repro-serve listening on {server.url}", flush=True)
+    print(banner or f"{name} listening on {server.url}", flush=True)
+
+    if snapshot_file is not None and snapshot_interval > 0:
+        # Periodic warm-boot insurance: a SIGKILL'd process never runs
+        # its drain sequence, so the snapshot it reboots from is the
+        # last periodic flush, not the graceful one.
+        def _flush_periodically() -> None:
+            while not shutdown_requested.wait(snapshot_interval):
+                try:
+                    server.client.save_cache_snapshot(snapshot_file)
+                except ReproError as exc:
+                    print(f"periodic cache snapshot failed: {exc}",
+                          flush=True)
+
+        threading.Thread(
+            target=_flush_periodically,
+            name=f"{name}-snapshot",
+            daemon=True,
+        ).start()
+
     shutdown_requested.wait()
 
     # The drain sequence: refuse new work first, then wait for what is
@@ -465,8 +489,110 @@ def main(argv: list[str] | None = None) -> int:
     serve_thread.join()
     server.server_close()
     server.client.close()
-    print("repro-serve exited cleanly", flush=True)
+    print(f"{name} exited cleanly", flush=True)
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console entry point for ``repro-serve``.
+
+    ``--cluster N`` hands the whole invocation to the sharded
+    multi-worker front end (:mod:`repro.cluster.cli`).  Otherwise one
+    process serves directly, and SIGTERM/SIGINT trigger a graceful
+    drain instead of an abrupt exit: ``/readyz`` flips to 503 and new
+    ``/query`` work is refused with 503 + ``Retry-After`` immediately,
+    in-flight queries run to completion under ``--drain-timeout``, the
+    result cache is flushed to ``--cache-snapshot`` (checksummed,
+    durably written), and the process exits 0.  A second signal during
+    the drain is ignored — the drain deadline bounds shutdown either
+    way.
+    """
+    args = list(sys.argv[1:] if argv is None else argv)
+    if "--cluster" in args:
+        from repro.cluster.cli import main as cluster_main
+
+        return cluster_main(args)
+    if args and args[0] in ("-h", "--help"):
+        print("usage: repro-serve [--host HOST] [--port PORT] [options]")
+        print("options:")
+        print("  --host HOST        bind address (default 127.0.0.1)")
+        print("  --port PORT        bind port; 0 picks one (default 8077)")
+        print("  --cluster N        serve through N sharded worker processes")
+        print("                     (consistent-hash routed; see below)")
+        print("  --handler-concurrency N  concurrent handler evaluations "
+              "(default 4)")
+        print("  --workers N        deprecated alias of --handler-concurrency")
+        print("  --queue-size N     admission-queue bound (default 128)")
+        print("  --cache-size N     result-cache entries (default 256)")
+        print("  --scenario FILE    register a named what-if overlay (repeatable)")
+        print("  --fault-plan FILE  inject a chaos experiment (JSON FaultPlan)")
+        print("  --timeout SECONDS  per-query deadline (default 30)")
+        print("  --cache-snapshot FILE  warm the cache from FILE at startup "
+              "(corrupt = cold start) and flush it back on graceful shutdown")
+        print("  --snapshot-interval SECONDS  also flush the cache snapshot "
+              "periodically (0 disables; default 0)")
+        print("  --drain-timeout SECONDS  in-flight grace on SIGTERM/SIGINT "
+              "(default 10)")
+        print("  --verbose          log every request")
+        print("  --version          print the package version and exit")
+        print("cluster mode accepts the same options plus --snapshot-dir, "
+              "--spill, and --ring-seed; see repro-serve --cluster 2 --help")
+        return 0
+    if "--version" in args:
+        from repro import package_version
+
+        print(f"repro-serve {package_version()}")
+        return 0
+    host = _flag_value(args, "--host", "a bind address") or "127.0.0.1"
+    port = _int_flag(args, "--port", 8077)
+    handler_concurrency = parse_handler_concurrency(args)
+    queue_size = _int_flag(args, "--queue-size", 128)
+    cache_size = _int_flag(args, "--cache-size", 256)
+    scenario_files = []
+    while True:
+        raw = _flag_value(args, "--scenario", "a JSON file argument")
+        if raw is None:
+            break
+        scenario_files.append(raw)
+    fault_plan_file = _flag_value(args, "--fault-plan", "a JSON file argument")
+    timeout = _float_flag(args, "--timeout", 30.0)
+    snapshot_file = _flag_value(
+        args, "--cache-snapshot", "a snapshot file argument"
+    )
+    snapshot_interval = _float_flag(args, "--snapshot-interval", 0.0)
+    drain_timeout = _float_flag(args, "--drain-timeout", 10.0)
+    verbose = "--verbose" in args
+    if verbose:
+        args.remove("--verbose")
+    if args:
+        raise SystemExit(f"unknown argument {args[0]!r}; see repro-serve --help")
+    fault_plan = load_fault_plan_arg(fault_plan_file)
+
+    server = make_server(
+        host,
+        port,
+        verbose=verbose,
+        workers=handler_concurrency,
+        max_queue=queue_size,
+        cache_size=cache_size,
+        default_timeout_s=timeout,
+        fault_plan=fault_plan,
+    )
+    if fault_plan is not None:
+        print(
+            f"fault plan {fault_plan.label()!r} armed "
+            f"({fault_plan.fingerprint[:12]}, {len(fault_plan.rules)} rule(s))",
+            flush=True,
+        )
+    register_scenario_files(server, scenario_files)
+    if snapshot_file is not None:
+        restore_snapshot(server, snapshot_file)
+    return run_serve_loop(
+        server,
+        snapshot_file=snapshot_file,
+        drain_timeout=drain_timeout,
+        snapshot_interval=snapshot_interval,
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

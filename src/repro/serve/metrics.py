@@ -15,7 +15,7 @@ import time
 from collections import deque
 from typing import Any, Callable
 
-__all__ = ["Counter", "Gauge", "Histogram", "Metrics"]
+__all__ = ["Counter", "Gauge", "Histogram", "Metrics", "render_text_metrics"]
 
 
 class Counter:
@@ -185,3 +185,65 @@ class Metrics:
             },
             "batch_size": self.batch_size.summary(),
         }
+
+
+def _labelset(labels: dict[str, str] | None) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _summary_lines(
+    name: str, summary: dict[str, Any], labels: dict[str, str] | None
+) -> list[str]:
+    lines = [f"{name}_count{_labelset(labels)} {summary['count']}"]
+    for stat in ("mean", "max"):
+        lines.append(f"{name}_{stat}{_labelset(labels)} {summary[stat]:.9g}")
+    for quantile in ("p50", "p95", "p99"):
+        qlabels = dict(labels or {})
+        qlabels["quantile"] = f"0.{quantile[1:]}"
+        lines.append(f"{name}{_labelset(qlabels)} {summary[quantile]:.9g}")
+    return lines
+
+
+def render_text_metrics(
+    snapshot: dict[str, Any],
+    *,
+    labels: dict[str, str] | None = None,
+    prefix: str = "repro_serve",
+) -> str:
+    """One :meth:`Metrics.snapshot` as plain-text exposition lines.
+
+    Prometheus-style ``name{labels} value`` lines (counters get a
+    ``_total`` suffix, latency summaries expose quantile labels), so
+    load tests and CI scrape ``GET /metrics?format=text`` instead of
+    parsing logs.  ``labels`` ride every line — the cluster's
+    aggregated view renders each shard's snapshot under
+    ``shard="<id>"``."""
+    lines: list[str] = []
+    lines.append(
+        f"{prefix}_uptime_seconds{_labelset(labels)} "
+        f"{snapshot['uptime_s']:.9g}"
+    )
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        lines.append(f"{prefix}_{name}_total{_labelset(labels)} {value}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        lines.append(f"{prefix}_{name}{_labelset(labels)} {value:.9g}")
+    for name, value in sorted(snapshot.get("derived", {}).items()):
+        lines.append(f"{prefix}_{name}{_labelset(labels)} {value:.9g}")
+    if "latency_s" in snapshot:
+        lines.extend(_summary_lines(
+            f"{prefix}_latency_seconds", snapshot["latency_s"], labels
+        ))
+    for kind, summary in sorted(snapshot.get("latency_s_by_kind", {}).items()):
+        kind_labels = dict(labels or {})
+        kind_labels["kind"] = kind
+        lines.extend(_summary_lines(
+            f"{prefix}_latency_seconds", summary, kind_labels
+        ))
+    if "batch_size" in snapshot:
+        lines.extend(_summary_lines(
+            f"{prefix}_batch_size", snapshot["batch_size"], labels
+        ))
+    return "\n".join(lines) + "\n"

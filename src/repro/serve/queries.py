@@ -135,7 +135,10 @@ class QueryKind:
             return self.params_type(**raw)
         except QueryValidationError:
             raise
-        except (TypeError, ValueError) as exc:
+        except (TypeError, ValueError, AttributeError) as exc:
+            # AttributeError covers wrong-typed values hitting methods
+            # inside __post_init__ validators (e.g. an int where a
+            # device name belongs) — still the caller's bad input.
             raise QueryValidationError(f"{self.name}: {exc}") from exc
 
     def substrate_seeds(self) -> tuple[tuple[str, int | None], ...]:
