@@ -1,0 +1,144 @@
+"""Gate the vectorized sweep kernels: exact parity and a speedup floor.
+
+The tentpole claim of :mod:`repro.analysis.arrays` is twofold: the
+machines x mixes x speedups sweep evaluates bit-identically to the
+scalar per-point path, and it does so at least an order of magnitude
+faster.  This module measures both over a dense plane (the paper's four
+machines plus seeded synthetic domain mixes) and *asserts* them, so the
+benchmark run is the gate, not just a number.
+
+Quick mode (``REPRO_VEC_BENCH_QUICK=1``) shrinks the plane and relaxes
+the floor to >=3x for noisy shared CI runners; the parity assertion is
+identical in both modes.
+"""
+
+import math
+import os
+import random
+import time
+
+from repro.analysis.arrays import SweepGrid
+from repro.extrapolate import (
+    DomainWorkload,
+    NodeHourModel,
+    amdahl_time_fraction,
+    build_machine,
+)
+
+QUICK = os.environ.get("REPRO_VEC_BENCH_QUICK", "") not in ("", "0")
+
+#: Plane size and floor: (synthetic mixes, finite speedup points, floor).
+N_SYNTHETIC = 8 if QUICK else 32
+N_SPEEDUPS = 48 if QUICK else 192
+SPEEDUP_FLOOR = 3.0 if QUICK else 10.0
+TIMING_REPS = 3 if QUICK else 5
+SEED = 20210517  # shared with the serve load benchmark
+
+
+def _synthetic_mixes(count: int) -> list[NodeHourModel]:
+    """Seeded random domain mixes of varying width (3-10 domains)."""
+    rng = random.Random(SEED)
+    mixes = []
+    for m in range(count):
+        n = rng.randint(3, 10)
+        raw = [rng.uniform(0.05, 1.0) for _ in range(n)]
+        total = sum(raw)
+        domains = tuple(
+            DomainWorkload(
+                f"d{m}_{i}",
+                raw[i] / total,
+                f"rep{i}",
+                rng.uniform(0.0, 1.0),
+            )
+            for i in range(n)
+        )
+        mixes.append(
+            NodeHourModel(
+                f"synthetic_{m}",
+                domains,
+                total_node_hours=rng.uniform(1e5, 1e7),
+            )
+        )
+    return mixes
+
+
+def _sweep_plane():
+    models = [
+        build_machine(n) for n in ("k_computer", "anl", "future", "fugaku")
+    ]
+    models += _synthetic_mixes(N_SYNTHETIC)
+    speedups = [
+        1.0 + 63.0 * i / (N_SPEEDUPS - 1) for i in range(N_SPEEDUPS)
+    ] + [math.inf]
+    return models, speedups
+
+
+def _scalar_sweep(models, speedups):
+    """The pre-vectorization hot loop, verbatim: scalar Amdahl per point."""
+    out = []
+    for model in models:
+        row = []
+        for s in speedups:
+            consumed = sum(
+                d.share * amdahl_time_fraction(d.accelerable, s)
+                for d in model.domains
+            )
+            row.append(
+                (
+                    consumed,
+                    1.0 - consumed,
+                    math.inf if consumed == 0.0 else 1.0 / consumed,
+                    model.total_node_hours * (1.0 - consumed),
+                )
+            )
+        out.append(row)
+    return out
+
+
+def _time(fn, reps: int) -> float:
+    best = math.inf
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_vectorized_sweep_parity_and_speedup():
+    models, speedups = _sweep_plane()
+    n_points = len(models) * len(speedups)
+
+    reference = _scalar_sweep(models, speedups)
+    result = SweepGrid.from_models(models, speedups).evaluate()
+
+    # -- parity gate: every cell of every tensor, exact ---------------------
+    for m in range(len(models)):
+        for i in range(len(speedups)):
+            consumed, reduction, throughput, saved = reference[m][i]
+            assert float(result.consumed_fraction[m, i]) == consumed
+            assert float(result.reduction[m, i]) == reduction
+            assert float(result.throughput_improvement[m, i]) == throughput
+            assert float(result.node_hours_saved[m, i]) == saved
+
+    # -- speedup gate -------------------------------------------------------
+    scalar_s = _time(lambda: _scalar_sweep(models, speedups), TIMING_REPS)
+    vector_s = _time(
+        lambda: SweepGrid.from_models(models, speedups).evaluate(),
+        TIMING_REPS,
+    )
+    speedup = scalar_s / vector_s
+    print(
+        f"\nvectorized sweep: {len(models)} machines x {len(speedups)} "
+        f"speedups = {n_points} points; scalar {scalar_s * 1e3:.2f} ms, "
+        f"vectorized {vector_s * 1e3:.2f} ms, speedup {speedup:.1f}x "
+        f"(floor {SPEEDUP_FLOOR:.0f}x, quick={QUICK})"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"vectorized sweep only {speedup:.1f}x over scalar "
+        f"(floor {SPEEDUP_FLOOR}x on {n_points} points)"
+    )
+
+
+if __name__ == "__main__":
+    test_vectorized_sweep_parity_and_speedup()
+    print("bench_vectorized: parity and speedup gates passed")

@@ -10,8 +10,15 @@ argument: reclaiming the Tensor Cores' area buys almost nothing because
 the FPUs already saturate the TDP.
 """
 
+from repro.analysis.arrays import (
+    SweepGrid,
+    SweepResult,
+    amdahl_grid,
+    consumed_fraction_grid,
+)
 from repro.analysis.costbenefit import (
     CostBenefitReport,
+    assess_grid,
     assess_machine,
     assess_scenario,
     me_speedup_estimate,
@@ -33,9 +40,14 @@ from repro.analysis.scaling import ScalingPoint, hpl_strong_scaling
 __all__ = [
     "ScalingPoint",
     "hpl_strong_scaling",
+    "SweepGrid",
+    "SweepResult",
+    "amdahl_grid",
+    "consumed_fraction_grid",
     "CostBenefitReport",
     "assess_scenario",
     "assess_machine",
+    "assess_grid",
     "me_speedup_estimate",
     "DarkSiliconReport",
     "dark_silicon_analysis",

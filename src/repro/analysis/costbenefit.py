@@ -1,9 +1,19 @@
-"""Machine-level cost-benefit assessment of adding a matrix engine."""
+"""Machine-level cost-benefit assessment of adding a matrix engine.
+
+The scalar entry points (:func:`assess_scenario`, :func:`assess_machine`)
+assess one (machine, speedup) pair; :func:`assess_grid` assesses a whole
+machines x ME-speedups plane through the vectorized kernel layer
+(:mod:`repro.analysis.arrays`) in one broadcast evaluation, returning
+the same :class:`CostBenefitReport` objects bit-identically — the
+scalar API is a one-cell view of the grid one.
+"""
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.errors import DeviceError
 from repro.extrapolate.model import NodeHourModel
@@ -12,9 +22,11 @@ from repro.hardware.specs import DeviceSpec
 
 __all__ = [
     "me_speedup_estimate",
+    "me_speedup_grid",
     "CostBenefitReport",
     "assess_scenario",
     "assess_machine",
+    "assess_grid",
 ]
 
 
@@ -32,6 +44,30 @@ def me_speedup_estimate(
         )
     vector = spec.peak(fmt, allow_matrix=False)
     return me.peak(fmt) / vector
+
+
+def me_speedup_grid(
+    device: DeviceSpec | str, fmts: Sequence[str]
+) -> list[float]:
+    """:func:`me_speedup_estimate` for a whole format axis at once.
+
+    The ME/vector peak ratios evaluate as one elementwise array quotient;
+    each entry equals the scalar estimate exactly (same two peaks, same
+    single division).  Any format the engine cannot run raises the scalar
+    path's :class:`~repro.errors.DeviceError` before anything computes.
+    """
+    spec = get_device(device) if isinstance(device, str) else device
+    me = spec.matrix_engine
+    for fmt in fmts:
+        if me is None or not me.supports(fmt):
+            raise DeviceError(
+                f"{spec.name} has no matrix engine supporting {fmt!r}"
+            )
+    me_peaks = np.array([me.peak(f) for f in fmts], dtype=np.float64)
+    vector_peaks = np.array(
+        [spec.peak(f, allow_matrix=False) for f in fmts], dtype=np.float64
+    )
+    return [float(r) for r in me_peaks / vector_peaks]
 
 
 @dataclass(frozen=True)
@@ -73,15 +109,64 @@ def assess_scenario(
     *,
     me_speedup: float = 4.0,
 ) -> CostBenefitReport:
-    """Run the paper's cost-benefit arithmetic on one machine."""
-    return CostBenefitReport(
-        machine=scenario.name,
-        me_speedup=me_speedup,
-        node_hour_reduction=scenario.reduction(me_speedup),
-        node_hour_reduction_ideal=scenario.reduction(math.inf),
-        throughput_improvement=scenario.throughput_improvement(me_speedup),
-        node_hours_saved=scenario.node_hours_saved(me_speedup),
-    )
+    """Run the paper's cost-benefit arithmetic on one machine.
+
+    A one-cell view of :func:`assess_grid` — the report's floats come
+    from the same vectorized kernels, bit-identically.
+    """
+    return assess_grid((scenario,), me_speedups=(me_speedup,))[0][0]
+
+
+def assess_grid(
+    scenarios: Sequence[NodeHourModel | str],
+    *,
+    me_speedups: Sequence[float] = (4.0,),
+) -> list[list[CostBenefitReport]]:
+    """Assess a whole machines x ME-speedups plane in one evaluation.
+
+    ``scenarios`` may mix built :class:`NodeHourModel` mixes and wire
+    names (resolved through :func:`repro.extrapolate.build_machine`
+    under the active scenario overlay).  Returns one row of
+    :class:`CostBenefitReport` views per machine, one column per entry
+    of ``me_speedups`` — ``result[m][s]`` is bit-identical to
+    ``assess_scenario(scenarios[m], me_speedup=me_speedups[s])``.
+
+    The ideal (infinitely fast) engine column every report carries is
+    folded into the same grid evaluation, so the full Fig. 4-style
+    sweep is a handful of broadcast operations regardless of plane
+    size.
+    """
+    from repro.analysis.arrays import SweepGrid, _ensure_inf_column
+
+    models = []
+    for scenario in scenarios:
+        if isinstance(scenario, str):
+            from repro.extrapolate import build_machine
+
+            scenario = build_machine(scenario)
+        models.append(scenario)
+    speedups, inf_col = _ensure_inf_column(me_speedups)
+    result = SweepGrid.from_models(models, speedups).evaluate()
+    reports = []
+    for m, model in enumerate(models):
+        row = []
+        for s, me_speedup in enumerate(me_speedups):
+            row.append(
+                CostBenefitReport(
+                    machine=model.name,
+                    me_speedup=float(me_speedup),
+                    node_hour_reduction=float(result.reduction[m, s]),
+                    node_hour_reduction_ideal=float(
+                        result.reduction[m, inf_col]
+                    ),
+                    throughput_improvement=float(
+                        result.throughput_improvement[m, s]
+                    ),
+                    node_hours_saved=float(result.node_hours_saved[m, s]),
+                )
+            )
+        reports.append(row)
+    return reports
 
 
 def assess_machine(name: str, *, me_speedup: float = 4.0) -> CostBenefitReport:

@@ -20,9 +20,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.blas import ProcessGrid, pdgetrf
+from repro.blas.stub import zero_stub
 from repro.errors import ScenarioError
 from repro.extrapolate.model import amdahl_time_fraction
 from repro.hardware.specs import DeviceSpec
@@ -47,10 +47,6 @@ class ScalingPoint:
     def me_reduction(self, me_speedup: float = 4.0) -> float:
         """Runtime saving an ME of ``me_speedup`` buys at this scale."""
         return 1.0 - amdahl_time_fraction(self.accelerable_fraction, me_speedup)
-
-
-def _dummy(n: int) -> np.ndarray:
-    return np.broadcast_to(np.zeros(1), (n, n))
 
 
 def hpl_strong_scaling(
@@ -78,7 +74,7 @@ def hpl_strong_scaling(
         prof = Profiler()
         sim = SimulatedDevice(spec, comm_bps=network_bps)
         with execution_context(sim, profiler=prof, compute_numerics=False):
-            pdgetrf(_dummy(n), ProcessGrid(root, root, block=block))
+            pdgetrf(zero_stub(n), ProcessGrid(root, root, block=block))
         rank_time = sim.elapsed
         fractions = prof.fractions()
         gemm = fractions[RegionClass.GEMM]

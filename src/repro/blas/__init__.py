@@ -18,6 +18,7 @@ Routine naming follows BLAS conventions: a precision prefix (``d``, ``s``,
 """
 
 from repro.blas.dispatch import execute_kernel, routine_name
+from repro.blas.stub import zero_stub
 from repro.blas.level1 import axpy, asum, copy, dot, nrm2, scal
 from repro.blas.level2 import gemv, ger, trsv
 from repro.blas.level3 import gemm, syrk, trsm
@@ -27,6 +28,7 @@ from repro.blas.scalapack import ProcessGrid, pdgemm, pdgetrf
 __all__ = [
     "execute_kernel",
     "routine_name",
+    "zero_stub",
     "axpy",
     "asum",
     "copy",

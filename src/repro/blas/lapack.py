@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.blas.dispatch import as_matrix, execute_kernel, routine_name
 from repro.blas.level3 import gemm, trsm, syrk
+from repro.blas.stub import zero_stub
 from repro.errors import DispatchError
 from repro.sim.context import current_context
 from repro.sim.kernels import KernelKind, KernelLaunch
@@ -121,8 +122,8 @@ def getrf(
                     work[j : j + jb, j + jb :] = u12
                 else:
                     trsm(
-                        _dummy(jb, jb),
-                        _dummy(jb, n - j - jb),
+                        zero_stub(jb, jb),
+                        zero_stub(jb, n - j - jb),
                         side="left",
                         lower=True,
                         unit_diagonal=True,
@@ -142,22 +143,13 @@ def getrf(
                     work[j + jb :, j + jb :] = upd
                 else:
                     gemm(
-                        _dummy(m - j - jb, jb),
-                        _dummy(jb, n - j - jb),
+                        zero_stub(m - j - jb, jb),
+                        zero_stub(jb, n - j - jb),
                         fmt=fmt,
                     )
     if not numerics:
         return None, None
     return work, piv
-
-
-class _dummy(np.ndarray):
-    """Shape-only stand-in matrix (no data touched when numerics are off)."""
-
-    def __new__(cls, m: int, n: int):
-        # A broadcast view of a single zero: correct shape, ~zero memory.
-        base = np.broadcast_to(np.zeros(1), (m, n))
-        return base.view(cls)
 
 
 def getrs(
@@ -186,9 +178,9 @@ def getrs(
         else:
             n_rhs = bm.shape[1]
             n = lum.shape[0]
-            trsm(_dummy(n, n), _dummy(n, n_rhs), side="left", lower=True,
+            trsm(zero_stub(n, n), zero_stub(n, n_rhs), side="left", lower=True,
                  unit_diagonal=True, fmt=fmt)
-            trsm(_dummy(n, n), _dummy(n, n_rhs), side="left", lower=False, fmt=fmt)
+            trsm(zero_stub(n, n), zero_stub(n, n_rhs), side="left", lower=False, fmt=fmt)
             x = None
     if x is None:
         return None
@@ -203,7 +195,7 @@ def gesv(
         lu, piv = getrf(a, block=block, fmt=fmt)
         if lu is None:
             n = as_matrix(a, "a").shape[0]
-            getrs(_dummy(n, n), np.arange(n), b, fmt=fmt)
+            getrs(zero_stub(n, n), np.arange(n), b, fmt=fmt)
             return None
         return getrs(lu, piv, b, fmt=fmt)
 
@@ -262,9 +254,9 @@ def potrf(
                     )
                     work[j + jb :, j + jb :] = c22
                 else:
-                    trsm(_dummy(jb, jb), _dummy(jb, n - j - jb),
+                    trsm(zero_stub(jb, jb), zero_stub(jb, n - j - jb),
                          side="left", lower=False, fmt=fmt)
-                    syrk(_dummy(n - j - jb, jb), fmt=fmt)
+                    syrk(zero_stub(n - j - jb, jb), fmt=fmt)
     if not numerics:
         return None
     return np.tril(work)

@@ -1,0 +1,24 @@
+"""Zero-FLOP stand-in matrices for shape-only (non-numeric) runs.
+
+When ``compute_numerics`` is off, the instrumented BLAS only needs
+operand *shapes* to price and profile a kernel — the data is never
+touched.  :func:`zero_stub` is the one shared way to make such an
+operand: a broadcast view of a single zero with the right shape and
+effectively no memory, used by the harness figure/table generators, the
+strong-scaling sweep, and the blocked LAPACK routines alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["zero_stub"]
+
+
+def zero_stub(m: int, n: int | None = None) -> np.ndarray:
+    """An ``(m, n)`` (square when ``n`` is omitted) zero matrix view.
+
+    The result is read-only and aliases one float — callers must treat
+    it as an opaque shape carrier, never write to it.
+    """
+    return np.broadcast_to(np.zeros(1), (m, m if n is None else n))

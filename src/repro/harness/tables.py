@@ -8,6 +8,7 @@ like the paper's table.
 from __future__ import annotations
 
 from repro import blas
+from repro.blas.stub import zero_stub
 from repro.dl import model_names, profile_mixed_precision
 from repro.hardware.registry import get_device, table_i_survey
 from repro.harness.textfmt import na, render_table
@@ -72,7 +73,7 @@ def table_ii(n: int = 5000, reps: int = 30) -> dict:
             ) as ctx:
                 for _ in range(reps):
                     blas.gemm(
-                        _dummy(n, n), _dummy(n, n), fmt=fmt
+                        zero_stub(n, n), zero_stub(n, n), fmt=fmt
                     )
                 walltime = ctx.device.elapsed
                 energy = ctx.device.energy
@@ -95,12 +96,6 @@ def table_ii(n: int = 5000, reps: int = 30) -> dict:
         "E5-2650v4 (n=5000, 30 reps)",
     )
     return {"rows": rows, "text": text}
-
-
-def _dummy(m: int, n: int):
-    import numpy as np
-
-    return np.broadcast_to(np.zeros(1), (m, n))
 
 
 def table_iii() -> dict:

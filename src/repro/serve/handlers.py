@@ -23,7 +23,12 @@ import math
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.analysis.costbenefit import assess_scenario, me_speedup_estimate
+from repro.analysis.costbenefit import (
+    assess_grid,
+    assess_scenario,
+    me_speedup_estimate,
+    me_speedup_grid,
+)
 from repro.errors import DeviceError, QueryValidationError
 from repro.extrapolate.model import NodeHourModel
 from repro.errors import ScenarioError
@@ -102,14 +107,36 @@ class CostBenefitParams:
         _check_speedup(self.me_speedup, "me_speedup")
 
 
-def handle_costbenefit(params: CostBenefitParams) -> Any:
-    report = assess_scenario(
-        _scenario(params.scenario), me_speedup=params.me_speedup
-    )
+def _costbenefit_answer(report: Any) -> Any:
     answer = to_jsonable(report)
     answer["worthwhile"] = report.worthwhile
     answer["verdict"] = report.verdict()
     return answer
+
+
+def handle_costbenefit(params: CostBenefitParams) -> Any:
+    report = assess_scenario(
+        _scenario(params.scenario), me_speedup=params.me_speedup
+    )
+    return _costbenefit_answer(report)
+
+
+def handle_costbenefit_batch(
+    params: CostBenefitParams, me_speedups: tuple[float, ...]
+) -> dict[float, Any]:
+    """Assess a whole ME-speedup sweep as one vectorized grid evaluation.
+
+    The reports come from :func:`repro.analysis.assess_grid`, whose
+    kernels are bit-identical to the scalar path — batching changes
+    *when* work happens, never the bytes that come back.
+    """
+    reports = assess_grid(
+        (_scenario(params.scenario),), me_speedups=me_speedups
+    )[0]
+    return {
+        s: _costbenefit_answer(report)
+        for s, report in zip(me_speedups, reports)
+    }
 
 
 # -- node_hours (batchable) -------------------------------------------------
@@ -147,13 +174,30 @@ def handle_node_hours(params: NodeHoursParams) -> Any:
 def handle_node_hours_batch(
     params: NodeHoursParams, speedups: tuple[float, ...]
 ) -> dict[float, Any]:
-    """Answer a whole speedup sweep with one scenario construction.
+    """Answer a whole speedup sweep as one vectorized grid evaluation.
 
-    The arithmetic per point is the scalar path's exactly — batching
-    changes *when* work happens, never the bytes that come back.
+    One scenario construction, one :class:`~repro.analysis.SweepGrid`
+    kernel pass over every requested speedup.  The kernels are
+    bit-identical to the scalar path — batching changes *when* work
+    happens, never the bytes that come back.
     """
     scenario = _scenario(params.scenario)
-    return {s: _node_hours_answer(scenario, s) for s in speedups}
+    result = scenario.as_grid(speedups).evaluate()
+    return {
+        s: to_jsonable(
+            {
+                "machine": scenario.name,
+                "speedup": s,
+                "reduction": float(result.reduction[0, i]),
+                "consumed_fraction": float(result.consumed_fraction[0, i]),
+                "throughput_improvement": float(
+                    result.throughput_improvement[0, i]
+                ),
+                "node_hours_saved": float(result.node_hours_saved[0, i]),
+            }
+        )
+        for i, s in enumerate(speedups)
+    }
 
 
 # -- me_speedup -------------------------------------------------------------
@@ -182,6 +226,27 @@ def handle_me_speedup(params: MeSpeedupParams) -> Any:
             "me_speedup": speedup,
         }
     )
+
+
+def handle_me_speedup_batch(
+    params: MeSpeedupParams, fmts: tuple[str, ...]
+) -> dict[str, Any]:
+    """Estimate one device's ME speedup across a whole format axis.
+
+    Coalesced queries differing only in ``fmt`` evaluate as a single
+    :func:`~repro.analysis.costbenefit.me_speedup_grid` pass; each
+    answer equals the scalar handler's exactly.
+    """
+    try:
+        speedups = me_speedup_grid(params.device, fmts)
+    except DeviceError as exc:  # device lacks an ME or a format
+        raise QueryValidationError(str(exc)) from None
+    return {
+        fmt: to_jsonable(
+            {"device": params.device, "fmt": fmt, "me_speedup": speedup}
+        )
+        for fmt, speedup in zip(fmts, speedups)
+    }
 
 
 # -- roofline ---------------------------------------------------------------
@@ -346,6 +411,8 @@ def default_registry() -> QueryRegistry:
                     "(node-hour reduction, throughput, worthwhileness)"
                 ),
                 substrates=("workload_profiles",),
+                batch_axis="me_speedup",
+                batch_handler=handle_costbenefit_batch,
             ),
             QueryKind(
                 name="node_hours",
@@ -364,6 +431,8 @@ def default_registry() -> QueryRegistry:
                 params_type=MeSpeedupParams,
                 handler=handle_me_speedup,
                 description="Realistic ME-vs-vector GEMM speedup of a device",
+                batch_axis="fmt",
+                batch_handler=handle_me_speedup_batch,
             ),
             QueryKind(
                 name="roofline",
