@@ -1,0 +1,293 @@
+"""Tail-tolerance benchmark: one slow shard vs the hedged router.
+
+The experiment that motivates the whole tail-tolerant lifecycle:
+
+* A 4-shard cluster where exactly **one** shard (shard 0) carries a
+  fault plan injecting 250 ms of latency into every handler evaluation
+  (``--fault-plan-shard``) — cache hits stay fast, so the slow events
+  are precisely that shard's cache misses: a classic few-percent
+  latency tail, invisible to the mean.
+* **Open-loop Zipf load** (same methodology as ``bench_cluster``):
+  Poisson arrivals at a fixed offered rate that does not slow down when
+  the service does, every request carrying a deadline budget in
+  ``X-Repro-Deadline-Ms``.
+* Two identical runs, **hedge on vs hedge off**.  With hedging, any
+  request still unanswered after its kind's rolling p95 races a backup
+  on the next ring neighbour and the first answer wins; the budget
+  keeps both attempts honest.
+
+Gates (full mode; ``REPRO_TAIL_QUICK=1`` relaxes them for CI smoke):
+
+* hedging cuts cluster p99 by >= 2x against the degraded shard,
+* hedge traffic stays <= 5% of requests (the allowance cap, measured),
+* the cache hit ratio gives up <= 2 points to hedging's duplicate work.
+
+The p99 gate is enforced only on machines with >= 4 CPUs — four worker
+processes time-slicing one core produce queueing noise that swamps the
+injected tail.
+"""
+
+import itertools
+import json
+import os
+import random
+import threading
+import time
+
+from repro.cluster import ClusterSupervisor
+from repro.errors import ReproError
+from repro.serve import HttpServeClient
+
+SEED = 20210517
+ZIPF_EXPONENT = 1.1
+SENDERS = 32
+CLUSTER_SIZE = 4
+SLOW_SHARD = 0
+SLOW_HANDLER_S = 0.25
+CACHE_SIZE = 12           # small on purpose: the Zipf tail keeps missing
+DEADLINE_MS = 10_000.0
+HEDGE_RATIO = 0.05
+MIN_CPUS_FOR_P99 = 4
+
+QUICK = os.environ.get("REPRO_TAIL_QUICK", "") not in ("", "0")
+WARM_S = 2.0 if QUICK else 4.0
+OPEN_LOOP_S = 6.0 if QUICK else 10.0
+OFFERED_QPS = 50.0 if QUICK else 60.0
+#: Quick (CI smoke) mode cannot gate the p99 ratio: a few hundred
+#: samples put 2-3 observations past the 99th percentile, so the ratio
+#: is a coin flip.  The smoke run gates the lifecycle invariants
+#: (hedges fire, stay under the cap, keep the cache warm, leak nothing)
+#: and leaves the tail claim to the full benchmark.
+P99_FLOOR = None if QUICK else 2.0
+HEDGE_SHARE_CAP = 0.08 if QUICK else 0.05
+HIT_RATIO_GIVEBACK = 0.05 if QUICK else 0.02
+
+
+def _request_pool():
+    """~80 distinct questions; Zipf sampling makes the head popular."""
+    pool = []
+    for scenario in ("k_computer", "anl", "future", "fugaku"):
+        for speedup in (1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, "inf"):
+            pool.append(("node_hours", {"scenario": scenario,
+                                        "speedup": speedup}))
+        for speedup in (2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0):
+            pool.append(("costbenefit", {"scenario": scenario,
+                                         "me_speedup": speedup}))
+    for device in ("v100", "a100"):
+        for flops in (5e11, 1e12, 2e12, 4e12, 8e12, 1.6e13, 3.2e13, 6.4e13):
+            pool.append(("roofline", {"device": device, "flops": flops,
+                                      "nbytes": 4e9, "fmt": "fp16"}))
+        pool.append(("me_speedup", {"device": device, "fmt": "fp16"}))
+    rng = random.Random(SEED)
+    rng.shuffle(pool)
+    return pool
+
+
+def _zipf_weights(n, s=ZIPF_EXPONENT):
+    return [1.0 / (rank + 1) ** s for rank in range(n)]
+
+
+def _write_fault_plan(tmp_path):
+    """Every handler evaluation on the planted shard eats 250 ms."""
+    plan = {
+        "name": "slow-shard",
+        "description": "one degraded shard: latency on every handler call",
+        "seed": SEED,
+        "rules": [{
+            "site": "handler:*",
+            "kind": "latency",
+            "latency_s": SLOW_HANDLER_S,
+            "rate": 1.0,
+        }],
+    }
+    path = tmp_path / "slow-shard.json"
+    path.write_text(json.dumps(plan))
+    return str(path)
+
+
+def _boot(tmp_path, plan_file, *, hedge):
+    return ClusterSupervisor(
+        CLUSTER_SIZE,
+        cache_size=CACHE_SIZE,
+        fault_plan_file=plan_file,
+        fault_plan_shard=SLOW_SHARD,
+        hedge=hedge,
+        hedge_ratio=HEDGE_RATIO,
+        snapshot_dir=str(tmp_path / ("hedged" if hedge else "unhedged")),
+        boot_timeout_s=120.0,
+        drain_timeout_s=10.0,
+    )
+
+
+def _warm(url, duration_s=WARM_S, threads=16):
+    """Closed-loop warm-up: fills the per-shard caches and gives the
+    router the >= 20 per-kind latency observations hedging needs."""
+    http = HttpServeClient(url, timeout=60)
+    pool = _request_pool()
+    weights = _zipf_weights(len(pool))
+    stop = threading.Event()
+
+    def hammer(worker_id):
+        rng = random.Random(SEED + worker_id)
+        while not stop.is_set():
+            kind, params = rng.choices(pool, weights=weights, k=1)[0]
+            try:
+                http.query(kind, params, deadline_ms=DEADLINE_MS)
+            except ReproError:
+                pass
+
+    workers = [threading.Thread(target=hammer, args=(n,))
+               for n in range(threads)]
+    for t in workers:
+        t.start()
+    time.sleep(duration_s)
+    stop.set()
+    for t in workers:
+        t.join()
+
+
+def _open_loop(url, rate, duration_s=OPEN_LOOP_S):
+    """Fire a pre-generated Poisson arrival schedule at ``url``, every
+    request carrying a deadline budget header."""
+    http = HttpServeClient(url, timeout=60)
+    rng = random.Random(SEED)
+    pool = _request_pool()
+    weights = _zipf_weights(len(pool))
+    arrivals = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate)
+        if t >= duration_s:
+            break
+        arrivals.append(t)
+    requests = rng.choices(pool, weights=weights, k=len(arrivals))
+
+    index = itertools.count()
+    lock = threading.Lock()
+    latencies, typed, unclassified = [], [], []
+    cached = itertools.count()
+    start = time.monotonic() + 0.05
+
+    def sender():
+        while True:
+            i = next(index)
+            if i >= len(arrivals):
+                return
+            delay = start + arrivals[i] - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            kind, params = requests[i]
+            t0 = time.monotonic()
+            try:
+                reply = http.query(kind, params, deadline_ms=DEADLINE_MS)
+            except ReproError as exc:
+                with lock:
+                    typed.append(exc)
+            except Exception as exc:
+                with lock:
+                    unclassified.append(exc)
+            else:
+                if reply.get("cached"):
+                    next(cached)
+                with lock:
+                    latencies.append(time.monotonic() - t0)
+
+    threads = [threading.Thread(target=sender) for _ in range(SENDERS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    ordered = sorted(latencies)
+    return {
+        "offered_qps": len(arrivals) / duration_s,
+        "completed": len(latencies),
+        "typed_rejections": len(typed),
+        "unclassified": unclassified,
+        # Client-perceived cache effectiveness: the fraction of answers
+        # served from a warm cache.  Worker-side ratios double-count
+        # hedged duplicates (the backup's miss is bookkeeping, not a
+        # colder cache), so the gate uses the client's view.
+        "hit_ratio": next(cached) / max(1, len(latencies)),
+        "p50_s": ordered[len(ordered) // 2] if ordered else 0.0,
+        "p99_s": ordered[int(len(ordered) * 0.99)] if ordered else 0.0,
+    }
+
+
+def _router_counters(url):
+    metrics = HttpServeClient(url, timeout=60).metrics()
+    return metrics["cluster"]["router"]["counters"]
+
+
+def _one_run(tmp_path, plan_file, *, hedge):
+    with _boot(tmp_path, plan_file, hedge=hedge) as cluster:
+        _warm(cluster.url)
+        stats = _open_loop(cluster.url, OFFERED_QPS)
+        stats["router"] = _router_counters(cluster.url)
+    return stats
+
+
+def _tail_run(tmp_path):
+    plan_file = _write_fault_plan(tmp_path)
+    return {
+        "unhedged": _one_run(tmp_path, plan_file, hedge=False),
+        "hedged": _one_run(tmp_path, plan_file, hedge=True),
+    }
+
+
+def bench_tail_hedging(benchmark, tmp_path):
+    results = benchmark.pedantic(
+        _tail_run, args=(tmp_path,), rounds=1, iterations=1
+    )
+    hedged, unhedged = results["hedged"], results["unhedged"]
+
+    for label, stats in results.items():
+        assert stats["unclassified"] == [], (
+            f"{label} leaked unclassified errors: "
+            f"{stats['unclassified'][:5]}"
+        )
+        assert stats["completed"] > 0, (label, stats)
+
+    hedges = hedged["router"]["hedges"]
+    requests = hedged["router"]["requests"]
+    hedge_share = hedges / max(1, requests)
+    ratio = unhedged["p99_s"] / max(1e-9, hedged["p99_s"])
+    print(
+        f"\ntail @ offered {OFFERED_QPS:.0f} qps, one shard +"
+        f"{SLOW_HANDLER_S * 1e3:.0f} ms/handler: "
+        f"unhedged p99 {unhedged['p99_s'] * 1e3:.0f} ms "
+        f"(p50 {unhedged['p50_s'] * 1e3:.0f} ms) -> "
+        f"hedged p99 {hedged['p99_s'] * 1e3:.0f} ms "
+        f"(p50 {hedged['p50_s'] * 1e3:.0f} ms), ratio {ratio:.2f}x "
+        f"on {os.cpu_count()} CPUs"
+    )
+    print(
+        f"hedges {hedges}/{requests} ({hedge_share:.1%}, "
+        f"wins {hedged['router']['hedge_wins']}), "
+        f"hit ratio unhedged {unhedged['hit_ratio']:.3f} -> "
+        f"hedged {hedged['hit_ratio']:.3f}, "
+        f"budget skips {hedged['router']['budget_skipped']}"
+    )
+
+    # The unhedged router never hedges; the hedged one stays under its
+    # traffic allowance.  Both hold at any CPU count.
+    assert unhedged["router"]["hedges"] == 0, unhedged["router"]
+    assert hedges > 0, hedged["router"]
+    assert hedge_share <= HEDGE_SHARE_CAP, (
+        f"hedge traffic {hedge_share:.1%} exceeds the "
+        f"{HEDGE_SHARE_CAP:.0%} cap — {hedged['router']}"
+    )
+    assert hedged["hit_ratio"] >= unhedged["hit_ratio"] - \
+        HIT_RATIO_GIVEBACK, results
+
+    if P99_FLOOR is None:
+        print("p99 floor not enforced in quick mode (too few samples)")
+    elif (os.cpu_count() or 1) >= MIN_CPUS_FOR_P99:
+        assert ratio >= P99_FLOOR, (
+            f"hedging only cut p99 by {ratio:.2f}x "
+            f"(floor {P99_FLOOR}x) — {results}"
+        )
+    else:
+        print(
+            f"p99 floor ({P99_FLOOR}x) not enforced: "
+            f"{os.cpu_count()} CPU(s) < {MIN_CPUS_FOR_P99}"
+        )

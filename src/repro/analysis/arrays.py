@@ -49,6 +49,7 @@ from typing import Any, Iterable, Sequence
 import numpy as np
 
 from repro.errors import ScenarioError
+from repro.resilience import cancel_point
 
 __all__ = [
     "SweepGrid",
@@ -192,6 +193,10 @@ def consumed_fraction_grid(
     inf_row = np.isinf(sp_row)
     consumed = np.zeros((n_machines, sp.shape[0]))
     for d in range(n_domains):
+        # Kernel-row cancellation granularity: an abandoned sweep stops
+        # within one domain's worth of arithmetic instead of finishing
+        # the whole grid for nobody.
+        cancel_point()
         a = acc[:, d, None]
         remaining = np.where(inf_row, 1.0 - a, (1.0 - a) + a / sp_row)
         # Left-to-right accumulation: exactly the scalar ``sum()``.

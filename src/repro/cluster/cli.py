@@ -41,12 +41,18 @@ options:
   --timeout SECONDS         per-query deadline (default 30)
   --scenario FILE           scenario spec JSON, repeatable
   --fault-plan FILE         fault plan JSON applied in every worker
+  --fault-plan-shard K      apply --fault-plan only in shard K (chaos
+                            drills against exactly one degraded shard)
   --snapshot-dir DIR        per-shard cache snapshots (shard-K.json)
   --snapshot-interval S     periodic snapshot flush cadence (default 5)
   --drain-timeout SECONDS   graceful drain grace per stage (default 10)
   --spill N                 max ring neighbours to try past the primary
                             shard when it is unavailable (default 1)
   --ring-seed N             consistent-hash ring seed (default 0)
+  --no-hedge                disable hedged requests (default: after a
+                            kind's rolling p95, race a ring neighbour
+                            and take the first answer)
+  --hedge-ratio R           cap hedges at R of all requests (default 0.05)
   --verbose                 prefix and forward worker logs
 """
 
@@ -71,11 +77,18 @@ def main(argv: list[str] | None = None) -> int:
             break
         scenario_files.append(raw)
     fault_plan_file = _flag_value(args, "--fault-plan", "a JSON file argument")
+    fault_plan_shard = None
+    if "--fault-plan-shard" in args:
+        fault_plan_shard = _int_flag(args, "--fault-plan-shard", 0)
     snapshot_dir = _flag_value(args, "--snapshot-dir", "a directory argument")
     snapshot_interval = _float_flag(args, "--snapshot-interval", 5.0)
     drain_timeout = _float_flag(args, "--drain-timeout", 10.0)
     spill = _int_flag(args, "--spill", 1)
     ring_seed = _int_flag(args, "--ring-seed", 0)
+    hedge = "--no-hedge" not in args
+    if not hedge:
+        args.remove("--no-hedge")
+    hedge_ratio = _float_flag(args, "--hedge-ratio", 0.05)
     verbose = "--verbose" in args
     if verbose:
         args.remove("--verbose")
@@ -94,11 +107,14 @@ def main(argv: list[str] | None = None) -> int:
         timeout_s=timeout,
         scenario_files=scenario_files,
         fault_plan_file=fault_plan_file,
+        fault_plan_shard=fault_plan_shard,
         snapshot_dir=snapshot_dir,
         snapshot_interval_s=snapshot_interval,
         drain_timeout_s=drain_timeout,
         spill=spill,
         ring_seed=ring_seed,
+        hedge=hedge,
+        hedge_ratio=hedge_ratio,
         verbose=verbose,
     )
 

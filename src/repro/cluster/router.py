@@ -44,13 +44,24 @@ from repro.cluster.protocol import (
 from repro.cluster.ring import HashRing
 from repro.errors import (
     CircuitOpen,
+    DeadlineExhausted,
     QueryValidationError,
     ReproError,
     ServiceDraining,
     ShardUnavailable,
 )
 from repro.resilience import BreakerRegistry
-from repro.serve.http import DEFAULT_ERROR_STATUS, STATUS_BY_CODE
+from repro.serve.deadline import (
+    DEADLINE_HEADER,
+    DeadlineBudget,
+    parse_deadline_header,
+)
+from repro.serve.http import (
+    DEFAULT_ERROR_STATUS,
+    NO_STORE_HEADER,
+    STATUS_BY_CODE,
+    jittered_retry_after,
+)
 from repro.serve.metrics import Counter, Histogram, render_text_metrics
 
 __all__ = ["ClusterRouter"]
@@ -70,9 +81,13 @@ ROUTER_COUNTERS = (
     "shard_errors",      # transport failures talking to a shard
     "breaker_skipped",   # shards skipped because their breaker was open
     "cooldown_skipped",  # shards skipped inside a Retry-After cooldown
+    "budget_skipped",    # shards skipped: their cooldown outlives the budget
     "unroutable",        # whole preference list unavailable (typed 503)
     "invalid",           # rejected at the router (bad kind/params)
     "drain_rejected",    # rejected because the router is draining
+    "deadline_rejected",  # refused: the deadline budget died at the router
+    "hedges",            # backup requests issued to a ring neighbour
+    "hedge_wins",        # hedged queries answered by the backup first
 )
 
 
@@ -104,10 +119,24 @@ class _WorkerPool:
         self._idle: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
 
     async def request(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, dict[str, str], bytes]:
         """One HTTP exchange; a stale pooled connection is retried once
-        on a fresh one, a fresh-connection failure propagates."""
+        on a fresh one, a fresh-connection failure propagates.
+
+        ``headers`` are extra request headers (the propagated deadline
+        budget rides here).  Cancellation-safe: a hedge loser cancelled
+        mid-exchange closes its connection instead of re-pooling it —
+        the worker's half-written response would corrupt the next
+        request on that socket.
+        """
+        extra = ""
+        if headers:
+            extra = "".join(f"{k}: {v}\r\n" for k, v in headers.items())
         for attempt in (0, 1):
             reused = bool(self._idle)
             if reused:
@@ -122,21 +151,25 @@ class _WorkerPool:
                     f"Host: {self.host}:{self.port}\r\n"
                     "Content-Type: application/json\r\n"
                     f"Content-Length: {len(body)}\r\n"
+                    f"{extra}"
                     "Connection: keep-alive\r\n\r\n"
                 ).encode("latin-1") + body
                 writer.write(request)
                 await writer.drain()
-                status, headers, payload = await self._read_response(reader)
+                status, rheaders, payload = await self._read_response(reader)
+            except asyncio.CancelledError:
+                writer.close()
+                raise
             except (ConnectionError, asyncio.IncompleteReadError, OSError):
                 writer.close()
                 if reused and attempt == 0:
                     continue  # the worker closed an idle connection
                 raise
-            if headers.get("connection", "").lower() == "close":
+            if rheaders.get("connection", "").lower() == "close":
                 writer.close()
             else:
                 self._idle.append((reader, writer))
-            return status, headers, payload
+            return status, rheaders, payload
         raise ConnectionError("unreachable")  # pragma: no cover
 
     @staticmethod
@@ -184,15 +217,29 @@ class ClusterRouter:
         breaker_recovery_s: float = 1.0,
         request_timeout_s: float = 75.0,
         probe_timeout_s: float = 5.0,
+        hedge: bool = True,
+        hedge_ratio: float = 0.05,
+        hedge_delay_floor_s: float = 0.01,
+        hedge_delay_cap_s: float = 1.0,
+        hedge_min_observations: int = 20,
         verbose: bool = False,
     ) -> None:
         if spill < 0:
             raise ValueError(f"spill must be >= 0, got {spill}")
+        if not 0.0 < hedge_ratio <= 1.0:
+            raise ValueError(
+                f"hedge_ratio must be in (0, 1], got {hedge_ratio}"
+            )
         self.table = table
         self.ring = ring
         self.spill = spill
         self.request_timeout_s = request_timeout_s
         self.probe_timeout_s = probe_timeout_s
+        self.hedge = hedge
+        self.hedge_ratio = hedge_ratio
+        self.hedge_delay_floor_s = hedge_delay_floor_s
+        self.hedge_delay_cap_s = hedge_delay_cap_s
+        self.hedge_min_observations = hedge_min_observations
         self.verbose = verbose
         self._registry = registry
         self._scenarios = dict(scenarios or {})
@@ -200,6 +247,10 @@ class ClusterRouter:
             n: Counter() for n in ROUTER_COUNTERS
         }
         self.latency = Histogram()
+        # Per-kind rolling latency reservoirs feeding the hedge delay
+        # (hedge after the kind's p95: only the slowest ~5% of requests
+        # ever hedge, which is what keeps hedge traffic under the cap).
+        self._kind_latency: dict[str, Histogram] = {}
         self._breakers = BreakerRegistry(
             failure_threshold=breaker_threshold,
             recovery_s=breaker_recovery_s,
@@ -299,6 +350,14 @@ class ClusterRouter:
             "breakers": self._breakers.snapshot(),
             "draining": self._draining,
             "spill": self.spill,
+            "hedge": {
+                "enabled": self.hedge,
+                "ratio": self.hedge_ratio,
+                "delay_s_by_kind": {
+                    kind: self._hedge_delay(kind)
+                    for kind in sorted(self._kind_latency)
+                },
+            },
         }
 
     # -- connection handling -------------------------------------------------
@@ -315,7 +374,9 @@ class ClusterRouter:
                 with self._active_lock:
                     self._active += 1
                 try:
-                    response = await self._dispatch(method, target, body)
+                    response = await self._dispatch(
+                        method, target, body, headers
+                    )
                 except ReproError as exc:
                     response = self._error_response(exc)
                 except Exception as exc:  # router bug: typed, not bare
@@ -369,11 +430,16 @@ class ClusterRouter:
         self, exc: ReproError
     ) -> tuple[int, bytes, str, float | None]:
         status = STATUS_BY_CODE.get(exc.code, DEFAULT_ERROR_STATUS)
+        retry_after = exc.retry_after
+        if retry_after is not None:
+            # Jitter the hint so a fleet of rejected clients does not
+            # come back in one synchronized retry wave.
+            retry_after = jittered_retry_after(retry_after)
         return (
             status,
             json.dumps(exc.to_dict()).encode("utf-8"),
             "application/json",
-            exc.retry_after,
+            retry_after,
         )
 
     @staticmethod
@@ -384,12 +450,13 @@ class ClusterRouter:
             "application/json", None
 
     async def _dispatch(
-        self, method: str, target: str, body: bytes
+        self, method: str, target: str, body: bytes,
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, bytes, str, float | None]:
         parsed = urllib.parse.urlsplit(target)
         path = parsed.path
         if method == "POST" and path == "/query":
-            return await self._handle_query(body)
+            return await self._handle_query(body, headers)
         if method != "GET":
             return self._json(
                 404, {"error": f"no such endpoint: {method} {path}"}
@@ -442,7 +509,7 @@ class ClusterRouter:
     # -- the routing path ----------------------------------------------------
 
     async def _handle_query(
-        self, body: bytes
+        self, body: bytes, req_headers: dict[str, str] | None = None
     ) -> tuple[int, bytes, str, float | None]:
         self._inc("requests")
         if self._draining:
@@ -450,6 +517,14 @@ class ClusterRouter:
             return self._error_response(ServiceDraining(
                 "cluster is draining for shutdown; retry later"
             ))
+        try:
+            budget = parse_deadline_header(
+                (req_headers or {}).get(DEADLINE_HEADER.lower()),
+                clock=self._loop.time,
+            )
+        except QueryValidationError as exc:
+            self._inc("invalid")
+            return self._error_response(exc)
         try:
             request = json.loads(body or b"{}")
             kind = request["kind"]
@@ -465,60 +540,288 @@ class ClusterRouter:
             return self._error_response(exc)
 
         t0 = self._loop.time()
+        if budget is not None and budget.exhausted(floor_ms=1.0):
+            self._inc("deadline_rejected")
+            return self._error_response(DeadlineExhausted(
+                "deadline budget exhausted before routing",
+                stage="router",
+            ))
         preference = self.ring.preference(key, self.spill + 1)
         skipped: list[str] = []
+        # Pre-filter the preference list into live candidates.  Budget
+        # awareness happens here: a shard whose cooldown or breaker
+        # open window outlasts the remaining budget cannot possibly
+        # answer in time, so spilling to it would only burn the budget.
+        candidates: list[tuple[int, int, str, Any]] = []
         for rank, shard in enumerate(preference):
             url = self.table.routable(shard, t0)
             if url is None:
                 info = self.table.get(shard)
                 if info.cooldown_until > t0:
-                    self._inc("cooldown_skipped")
-                    skipped.append(f"shard {shard} cooling down")
+                    if budget is not None and (
+                        info.cooldown_until - t0 >= budget.remaining_s()
+                    ):
+                        self._inc("budget_skipped")
+                        skipped.append(
+                            f"shard {shard} cooling past the deadline"
+                        )
+                    else:
+                        self._inc("cooldown_skipped")
+                        skipped.append(f"shard {shard} cooling down")
                 else:
                     skipped.append(f"shard {shard} {info.state}")
                 continue
             breaker = self._breakers.get(f"shard:{shard}")
+            open_s = breaker.remaining_open_s()
+            if (
+                open_s > 0.0
+                and budget is not None
+                and open_s >= budget.remaining_s()
+            ):
+                self._inc("budget_skipped")
+                skipped.append(
+                    f"shard {shard} breaker open past the deadline"
+                )
+                continue
+            candidates.append((rank, shard, url, breaker))
+
+        for idx, (rank, shard, url, breaker) in enumerate(candidates):
+            if budget is not None and budget.exhausted(floor_ms=1.0):
+                self._inc("deadline_rejected")
+                return self._error_response(DeadlineExhausted(
+                    f"deadline budget exhausted while routing "
+                    f"(after {idx} attempt(s))",
+                    stage="router",
+                ))
             try:
-                breaker.before_call()
+                claimed = breaker.before_call()
             except CircuitOpen:
                 self._inc("breaker_skipped")
                 skipped.append(f"shard {shard} breaker open")
                 continue
-            try:
-                status, headers, payload = await asyncio.wait_for(
-                    self._pool_for(url).request("POST", "/query", body),
-                    timeout=self.request_timeout_s,
+            hedged = False
+            delay = self._hedge_delay(kind)
+            if (
+                idx == 0
+                and not claimed
+                and delay is not None
+                and self._hedge_allowed()
+            ):
+                backup = self._pick_hedge(candidates[1:])
+                if backup is not None:
+                    result, hedged = await self._race_hedged(
+                        shard, url, breaker, backup, delay,
+                        body, budget, t0, skipped,
+                    )
+                else:
+                    result = await self._attempt(
+                        shard, url, breaker, claimed,
+                        body, budget, t0, skipped,
+                    )
+            else:
+                result = await self._attempt(
+                    shard, url, breaker, claimed, body, budget, t0, skipped,
                 )
-            except (ConnectionError, OSError, asyncio.TimeoutError,
-                    asyncio.IncompleteReadError) as exc:
-                breaker.record_failure()
-                self._inc("shard_errors")
-                skipped.append(f"shard {shard} unreachable ({exc})")
+            if result is None:
                 continue
-            breaker.record_success()
-            retry_after = self._retry_after(headers)
-            if status == 503 and self._wire_code(payload) == \
-                    "service_draining":
-                # The shard is going away (graceful restart/shutdown).
-                # Honour its Retry-After as a routing cooldown and let
-                # the next ring neighbour take the query.
-                self.table.set_cooldown(
-                    shard, t0 + (retry_after or 1.0)
-                )
-                skipped.append(f"shard {shard} draining")
-                continue
+            status, payload, retry_after, won_shard = result
             self._inc("routed")
-            if rank > 0:
+            won_rank = rank
+            if won_shard != shard:
+                for r, s, _u, _b in candidates:
+                    if s == won_shard:
+                        won_rank = r
+                        break
+            if won_rank > 0:
                 self._inc("spilled")
             if status == 200:
-                payload = self._annotate(payload, shard, spilled=rank > 0)
-            self.latency.observe(self._loop.time() - t0)
+                payload = self._annotate(
+                    payload, won_shard,
+                    spilled=won_rank > 0, hedged=hedged,
+                )
+            elapsed = self._loop.time() - t0
+            self.latency.observe(elapsed)
+            self._observe_kind_latency(kind, elapsed)
             return status, payload, "application/json", retry_after
         self._inc("unroutable")
         return self._error_response(ShardUnavailable(
             f"no shard available for this query "
             f"(tried {len(preference)}: {'; '.join(skipped)})"
         ))
+
+    async def _attempt(
+        self,
+        shard: int,
+        url: str,
+        breaker: Any,
+        claimed: bool,
+        body: bytes,
+        budget: DeadlineBudget | None,
+        t0: float,
+        skipped: list[str],
+        store: bool = True,
+    ) -> tuple[int, bytes, float | None, int] | None:
+        """One forwarded request to one shard.
+
+        Returns ``(status, payload, retry_after, shard)`` when the shard
+        gave a verdict worth returning to the client, or ``None`` when
+        the caller should spill to the next ring neighbour.
+        ``store=False`` marks a hedged backup: the shard answers but
+        keeps the duplicate result out of its caches.
+        """
+        timeout_s = self.request_timeout_s
+        fwd_headers: dict[str, str] = {}
+        if budget is not None:
+            # Re-encode the *remaining* budget for the next hop — the
+            # wire always carries a relative quantity, so worker clocks
+            # never need to agree with the router's.
+            timeout_s = min(timeout_s, max(0.001, budget.remaining_s()))
+            fwd_headers[DEADLINE_HEADER] = budget.header_value()
+        if not store:
+            fwd_headers[NO_STORE_HEADER] = "1"
+        try:
+            status, headers, payload = await asyncio.wait_for(
+                self._pool_for(url).request(
+                    "POST", "/query", body, headers=fwd_headers
+                ),
+                timeout=timeout_s,
+            )
+        except asyncio.TimeoutError:
+            if budget is not None and budget.exhausted(floor_ms=1.0):
+                # The *budget* ran out, not the shard's patience: the
+                # shard may be perfectly healthy, so don't charge its
+                # breaker for the client's tight deadline.
+                if claimed:
+                    breaker.abort_trial()
+                skipped.append(f"shard {shard} budget expired mid-request")
+                return None
+            breaker.record_failure()
+            self._inc("shard_errors")
+            skipped.append(f"shard {shard} unreachable (timed out)")
+            return None
+        except (ConnectionError, OSError,
+                asyncio.IncompleteReadError) as exc:
+            breaker.record_failure()
+            self._inc("shard_errors")
+            skipped.append(f"shard {shard} unreachable ({exc})")
+            return None
+        breaker.record_success()
+        retry_after = self._retry_after(headers)
+        if status == 503 and self._wire_code(payload) == \
+                "service_draining":
+            # The shard is going away (graceful restart/shutdown).
+            # Honour its Retry-After as a routing cooldown and let
+            # the next ring neighbour take the query.
+            self.table.set_cooldown(
+                shard, t0 + (retry_after or 1.0)
+            )
+            skipped.append(f"shard {shard} draining")
+            return None
+        return status, payload, retry_after, shard
+
+    # -- hedging -------------------------------------------------------------
+
+    def _hedge_allowed(self) -> bool:
+        """Keep hedge traffic below ``hedge_ratio`` of all requests."""
+        return (
+            self.counters["hedges"].value + 1
+            <= self.hedge_ratio * self.counters["requests"].value
+        )
+
+    def _hedge_delay(self, kind: str) -> float | None:
+        """How long to wait on the primary before issuing the backup.
+
+        ``None`` disables hedging for this request — either the feature
+        is off or the kind has too little latency history to know what
+        "slow" means yet.
+        """
+        if not self.hedge:
+            return None
+        hist = self._kind_latency.get(kind)
+        if hist is None:
+            return None
+        stats = hist.summary()
+        if stats["count"] < self.hedge_min_observations:
+            return None
+        p95 = stats["p95"]
+        return min(
+            self.hedge_delay_cap_s,
+            max(self.hedge_delay_floor_s, p95),
+        )
+
+    def _pick_hedge(
+        self, rest: list[tuple[int, int, str, Any]]
+    ) -> tuple[int, int, str, Any] | None:
+        """First spill candidate healthy enough to serve as the backup.
+
+        Only a fully closed breaker qualifies: hedging into a half-open
+        breaker would race real recovery probes for the trial slot, and
+        an open one would reject the backup anyway.
+        """
+        for cand in rest:
+            if cand[3].state == "closed":
+                return cand
+        return None
+
+    async def _race_hedged(
+        self,
+        shard: int,
+        url: str,
+        breaker: Any,
+        backup: tuple[int, int, str, Any],
+        delay: float,
+        body: bytes,
+        budget: DeadlineBudget | None,
+        t0: float,
+        skipped: list[str],
+    ) -> tuple[tuple[int, bytes, float | None, int] | None, bool]:
+        """Race the primary against a delayed backup; first verdict wins.
+
+        Returns ``(result, hedged)`` where ``result`` follows the
+        :meth:`_attempt` contract and ``hedged`` records whether the
+        backup was actually launched (for the response annotation).
+        """
+        primary = asyncio.ensure_future(self._attempt(
+            shard, url, breaker, False, body, budget, t0, skipped,
+        ))
+        done, _ = await asyncio.wait({primary}, timeout=delay)
+        if done:
+            return primary.result(), False
+        b_rank, b_shard, b_url, b_breaker = backup
+        try:
+            b_claimed = b_breaker.before_call()
+        except CircuitOpen:
+            return await primary, False
+        self._inc("hedges")
+        secondary = asyncio.ensure_future(self._attempt(
+            b_shard, b_url, b_breaker, b_claimed,
+            body, budget, t0, skipped, store=False,
+        ))
+        pending = {primary, secondary}
+        result: tuple[int, bytes, float | None, int] | None = None
+        while pending:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in done:
+                outcome = task.result()
+                if outcome is not None and result is None:
+                    result = outcome
+                    if task is secondary:
+                        self._inc("hedge_wins")
+            if result is not None:
+                break
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        return result, True
+
+    def _observe_kind_latency(self, kind: str, elapsed: float) -> None:
+        hist = self._kind_latency.get(kind)
+        if hist is None:
+            hist = self._kind_latency[kind] = Histogram(maxlen=512)
+        hist.observe(elapsed)
 
     @staticmethod
     def _retry_after(headers: dict[str, str]) -> float | None:
@@ -538,13 +841,16 @@ class ClusterRouter:
             return None
 
     @staticmethod
-    def _annotate(payload: bytes, shard: int, *, spilled: bool) -> bytes:
+    def _annotate(
+        payload: bytes, shard: int, *, spilled: bool, hedged: bool = False
+    ) -> bytes:
         try:
             parsed = json.loads(payload)
         except ValueError:
             return payload
         parsed["shard"] = shard
         parsed["spilled"] = spilled
+        parsed["hedged"] = hedged
         return json.dumps(parsed).encode("utf-8")
 
     def _pool_for(self, url: str) -> _WorkerPool:

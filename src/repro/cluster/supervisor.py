@@ -94,18 +94,28 @@ class ClusterSupervisor:
         timeout_s: float = 30.0,
         scenario_files: list[str] | None = None,
         fault_plan_file: str | None = None,
+        fault_plan_shard: int | None = None,
         snapshot_dir: str | None = None,
         snapshot_interval_s: float | None = None,
         drain_timeout_s: float = 10.0,
         spill: int = 1,
         ring_vnodes: int = 128,
         ring_seed: int = 0,
+        hedge: bool = True,
+        hedge_ratio: float = 0.05,
         boot_timeout_s: float = 60.0,
         verbose: bool = False,
     ) -> None:
         if cluster_size < 1:
             raise ClusterError(
                 f"--cluster expects a size >= 1, got {cluster_size}"
+            )
+        if fault_plan_shard is not None and not (
+            0 <= fault_plan_shard < cluster_size
+        ):
+            raise ClusterError(
+                f"--fault-plan-shard expects a shard id in "
+                f"[0, {cluster_size}), got {fault_plan_shard}"
             )
         self.cluster_size = cluster_size
         self.host = host
@@ -116,6 +126,7 @@ class ClusterSupervisor:
         self.timeout_s = timeout_s
         self.scenario_files = list(scenario_files or [])
         self.fault_plan_file = fault_plan_file
+        self.fault_plan_shard = fault_plan_shard
         self.snapshot_dir = snapshot_dir
         self.snapshot_interval_s = snapshot_interval_s
         self.drain_timeout_s = drain_timeout_s
@@ -130,6 +141,8 @@ class ClusterSupervisor:
             self.ring,
             scenarios=self._load_scenarios(),
             spill=spill,
+            hedge=hedge,
+            hedge_ratio=hedge_ratio,
             verbose=verbose,
         )
         self._workers: dict[int, _WorkerProc] = {}
@@ -181,7 +194,12 @@ class ClusterSupervisor:
         ]
         for path in self.scenario_files:
             cmd += ["--scenario", path]
-        if self.fault_plan_file is not None:
+        if self.fault_plan_file is not None and (
+            self.fault_plan_shard is None
+            or self.fault_plan_shard == shard_id
+        ):
+            # A targeted plan degrades exactly one shard — the setup
+            # hedged requests and budget-aware spill are built to beat.
             cmd += ["--fault-plan", self.fault_plan_file]
         snapshot_file = self._snapshot_file(shard_id)
         if snapshot_file is not None:

@@ -29,6 +29,8 @@ __all__ = [
     "QueryValidationError",
     "ServiceOverloaded",
     "QueryTimeout",
+    "DeadlineExhausted",
+    "OperationCancelled",
     "CircuitOpen",
     "FaultInjected",
     "FaultPlanError",
@@ -149,6 +151,45 @@ class QueryTimeout(ServeError, TimeoutError):
     """A query's per-request deadline elapsed before its answer arrived."""
 
     code = "query_timeout"
+
+
+class DeadlineExhausted(ServeError, TimeoutError):
+    """A query's propagated deadline budget ran out mid-lifecycle.
+
+    Unlike :class:`QueryTimeout` (a local per-call deadline, checked
+    only while awaiting the answer), this is the wire budget carried in
+    ``X-Repro-Deadline-Ms`` and decremented at every stage — router,
+    spill, worker admission, handler, micro-batch.  ``stage`` names the
+    layer that refused to start (or continue) work it could no longer
+    finish in time, so a 504 pinpoints where the budget died.
+    """
+
+    code = "deadline_exhausted"
+
+    def __init__(self, message: str, *, stage: str = "") -> None:
+        super().__init__(message)
+        self.stage = stage
+
+    def to_dict(self) -> dict:
+        out = super().to_dict()
+        if self.stage:
+            out["stage"] = self.stage
+        return out
+
+
+class OperationCancelled(ServeError):
+    """Every waiter abandoned this computation; it was stopped early.
+
+    Raised *inside* an evaluation when its cooperative cancellation
+    token fires (see :mod:`repro.resilience.cancel`): the handler or
+    kernel observes the token and stops consuming CPU.  Normally nobody
+    sees this on the wire — cancellation only triggers once the last
+    waiter is gone — but a racing late joiner maps it to a retryable
+    503.
+    """
+
+    code = "operation_cancelled"
+    retry_after = 0.5
 
 
 class CircuitOpen(ServeError):

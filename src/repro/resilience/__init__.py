@@ -17,6 +17,12 @@ Two halves, mirroring :mod:`repro.scenario`'s spec/ambient split:
 """
 
 from repro.resilience.breaker import BreakerRegistry, CircuitBreaker
+from repro.resilience.cancel import (
+    CancellationToken,
+    active_token,
+    cancel_context,
+    cancel_point,
+)
 from repro.resilience.faultplan import (
     EMPTY_FAULT_PLAN,
     FaultInjector,
@@ -49,4 +55,8 @@ __all__ = [
     "retry_call",
     "CircuitBreaker",
     "BreakerRegistry",
+    "CancellationToken",
+    "cancel_context",
+    "active_token",
+    "cancel_point",
 ]

@@ -92,6 +92,17 @@ class CircuitBreaker:
                 f"circuit {self.name!r} is trialing recovery; rejected"
             )
 
+    def remaining_open_s(self) -> float:
+        """Seconds until this breaker's cool-down elapses; ``0.0`` when
+        it is not open.  Budget-aware spill uses this to skip neighbours
+        whose cool-down outlives the query's remaining deadline."""
+        with self._lock:
+            if self._peek_state() != "open":
+                return 0.0
+            return max(
+                0.0, self.recovery_s - (self._clock() - self._opened_at)
+            )
+
     def abort_trial(self) -> None:
         """Release a claimed half-open trial slot without a verdict
         (the trial call never ran — e.g. it was shed downstream)."""

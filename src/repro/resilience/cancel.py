@@ -1,0 +1,96 @@
+"""Cooperative cancellation: abandoned work stops consuming CPU.
+
+The serve engine hands every fresh computation a
+:class:`CancellationToken` and cancels it once the last waiter has
+abandoned the result (deadline exhausted, client gone).  The token is
+installed ambiently in the evaluating thread via :func:`cancel_context`
+— exactly the :func:`repro.resilience.fault_context` shape — and
+long-running code observes it through :func:`cancel_point`, a single
+contextvar read plus one atomic flag check when a token is installed
+and a single contextvar read when none is.
+
+Granularity is the caller's choice: handlers check once on entry, the
+vectorised sweep kernels (:mod:`repro.analysis.arrays`) check once per
+kernel row, so even a mid-flight grid evaluation stops within one
+domain's worth of arithmetic.  Raising
+:class:`~repro.errors.OperationCancelled` out of a ``cancel_point`` is
+*not* a failure — the engine excludes it from retries, breaker
+verdicts, and the stale-fallback path, and accounts the reclaimed time
+in the ``cancelled_work_ms`` metrics counter.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+from repro.errors import OperationCancelled
+
+__all__ = [
+    "CancellationToken",
+    "cancel_context",
+    "active_token",
+    "cancel_point",
+]
+
+
+class CancellationToken:
+    """A thread-safe one-way cancellation flag.
+
+    Cancelled from the engine's event loop, observed from executor
+    threads — hence the :class:`threading.Event` rather than a plain
+    bool (the Event gives the flag a happens-before edge).
+    """
+
+    __slots__ = ("_cancelled",)
+
+    def __init__(self) -> None:
+        self._cancelled = threading.Event()
+
+    def cancel(self) -> None:
+        self._cancelled.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
+
+
+_TOKEN: ContextVar[CancellationToken | None] = ContextVar(
+    "repro_cancel_token", default=None
+)
+
+
+@contextmanager
+def cancel_context(token: CancellationToken | None) -> Iterator[None]:
+    """Install ``token`` as the ambient cancellation token.
+
+    Pool threads never inherit the submitting thread's contextvars, so
+    the engine installs the token *inside* the evaluating thread, right
+    next to the scenario overlay.
+    """
+    handle = _TOKEN.set(token)
+    try:
+        yield
+    finally:
+        _TOKEN.reset(handle)
+
+
+def active_token() -> CancellationToken | None:
+    """The ambient cancellation token, if any."""
+    return _TOKEN.get()
+
+
+def cancel_point() -> None:
+    """Raise :class:`~repro.errors.OperationCancelled` if the ambient
+    token has been cancelled; otherwise return immediately.
+
+    Safe to sprinkle into hot loops: with no token installed this is
+    one contextvar read.
+    """
+    token = _TOKEN.get()
+    if token is not None and token.cancelled:
+        raise OperationCancelled(
+            "evaluation cancelled: every waiter abandoned this work"
+        )

@@ -28,8 +28,14 @@ class RetryPolicy:
 
     ``attempts`` counts total invocations (1 = no retry).  Backoff for
     retry *i* (1-based) is ``base_delay_s * multiplier**(i-1)``, capped
-    at ``max_delay_s``, then scaled by a jitter factor drawn uniformly
-    from ``[1 - jitter, 1]``.
+    at ``max_delay_s``, then jittered.  Two jitter modes:
+
+    * ``"equal"`` (default) — scale by a factor drawn uniformly from
+      ``[1 - jitter, 1]``; preserves most of the exponential shape.
+    * ``"full"`` — draw the whole delay uniformly from ``[0, raw]``
+      (AWS full jitter); maximally decorrelates a thundering herd of
+      clients that all failed at the same instant.  ``jitter`` is
+      ignored in this mode.
     """
 
     attempts: int = 3
@@ -37,6 +43,7 @@ class RetryPolicy:
     multiplier: float = 2.0
     max_delay_s: float = 0.25
     jitter: float = 0.5
+    mode: str = "equal"
 
     def __post_init__(self) -> None:
         if self.attempts < 1:
@@ -45,6 +52,10 @@ class RetryPolicy:
             raise ValueError("delays must be >= 0")
         if not 0.0 <= self.jitter <= 1.0:
             raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.mode not in ("equal", "full"):
+            raise ValueError(
+                f"mode must be 'equal' or 'full', got {self.mode!r}"
+            )
 
     def delays(self, *, seed: int = 0, site: str = "") -> list[float]:
         """The full, deterministic backoff schedule for ``(seed, site)``."""
@@ -53,7 +64,10 @@ class RetryPolicy:
         out = []
         for i in range(self.attempts - 1):
             raw = min(self.base_delay_s * self.multiplier**i, self.max_delay_s)
-            out.append(raw * (1.0 - self.jitter * rng.random()))
+            if self.mode == "full":
+                out.append(raw * rng.random())
+            else:
+                out.append(raw * (1.0 - self.jitter * rng.random()))
         return out
 
 

@@ -1,0 +1,134 @@
+"""Adaptive admission control: AIMD concurrency limits from queue delay.
+
+A static bounded queue admits work long after the service has stopped
+keeping up — by the time the queue is full, everything inside it has
+already blown its deadline.  :class:`AIMDLimiter` instead bounds the
+number of queries *in flight* per query kind and adapts that bound to
+the observed queue delay, CoDel-style:
+
+* every completed query reports how long it waited between admission
+  and the start of evaluation;
+* delay above ``target_delay_s`` → multiplicative decrease (at most
+  once per ``cooldown_s``, so one burst doesn't collapse the limit);
+* delay at/below target → additive increase of ``increment / limit``
+  per completion (one full +1 per round-trip of the window, the
+  classic TCP shape).
+
+Overload therefore degrades to *fast* typed 429s at admission — before
+queueing — instead of deep queues that turn every response into a 504.
+Per-kind limits isolate a slow handler from its cheap neighbours, the
+same blast-radius boundary the breakers use.  Thread-safe; the clock is
+injectable so tests never sleep.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["AIMDLimiter"]
+
+
+class _KindState:
+    __slots__ = ("limit", "inflight", "last_decrease")
+
+    def __init__(self, limit: float) -> None:
+        self.limit = limit
+        self.inflight = 0
+        self.last_decrease = float("-inf")
+
+
+class AIMDLimiter:
+    """Per-kind adaptive concurrency limits (thread-safe)."""
+
+    def __init__(
+        self,
+        *,
+        initial: float = 8.0,
+        min_limit: float = 1.0,
+        max_limit: float = 64.0,
+        target_delay_s: float = 0.1,
+        backoff: float = 0.5,
+        increment: float = 1.0,
+        cooldown_s: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not 0 < min_limit <= initial <= max_limit:
+            raise ValueError(
+                f"need 0 < min_limit <= initial <= max_limit, got "
+                f"min={min_limit} initial={initial} max={max_limit}"
+            )
+        if not 0.0 < backoff < 1.0:
+            raise ValueError(f"backoff must be in (0, 1), got {backoff}")
+        if target_delay_s <= 0:
+            raise ValueError(
+                f"target_delay_s must be > 0, got {target_delay_s}"
+            )
+        self.initial = initial
+        self.min_limit = min_limit
+        self.max_limit = max_limit
+        self.target_delay_s = target_delay_s
+        self.backoff = backoff
+        self.increment = increment
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._kinds: dict[str, _KindState] = {}
+
+    def _state(self, kind: str) -> _KindState:
+        # Caller holds the lock.
+        state = self._kinds.get(kind)
+        if state is None:
+            state = self._kinds[kind] = _KindState(self.initial)
+        return state
+
+    def try_acquire(self, kind: str) -> bool:
+        """Admit one query of ``kind``, or refuse (the caller sheds it
+        as a typed 429).  Every successful acquire must be balanced by
+        exactly one :meth:`release` or :meth:`cancel_acquire`."""
+        with self._lock:
+            state = self._state(kind)
+            if state.inflight >= int(state.limit):
+                return False
+            state.inflight += 1
+            return True
+
+    def cancel_acquire(self, kind: str) -> None:
+        """Undo an acquire whose query never ran (shed downstream,
+        queue full, coalesced away) without feeding the controller."""
+        with self._lock:
+            state = self._state(kind)
+            if state.inflight > 0:
+                state.inflight -= 1
+
+    def release(self, kind: str, queue_delay_s: float) -> None:
+        """Report a completed query's admission-to-start queue delay
+        and adapt the limit."""
+        with self._lock:
+            state = self._state(kind)
+            if state.inflight > 0:
+                state.inflight -= 1
+            if queue_delay_s > self.target_delay_s:
+                now = self._clock()
+                if now - state.last_decrease >= self.cooldown_s:
+                    state.limit = max(
+                        self.min_limit, state.limit * self.backoff
+                    )
+                    state.last_decrease = now
+            else:
+                state.limit = min(
+                    self.max_limit,
+                    state.limit + self.increment / max(state.limit, 1.0),
+                )
+
+    def limits(self) -> dict[str, dict[str, float | int]]:
+        """Current per-kind limits and inflight counts (metrics)."""
+        with self._lock:
+            return {
+                kind: {
+                    "limit": round(state.limit, 3),
+                    "inflight": state.inflight,
+                }
+                for kind, state in sorted(self._kinds.items())
+            }

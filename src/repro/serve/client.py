@@ -23,6 +23,8 @@ from typing import Any, Sequence
 
 from repro.errors import (
     CircuitOpen,
+    DeadlineExhausted,
+    OperationCancelled,
     QueryTimeout,
     QueryValidationError,
     ServeError,
@@ -30,6 +32,7 @@ from repro.errors import (
     ServiceOverloaded,
     ShardUnavailable,
 )
+from repro.serve.deadline import DEADLINE_HEADER, DeadlineBudget
 from repro.serve.engine import QueryEngine, QueryResponse
 
 __all__ = ["ServeClient", "HttpServeClient"]
@@ -93,15 +96,24 @@ class ServeClient:
         *,
         timeout: float | None = None,
         scenario: Any = None,
+        budget: DeadlineBudget | None = None,
+        store: bool = True,
     ) -> QueryResponse:
         """Answer one query (blocking); raises the engine's exceptions.
 
         ``scenario`` is a :class:`~repro.scenario.ScenarioSpec`, an
         inline spec dict, or a registered scenario name — the overlay
-        the engine evaluates under.
+        the engine evaluates under.  ``budget`` is a propagated
+        deadline budget: every engine stage refuses work the budget
+        can no longer pay for (:class:`~repro.errors.DeadlineExhausted`).
+        ``store=False`` keeps the answer out of the caches (hedged
+        backups).
         """
         return self._run(
-            self.engine.submit(kind, params, timeout=timeout, scenario=scenario)
+            self.engine.submit(
+                kind, params, timeout=timeout, scenario=scenario,
+                budget=budget, store=store,
+            )
         )
 
     def query_many(
@@ -205,6 +217,8 @@ _ERROR_BY_CODE = {
     "service_draining": ServiceDraining,
     "shard_unavailable": ShardUnavailable,
     "query_timeout": QueryTimeout,
+    "deadline_exhausted": DeadlineExhausted,
+    "operation_cancelled": OperationCancelled,
 }
 
 _ERROR_BY_STATUS = {
@@ -223,13 +237,23 @@ class HttpServeClient:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
 
-    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        *,
+        headers: dict[str, str] | None = None,
+    ) -> dict:
         data = None if body is None else json.dumps(body).encode("utf-8")
+        all_headers = {"Content-Type": "application/json"}
+        if headers:
+            all_headers.update(headers)
         req = urllib.request.Request(
             self.base_url + path,
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers=all_headers,
         )
         try:
             with urllib.request.urlopen(req, timeout=self.timeout) as resp:
@@ -271,10 +295,16 @@ class HttpServeClient:
         params: dict[str, Any] | None = None,
         *,
         scenario: Any = None,
+        deadline_ms: float | None = None,
     ) -> dict:
         """POST one query; returns the response payload (``value`` plus
         serving metadata) as a dict.  ``scenario`` is an inline spec
-        dict or a server-registered scenario name."""
+        dict or a server-registered scenario name.  ``deadline_ms``
+        starts a deadline budget that rides the
+        ``X-Repro-Deadline-Ms`` header and is decremented at every hop
+        — the server answers 504 ``deadline_exhausted`` (naming the
+        stage that gave up) instead of doing work it cannot finish in
+        time."""
         body: dict[str, Any] = {"kind": kind, "params": params or {}}
         if scenario is not None:
             from repro.scenario import ScenarioSpec, scenario_to_dict
@@ -282,7 +312,10 @@ class HttpServeClient:
             if isinstance(scenario, ScenarioSpec):
                 scenario = scenario_to_dict(scenario)
             body["scenario"] = scenario
-        return self._request("POST", "/query", body)
+        headers = None
+        if deadline_ms is not None:
+            headers = {DEADLINE_HEADER: DeadlineBudget(deadline_ms).header_value()}
+        return self._request("POST", "/query", body, headers=headers)
 
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")

@@ -51,6 +51,8 @@ from typing import Any
 
 from repro.errors import (
     CircuitOpen,
+    DeadlineExhausted,
+    OperationCancelled,
     QueryTimeout,
     QueryValidationError,
     ScenarioError,
@@ -60,14 +62,18 @@ from repro.errors import (
 )
 from repro.resilience import (
     BreakerRegistry,
+    CancellationToken,
     FaultInjector,
     FaultPlan,
     RetryPolicy,
     active_injector,
+    cancel_context,
     fault_context,
     retry_call,
 )
 from repro.scenario import ScenarioSpec, scenario_context, scenario_from_dict
+from repro.serve.admission import AIMDLimiter
+from repro.serve.deadline import DeadlineBudget
 from repro.serve.metrics import Metrics
 from repro.serve.queries import Query, QueryRegistry, canonical_params
 
@@ -114,20 +120,73 @@ class QueryResponse:
 
 
 @dataclass
+class _WorkUnit:
+    """One in-flight computation's waiter ledger + cancellation token.
+
+    Lives entirely on the event loop (no locking): every waiter —
+    the submitter, coalesced late arrivals, micro-batch co-members —
+    ``join()``s, and ``leave(abandoned=True)`` from the *last* waiter
+    cancels the token so the evaluating thread stops consuming CPU.
+    """
+
+    token: CancellationToken = field(default_factory=CancellationToken)
+    waiters: int = 0
+    #: Whether the answer may enter the result/stale caches.  Hedged
+    #: backup requests ask for ``False`` — caching a duplicate answer
+    #: on the backup shard would evict genuinely warm entries (cache
+    #: pollution); any regular waiter joining the unit upgrades it.
+    store: bool = True
+
+    def join(self) -> None:
+        self.waiters += 1
+
+    def leave(self, *, abandoned: bool) -> None:
+        self.waiters -= 1
+        if abandoned and self.waiters <= 0:
+            self.token.cancel()
+
+
+@dataclass
+class _Pending:
+    """One admitted query riding the queue to a worker."""
+
+    query: Query
+    future: asyncio.Future
+    budget: DeadlineBudget | None
+    work: _WorkUnit
+    admitted_at: float
+
+
+@dataclass
 class _BatchGroup:
     """Pending members of one micro-batch (same kind, same non-axis
-    params, same scenario — the fingerprint is part of the group key)."""
+    params, same scenario — the fingerprint is part of the group key).
+    All members share one :class:`_WorkUnit`: the batch evaluation is
+    cancelled only once *every* member has been abandoned."""
 
     group_key: tuple
-    members: list[tuple[Query, asyncio.Future]] = field(default_factory=list)
+    work: _WorkUnit
+    admitted_at: float
+    members: list[_Pending] = field(default_factory=list)
 
 
-def _evaluate(query: Query) -> Any:
+def _evaluate(
+    query: Query,
+    token: CancellationToken | None = None,
+    budget: DeadlineBudget | None = None,
+) -> Any:
     """Run one handler under the query's scenario (executor thread).
 
     Pool threads never inherit the submitting thread's contextvars, so
-    the overlay is installed here, inside the worker."""
-    with scenario_context(query.scenario):
+    the overlay — and the cancellation token — is installed here,
+    inside the worker.  The handler-stage budget check runs per retry
+    attempt: a retry whose budget died while backing off is refused."""
+    if budget is not None and budget.exhausted():
+        raise DeadlineExhausted(
+            f"{query.kind.name} handler refused: deadline budget exhausted",
+            stage="handler",
+        )
+    with cancel_context(token), scenario_context(query.scenario):
         return query.kind.handler(query.params)
 
 
@@ -142,7 +201,9 @@ def _evaluate_with_recovery(
     (executor thread).  ``evaluate`` is the zero-argument computation;
     the ``handler:<kind>`` fault site fires before each attempt.
     Validation errors are never retried — they are the caller's bug,
-    not a transient failure."""
+    not a transient failure — and neither are cancellation or deadline
+    exhaustion: retrying abandoned or out-of-time work only burns more
+    CPU for nobody."""
     site = f"handler:{query.kind.name}"
 
     def attempt() -> Any:
@@ -155,14 +216,26 @@ def _evaluate_with_recovery(
         metrics.inc("retries")
 
     seed = injector.plan.seed if injector is not None else 0
-    value, _retries = retry_call(
-        attempt,
-        policy=policy,
-        seed=seed,
-        site=site,
-        no_retry_on=(QueryValidationError,),
-        on_retry=on_retry,
-    )
+    t_start = time.perf_counter()
+    try:
+        value, _retries = retry_call(
+            attempt,
+            policy=policy,
+            seed=seed,
+            site=site,
+            no_retry_on=(
+                QueryValidationError,
+                OperationCancelled,
+                DeadlineExhausted,
+            ),
+            on_retry=on_retry,
+        )
+    except OperationCancelled:
+        # Account the CPU time this cancellation reclaimed: the handler
+        # ran this long, then stopped instead of finishing for nobody.
+        elapsed_ms = int((time.perf_counter() - t_start) * 1000.0)
+        metrics.inc("cancelled_work_ms", elapsed_ms)
+        raise
     return value
 
 
@@ -200,6 +273,16 @@ class QueryEngine:
     stale_size:
         Entry bound of the stale-while-revalidate store backing
         degraded answers (0 disables degradation).
+    admission_target_s / admission_initial / admission_max:
+        The adaptive admission controller: an AIMD concurrency limit
+        per query kind, driven by observed queue delay against the
+        CoDel-style ``admission_target_s``.  Work above the limit is
+        shed with a fast typed 429 *before* queueing, so overload never
+        turns into a deep queue that blows every deadline.  The limit
+        floor is ``workers`` (the pool can always be kept busy);
+        ``admission_initial`` defaults to the queue bound — no a-priori
+        shedding; only measured delay cuts the limit — and
+        ``admission_max`` to twice it.
     """
 
     def __init__(
@@ -218,6 +301,9 @@ class QueryEngine:
         breaker_threshold: int = 5,
         breaker_recovery_s: float = 2.0,
         stale_size: int = 1024,
+        admission_target_s: float = 0.1,
+        admission_initial: float | None = None,
+        admission_max: float | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -256,11 +342,33 @@ class QueryEngine:
             recovery_s=breaker_recovery_s,
             on_open=lambda _name: self.metrics.inc("breaker_opened"),
         )
+        # The limit starts at the queue bound: a healthy engine admits
+        # every burst the queue would have absorbed anyway, and only
+        # *observed* queue delay above target brings the limit down.
+        # Starting lower would shed legitimate bursts a-priori, which
+        # is the static-limit mistake this controller exists to avoid.
+        initial = (
+            float(max(2 * workers, max_queue))
+            if admission_initial is None
+            else float(admission_initial)
+        )
+        maximum = (
+            float(max(initial, 2 * max_queue))
+            if admission_max is None
+            else float(admission_max)
+        )
+        self._admission = AIMDLimiter(
+            initial=initial,
+            min_limit=float(min(workers, initial)),
+            max_limit=maximum,
+            target_delay_s=admission_target_s,
+        )
         self._created = time.perf_counter()
 
         self._cache: OrderedDict[Any, Any] = OrderedDict()
         self._stale: OrderedDict[Any, Any] = OrderedDict()
         self._inflight: dict[Any, asyncio.Future] = {}
+        self._work: dict[Any, _WorkUnit] = {}
         self._pending_batches: dict[tuple, _BatchGroup] = {}
         self._scenarios: dict[str, ScenarioSpec] = {}
         self._queue: asyncio.Queue | None = None
@@ -276,6 +384,7 @@ class QueryEngine:
         self.metrics.register_gauge(
             "pending_batches", lambda: len(self._pending_batches)
         )
+        self.metrics.register_section("admission", self._admission.limits)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -403,6 +512,7 @@ class QueryEngine:
             "started": self.started,
             "draining": self._draining,
             "breakers": breakers,
+            "admission": self._admission.limits(),
             "warm_substrates": list(SUBSTRATE_CACHE.substrates()),
             "fault_plan": (
                 self._injector.plan.label()
@@ -472,15 +582,28 @@ class QueryEngine:
         *,
         timeout: float | None = None,
         scenario: ScenarioSpec | dict[str, Any] | str | None = None,
+        budget: DeadlineBudget | None = None,
+        store: bool = True,
     ) -> QueryResponse:
         """Answer one query, from cache / a shared computation / fresh work.
 
+        ``store=False`` answers without inserting the result into the
+        caches — the hedged-request backup path, whose duplicate
+        answers would otherwise pollute the backup shard's LRU.
+
         ``scenario`` overlays the evaluation: a :class:`ScenarioSpec`,
         an inline spec dict, or the name of a scenario registered with
-        :meth:`register_scenario`.  Raises :class:`QueryValidationError`
-        for bad input, :class:`ServiceDraining` once :meth:`begin_drain`
+        :meth:`register_scenario`.  ``budget`` is the propagated
+        deadline budget (from the ``X-Repro-Deadline-Ms`` wire header):
+        every lifecycle stage refuses work the budget can no longer pay
+        for with :class:`DeadlineExhausted` naming the stage, and a
+        waiter whose budget dies abandons the computation (the last
+        abandoning waiter cancels it).  Raises
+        :class:`QueryValidationError` for bad input,
+        :class:`ServiceDraining` once :meth:`begin_drain`
         /:meth:`drain` has been called, :class:`ServiceOverloaded` when
-        the admission queue is full, :class:`QueryTimeout` when the
+        the admission queue is full or the adaptive concurrency limit
+        refuses the kind, :class:`QueryTimeout` when the local
         deadline elapses first, and :class:`CircuitOpen` when the kind's
         (or one of its
         substrates') breaker is open and no stale answer exists — with
@@ -503,6 +626,15 @@ class QueryEngine:
             raise
         t0 = time.perf_counter()
         self.metrics.inc("requests")
+        if budget is not None and budget.exhausted():
+            # Even a cache hit would answer after the client's deadline:
+            # refuse fast instead of doing work for nobody.
+            self.metrics.inc("deadline_exhausted")
+            raise DeadlineExhausted(
+                f"{query.kind.name} query arrived with its deadline "
+                f"budget already exhausted",
+                stage="admission",
+            )
         key = query.cache_key
         wire_params = canonical_params(query.params)
 
@@ -516,8 +648,13 @@ class QueryEngine:
         inflight = self._inflight.get(key)
         if inflight is not None:
             self.metrics.inc("coalesced")
+            work = self._work.get(key)
+            if work is not None:
+                work.join()
+                if store:
+                    work.store = True
             value, _, degraded = await self._await_result(
-                inflight, timeout, query
+                inflight, timeout, query, budget=budget, work=work
             )
             return self._respond(
                 query, wire_params, value, t0, coalesced=True,
@@ -542,15 +679,16 @@ class QueryEngine:
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._inflight[key] = future
         try:
-            self._admit(query, future)
+            work = self._admit(query, future, budget, store=store)
         except ServiceOverloaded:
             self._inflight.pop(key, None)
+            self._work.pop(key, None)
             for breaker in claimed:
                 breaker.abort_trial()  # the trial call never ran
             self.metrics.inc("shed")
             raise
         value, n_members, degraded = await self._await_result(
-            future, timeout, query
+            future, timeout, query, budget=budget, work=work
         )
         return self._respond(
             query, wire_params, value, t0, batched=n_members > 1,
@@ -608,27 +746,65 @@ class QueryEngine:
             **flags,
         )
 
-    def _admit(self, query: Query, future: asyncio.Future) -> None:
-        """Queue fresh work, joining a pending micro-batch when possible."""
+    def _admit(
+        self,
+        query: Query,
+        future: asyncio.Future,
+        budget: DeadlineBudget | None,
+        *,
+        store: bool = True,
+    ) -> _WorkUnit:
+        """Queue fresh work, joining a pending micro-batch when possible.
+
+        Returns the :class:`_WorkUnit` governing the computation this
+        caller now waits on (the group's, when it joined a batch) with
+        the caller already joined.  Fresh singles and *new* groups pass
+        the adaptive admission limiter; joining an already-admitted
+        group adds no concurrency and bypasses it.
+        """
+        now = time.perf_counter()
         group_key = query.batch_group()
         if group_key is not None:
             group = self._pending_batches.get(group_key)
             if group is not None and len(group.members) < self.max_batch:
-                group.members.append((query, future))
-                return
-        if group_key is None:
-            self._enqueue(query, future)
-            return
-        group = _BatchGroup(group_key, [(query, future)])
-        self._enqueue_group(group)
-
-    def _enqueue(self, query: Query, future: asyncio.Future) -> None:
+                group.work.join()
+                if store:
+                    group.work.store = True
+                self._work[query.cache_key] = group.work
+                group.members.append(
+                    _Pending(query, future, budget, group.work, now)
+                )
+                return group.work
+        kind_name = query.kind.name
+        if not self._admission.try_acquire(kind_name):
+            self.metrics.inc("admission_rejected")
+            raise ServiceOverloaded(
+                f"adaptive concurrency limit reached for "
+                f"{kind_name!r}; query shed"
+            )
+        work = _WorkUnit(store=store)
+        work.join()
+        pending = _Pending(query, future, budget, work, now)
         try:
-            self._queue.put_nowait((query, future))
+            if group_key is None:
+                self._enqueue(pending)
+            else:
+                self._enqueue_group(
+                    _BatchGroup(group_key, work, now, [pending])
+                )
+        except ServiceOverloaded:
+            self._admission.cancel_acquire(kind_name)
+            raise
+        self._work[query.cache_key] = work
+        return work
+
+    def _enqueue(self, pending: _Pending) -> None:
+        try:
+            self._queue.put_nowait(pending)
         except asyncio.QueueFull:
             raise ServiceOverloaded(
                 f"admission queue full ({self.max_queue}); "
-                f"{query.kind.name} query shed"
+                f"{pending.query.kind.name} query shed"
             ) from None
 
     def _enqueue_group(self, group: _BatchGroup) -> None:
@@ -642,21 +818,45 @@ class QueryEngine:
         self._pending_batches[group.group_key] = group
 
     async def _await_result(
-        self, future: asyncio.Future, timeout: float | None, query: Query
-    ) -> tuple[Any, int]:
+        self,
+        future: asyncio.Future,
+        timeout: float | None,
+        query: Query,
+        *,
+        budget: DeadlineBudget | None = None,
+        work: _WorkUnit | None = None,
+    ) -> tuple[Any, int, bool]:
         """Wait for a computation with the per-query deadline.
 
         The future is shielded: one waiter timing out must not cancel
-        the computation other coalesced waiters share.
+        the computation other coalesced waiters share.  A propagated
+        ``budget`` tightens the local deadline and turns the timeout
+        into a typed :class:`DeadlineExhausted`; either way a waiter
+        that gives up *abandons* its work unit, and the last abandoning
+        waiter cancels the computation.
         """
         deadline = self.default_timeout_s if timeout is None else timeout
+        if budget is not None:
+            deadline = min(deadline, budget.remaining_s())
         try:
-            return await asyncio.wait_for(asyncio.shield(future), deadline)
+            result = await asyncio.wait_for(asyncio.shield(future), deadline)
         except asyncio.TimeoutError:
+            if work is not None:
+                work.leave(abandoned=True)
+            if budget is not None and budget.exhausted():
+                self.metrics.inc("deadline_exhausted")
+                raise DeadlineExhausted(
+                    f"{query.kind.name} query's deadline budget ran out "
+                    f"while awaiting its answer",
+                    stage="await",
+                ) from None
             self.metrics.inc("timeouts")
             raise QueryTimeout(
                 f"{query.kind.name} query exceeded its {deadline}s deadline"
             ) from None
+        if work is not None:
+            work.leave(abandoned=False)
+        return result
 
     # -- workers ------------------------------------------------------------
 
@@ -677,7 +877,9 @@ class QueryEngine:
     def _finish(
         self, query: Query, future: asyncio.Future, value: Any, n_members: int
     ) -> None:
-        self._store(query.cache_key, value)
+        work = self._work.pop(query.cache_key, None)
+        if work is None or work.store:
+            self._store(query.cache_key, value)
         self._inflight.pop(query.cache_key, None)
         if not future.done():
             future.set_result((value, n_members, False))
@@ -690,6 +892,7 @@ class QueryEngine:
         errors always propagate — serving stale data for a bad request
         would mask the caller's bug."""
         self._inflight.pop(query.cache_key, None)
+        self._work.pop(query.cache_key, None)
         if not isinstance(exc, QueryValidationError):
             stale = self._stale.get(query.cache_key, _MISSING)
             if stale is not _MISSING:
@@ -700,6 +903,29 @@ class QueryEngine:
         self.metrics.inc("errors")
         if not future.done():
             future.set_exception(exc)
+            # Every waiter may already have abandoned this future; read
+            # the exception so asyncio never logs "never retrieved".
+            future.exception()
+
+    def _resolve_rejected(
+        self, query: Query, future: asyncio.Future, exc: BaseException
+    ) -> None:
+        """Resolve a computation that was *refused* (cancelled, budget
+        dead) rather than failed: no stale fallback, no ``errors``
+        count, no breaker verdict — nobody is usually waiting."""
+        self._inflight.pop(query.cache_key, None)
+        self._work.pop(query.cache_key, None)
+        if not future.done():
+            future.set_exception(exc)
+            future.exception()  # usually zero waiters; silence asyncio
+
+    def _abort_breaker_trials(self, query: Query) -> None:
+        """Hand back any half-open trial slots this query claimed when
+        its evaluation ended without a verdict (cancelled / out of
+        budget) — a stranded ``half_open_busy`` slot would reject the
+        kind forever."""
+        for name in self._breakers_for(query):
+            self._breakers.get(name).abort_trial()
 
     async def _worker(self) -> None:
         loop = asyncio.get_running_loop()
@@ -710,24 +936,67 @@ class QueryEngine:
             if isinstance(item, _BatchGroup):
                 await self._run_batch(loop, item)
             else:
-                query, future = item
-                try:
-                    value = await loop.run_in_executor(
-                        self._executor,
-                        _evaluate_with_recovery,
-                        lambda q=query: _evaluate(q),
-                        query,
-                        self._injector,
-                        self.retry_policy,
-                        self.metrics,
-                    )
-                except Exception as exc:
-                    self._record_outcome(query, ok=False)
-                    self._fail(query, future, exc)
-                else:
-                    self._record_outcome(query, ok=True)
-                    self.metrics.inc("computed")
-                    self._finish(query, future, value, 1)
+                await self._run_single(loop, item)
+
+    async def _run_single(
+        self, loop: asyncio.AbstractEventLoop, pending: _Pending
+    ) -> None:
+        query, future = pending.query, pending.future
+        budget, work = pending.budget, pending.work
+        queue_delay = time.perf_counter() - pending.admitted_at
+        try:
+            if work.token.cancelled:
+                # Every waiter left while this sat in the queue: the
+                # whole evaluation is reclaimed, not just its tail.
+                self.metrics.inc("cancelled")
+                self._abort_breaker_trials(query)
+                self._resolve_rejected(
+                    query, future,
+                    OperationCancelled(
+                        f"{query.kind.name} query abandoned before "
+                        f"evaluation started"
+                    ),
+                )
+                return
+            if budget is not None and budget.exhausted():
+                self.metrics.inc("deadline_exhausted")
+                self._abort_breaker_trials(query)
+                self._resolve_rejected(
+                    query, future,
+                    DeadlineExhausted(
+                        f"{query.kind.name} query's deadline budget ran "
+                        f"out waiting in the queue",
+                        stage="worker",
+                    ),
+                )
+                return
+            try:
+                value = await loop.run_in_executor(
+                    self._executor,
+                    _evaluate_with_recovery,
+                    lambda q=query, t=work.token, b=budget: _evaluate(q, t, b),
+                    query,
+                    self._injector,
+                    self.retry_policy,
+                    self.metrics,
+                )
+            except OperationCancelled as exc:
+                self.metrics.inc("cancelled")
+                self._abort_breaker_trials(query)
+                self._resolve_rejected(query, future, exc)
+            except DeadlineExhausted as exc:
+                self.metrics.inc("deadline_exhausted")
+                self._abort_breaker_trials(query)
+                self._resolve_rejected(query, future, exc)
+            except Exception as exc:
+                self._record_outcome(query, ok=False)
+                self._fail(query, future, exc)
+            else:
+                self._record_outcome(query, ok=True)
+                self.metrics.inc("computed")
+                self._finish(query, future, value, 1)
+        finally:
+            self._admission.release(query.kind.name, queue_delay)
 
     async def _run_batch(self, loop: asyncio.AbstractEventLoop,
                          group: _BatchGroup) -> None:
@@ -737,14 +1006,76 @@ class QueryEngine:
             await asyncio.sleep(self.batch_window_s)
         self._pending_batches.pop(group.group_key, None)
         members = list(group.members)
-        representative = members[0][0]
+        kind_name = members[0].query.kind.name
+        queue_delay = time.perf_counter() - group.admitted_at
+        try:
+            await self._run_batch_members(loop, group, members)
+        finally:
+            self._admission.release(kind_name, queue_delay)
+
+    async def _run_batch_members(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        group: _BatchGroup,
+        members: list[_Pending],
+    ) -> None:
+        representative = members[0].query
+        if group.work.token.cancelled:
+            self.metrics.inc("cancelled", len(members))
+            self._abort_breaker_trials(representative)
+            for p in members:
+                self._resolve_rejected(
+                    p.query, p.future,
+                    OperationCancelled(
+                        f"{p.query.kind.name} micro-batch abandoned by "
+                        f"every member"
+                    ),
+                )
+            return
+        # Budget-dead members are refused at the micro-batch boundary;
+        # the survivors still ride one vectorised evaluation.
+        live: list[_Pending] = []
+        for p in members:
+            if p.budget is not None and p.budget.exhausted():
+                self.metrics.inc("deadline_exhausted")
+                self._resolve_rejected(
+                    p.query, p.future,
+                    DeadlineExhausted(
+                        f"{p.query.kind.name} query's deadline budget ran "
+                        f"out gathering its micro-batch",
+                        stage="micro_batch",
+                    ),
+                )
+            else:
+                live.append(p)
+        if not live:
+            self._abort_breaker_trials(representative)
+            return
+        representative = live[0].query
         kind = representative.kind
         axis = kind.batch_axis
-        values = tuple(getattr(q.params, axis) for q, _ in members)
+        values = tuple(getattr(p.query.params, axis) for p in live)
+        budgets = [p.budget for p in live]
+        # The evaluation serves every live member, so it gets the most
+        # generous live budget — and none at all if any member is
+        # unbudgeted (cutting their answer short would be a regression).
+        handler_budget: DeadlineBudget | None = None
+        if all(b is not None for b in budgets):
+            handler_budget = max(budgets, key=lambda b: b.remaining_s())
 
-        def evaluate_batch() -> Any:
+        def evaluate_batch(
+            token=group.work.token, b=handler_budget
+        ) -> Any:
+            if b is not None and b.exhausted():
+                raise DeadlineExhausted(
+                    f"{kind.name} micro-batch refused: every member's "
+                    f"deadline budget is exhausted",
+                    stage="handler",
+                )
             # One scenario per group — the fingerprint is in the group key.
-            with scenario_context(representative.scenario):
+            with cancel_context(token), scenario_context(
+                representative.scenario
+            ):
                 return kind.batch_handler(representative.params, values)
 
         try:
@@ -757,18 +1088,31 @@ class QueryEngine:
                 self.retry_policy,
                 self.metrics,
             )
+        except OperationCancelled as exc:
+            self.metrics.inc("cancelled", len(live))
+            self._abort_breaker_trials(representative)
+            for p in live:
+                self._resolve_rejected(p.query, p.future, exc)
+            return
+        except DeadlineExhausted as exc:
+            self.metrics.inc("deadline_exhausted", len(live))
+            self._abort_breaker_trials(representative)
+            for p in live:
+                self._resolve_rejected(p.query, p.future, exc)
+            return
         except Exception as exc:
             self._record_outcome(representative, ok=False)
-            for query, future in members:
-                self._fail(query, future, exc)
+            for p in live:
+                self._fail(p.query, p.future, exc)
             return
         self._record_outcome(representative, ok=True)
-        self.metrics.inc("computed", len(members))
+        self.metrics.inc("computed", len(live))
         self.metrics.inc("batches")
-        self.metrics.batch_size.observe(len(members))
-        if len(members) > 1:
-            self.metrics.inc("batched", len(members))
-        for query, future in members:
+        self.metrics.batch_size.observe(len(live))
+        if len(live) > 1:
+            self.metrics.inc("batched", len(live))
+        for p in live:
             self._finish(
-                query, future, answers[getattr(query.params, axis)], len(members)
+                p.query, p.future,
+                answers[getattr(p.query.params, axis)], len(live),
             )

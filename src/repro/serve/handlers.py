@@ -48,6 +48,7 @@ from repro.hardware.roofline import (
     roofline_time,
 )
 from repro.ozaki.perf import emulated_gemm_performance
+from repro.resilience import cancel_point
 from repro.serve.queries import QueryKind, QueryRegistry
 from repro.units import TERA
 
@@ -115,6 +116,7 @@ def _costbenefit_answer(report: Any) -> Any:
 
 
 def handle_costbenefit(params: CostBenefitParams) -> Any:
+    cancel_point()
     report = assess_scenario(
         _scenario(params.scenario), me_speedup=params.me_speedup
     )
@@ -130,6 +132,7 @@ def handle_costbenefit_batch(
     kernels are bit-identical to the scalar path — batching changes
     *when* work happens, never the bytes that come back.
     """
+    cancel_point()
     reports = assess_grid(
         (_scenario(params.scenario),), me_speedups=me_speedups
     )[0]
@@ -168,6 +171,7 @@ def _node_hours_answer(scenario: NodeHourModel, speedup: float) -> Any:
 
 
 def handle_node_hours(params: NodeHoursParams) -> Any:
+    cancel_point()
     return _node_hours_answer(_scenario(params.scenario), params.speedup)
 
 
@@ -181,6 +185,7 @@ def handle_node_hours_batch(
     bit-identical to the scalar path — batching changes *when* work
     happens, never the bytes that come back.
     """
+    cancel_point()
     scenario = _scenario(params.scenario)
     result = scenario.as_grid(speedups).evaluate()
     return {
@@ -215,6 +220,7 @@ class MeSpeedupParams:
 
 
 def handle_me_speedup(params: MeSpeedupParams) -> Any:
+    cancel_point()
     try:
         speedup = me_speedup_estimate(params.device, params.fmt)
     except DeviceError as exc:  # device lacks an ME or the format
@@ -237,6 +243,7 @@ def handle_me_speedup_batch(
     :func:`~repro.analysis.costbenefit.me_speedup_grid` pass; each
     answer equals the scalar handler's exactly.
     """
+    cancel_point()
     try:
         speedups = me_speedup_grid(params.device, fmts)
     except DeviceError as exc:  # device lacks an ME or a format
@@ -275,6 +282,7 @@ class RooflineParams:
 
 
 def handle_roofline(params: RooflineParams) -> Any:
+    cancel_point()
     device = get_device(params.device)
     unit = device.best_unit(params.fmt, allow_matrix=params.allow_matrix)
     duration, t_comp, t_mem = roofline_time(
@@ -319,6 +327,7 @@ class DensityParams:
 
 
 def handle_density(params: DensityParams) -> Any:
+    cancel_point()
     a = get_device(params.device_a)
     b = get_device(params.device_b)
 
@@ -377,8 +386,10 @@ class OzakiParams:
 
 
 def handle_ozaki(params: OzakiParams) -> Any:
+    cancel_point()
     rows = emulated_gemm_performance(params.n, params.device)
     for row in rows:
+        cancel_point()
         if row.implementation != params.implementation:
             continue
         if (

@@ -42,6 +42,7 @@ and the process exits 0.
 from __future__ import annotations
 
 import json
+import random
 import sys
 import threading
 import time
@@ -49,19 +50,33 @@ import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
-from repro.errors import ReproError, ServiceDraining
+from repro.errors import QueryValidationError, ReproError, ServiceDraining
 
 from repro.serve.client import ServeClient
+from repro.serve.deadline import (
+    DEADLINE_HEADER,
+    DeadlineBudget,
+    parse_deadline_header,
+    parse_deadline_ms,
+)
 from repro.serve.metrics import render_text_metrics
 
 __all__ = [
     "ServeHTTPServer",
+    "NO_STORE_HEADER",
     "STATUS_BY_CODE",
+    "jittered_retry_after",
     "make_server",
     "main",
     "run_serve_loop",
     "parse_handler_concurrency",
 ]
+
+#: Request header asking the engine not to cache the answer.  Sent by
+#: the cluster router's hedged-request backup: a duplicate answer
+#: inserted into the *backup* shard's LRU would evict entries that
+#: shard is actually warm for (cache pollution).
+NO_STORE_HEADER = "X-Repro-No-Store"
 
 #: The one code→HTTP-status table.  Codes absent here answer 500; the
 #: ``code`` field still rides in the payload, so even a 500 is typed.
@@ -73,7 +88,9 @@ STATUS_BY_CODE: dict[str, int] = {
     "circuit_open": 503,
     "service_draining": 503,
     "shard_unavailable": 503,
+    "operation_cancelled": 503,
     "query_timeout": 504,
+    "deadline_exhausted": 504,
 }
 
 #: Status for a :class:`ReproError` whose code has no table entry.
@@ -88,6 +105,17 @@ RETRY_AFTER_BY_CODE: dict[str, int] = {
     "service_draining": 1,
     "circuit_open": 2,
 }
+
+
+def jittered_retry_after(seconds: float) -> float:
+    """Spread one ``Retry-After`` hint uniformly across ±50%.
+
+    Every client that hit the same breaker/drain rejection gets a
+    *different* retry time, so they do not come back as one synchronized
+    thundering herd exactly ``seconds`` later.  Deliberately *not*
+    seeded: decorrelation is the point.
+    """
+    return max(0.05, seconds * random.uniform(0.5, 1.5))
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -126,6 +154,8 @@ class _Handler(BaseHTTPRequestHandler):
         retry_after = exc.retry_after
         if retry_after is None:
             retry_after = RETRY_AFTER_BY_CODE.get(exc.code)
+        if retry_after is not None:
+            retry_after = jittered_retry_after(retry_after)
         self._send(
             STATUS_BY_CODE.get(exc.code, DEFAULT_ERROR_STATUS),
             exc.to_dict(),
@@ -177,12 +207,27 @@ class _Handler(BaseHTTPRequestHandler):
                 kind = request["kind"]
                 params = request.get("params") or {}
                 scenario = request.get("scenario")
+                deadline_ms = request.get("deadline_ms")
             except (ValueError, KeyError, TypeError) as exc:
                 self._send(400, {"error": f"malformed query request: {exc}"})
                 return
             try:
+                # The wire header (an upstream hop's remaining budget)
+                # wins over the body field (a direct client's ask).
+                budget = parse_deadline_header(
+                    self.headers.get(DEADLINE_HEADER)
+                )
+                if budget is None and deadline_ms is not None:
+                    budget = DeadlineBudget(parse_deadline_ms(deadline_ms))
+            except QueryValidationError as exc:
+                self.server.client.engine.metrics.inc("invalid")
+                self._send_error(exc)
+                return
+            store = self.headers.get(NO_STORE_HEADER, "") in ("", "0")
+            try:
                 response = self.server.client.query(
-                    kind, params, scenario=scenario
+                    kind, params, scenario=scenario, budget=budget,
+                    store=store,
                 )
             except ReproError as exc:
                 self._send_error(exc)

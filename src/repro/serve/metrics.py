@@ -134,6 +134,10 @@ class Metrics:
         "drain_rejected",     # rejected because the service is draining
         "snapshot_saved",     # cache entries flushed to a shutdown snapshot
         "snapshot_restored",  # cache entries restored from a startup snapshot
+        "deadline_exhausted",  # refused: propagated budget ran out mid-stage
+        "cancelled",           # computations stopped: every waiter abandoned
+        "cancelled_work_ms",   # handler milliseconds reclaimed by cancellation
+        "admission_rejected",  # shed by the adaptive (AIMD) concurrency limit
     )
 
     def __init__(self) -> None:
@@ -144,12 +148,18 @@ class Metrics:
         self.latency_by_kind: dict[str, Histogram] = {}
         self.batch_size = Histogram()
         self._lock = threading.Lock()
+        self._sections: dict[str, Callable[[], Any]] = {}
 
     def inc(self, counter: str, n: int = 1) -> None:
         self.counters[counter].inc(n)
 
     def register_gauge(self, name: str, fn: Callable[[], float]) -> None:
         self.gauges[name] = Gauge(fn)
+
+    def register_section(self, name: str, fn: Callable[[], Any]) -> None:
+        """Attach a structured sub-snapshot (e.g. the adaptive admission
+        limits) evaluated lazily on every :meth:`snapshot`."""
+        self._sections[name] = fn
 
     def observe_latency(self, kind: str, seconds: float) -> None:
         self.latency.observe(seconds)
@@ -166,7 +176,9 @@ class Metrics:
         requests = counters["requests"]
         with self._lock:
             by_kind = dict(self.latency_by_kind)
+        sections = {name: fn() for name, fn in self._sections.items()}
         return {
+            **sections,
             "uptime_s": uptime,
             "counters": counters,
             "gauges": {n: g.value for n, g in self.gauges.items()},
