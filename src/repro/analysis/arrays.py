@@ -373,7 +373,7 @@ class SweepGrid:
         with np.errstate(divide="ignore"):
             throughput = 1.0 / consumed
         saved = self.total_node_hours[:, None] * reduction
-        return SweepResult(
+        result = SweepResult(
             machines=self.machines,
             speedups=self.speedups,
             consumed_fraction=consumed,
@@ -381,6 +381,12 @@ class SweepGrid:
             throughput_improvement=throughput,
             node_hours_saved=saved,
         )
+        # ABFT-style self-checks after every kernel pass: a corrupted
+        # tensor raises IntegrityError instead of flowing downstream.
+        from repro.integrity.invariants import verify_sweep_result
+
+        verify_sweep_result(self, result)
+        return result
 
     def evaluate(self) -> SweepResult:
         """All four Fig. 4 tensors from one broadcast evaluation."""

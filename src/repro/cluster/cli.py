@@ -53,6 +53,10 @@ options:
                             kind's rolling p95, race a ring neighbour
                             and take the first answer)
   --hedge-ratio R           cap hedges at R of all requests (default 0.05)
+  --verify-sample-rate R    fraction of worker cache hits digest-verified
+                            before serving (default 0.125; 1 = every hit)
+  --scrub-interval S        per-worker background cache-scrubber pass
+                            interval; 0 disables (default 0)
   --verbose                 prefix and forward worker logs
 """
 
@@ -89,6 +93,8 @@ def main(argv: list[str] | None = None) -> int:
     if not hedge:
         args.remove("--no-hedge")
     hedge_ratio = _float_flag(args, "--hedge-ratio", 0.05)
+    verify_sample_rate = _float_flag(args, "--verify-sample-rate", 0.125)
+    scrub_interval = _float_flag(args, "--scrub-interval", 0.0)
     verbose = "--verbose" in args
     if verbose:
         args.remove("--verbose")
@@ -115,6 +121,8 @@ def main(argv: list[str] | None = None) -> int:
         ring_seed=ring_seed,
         hedge=hedge,
         hedge_ratio=hedge_ratio,
+        verify_sample_rate=verify_sample_rate,
+        scrub_interval_s=scrub_interval,
         verbose=verbose,
     )
 

@@ -88,6 +88,7 @@ ROUTER_COUNTERS = (
     "deadline_rejected",  # refused: the deadline budget died at the router
     "hedges",            # backup requests issued to a ring neighbour
     "hedge_wins",        # hedged queries answered by the backup first
+    "integrity_rejected",  # 200 replies dropped: digest mismatch (spilled)
 )
 
 
@@ -705,6 +706,18 @@ class ClusterRouter:
             self._inc("shard_errors")
             skipped.append(f"shard {shard} unreachable ({exc})")
             return None
+        if status == 200 and not self._reply_intact(payload):
+            # The worker's 200 carried a value that no longer hashes to
+            # the digest the worker's engine sealed — corruption on the
+            # worker or on the wire.  Never forward it: charge the
+            # breaker, drop the reply, spill to the next ring neighbour
+            # (which recomputes rather than echoing the damage).
+            breaker.record_failure()
+            self._inc("integrity_rejected")
+            skipped.append(
+                f"shard {shard} returned a corrupt payload (digest mismatch)"
+            )
+            return None
         breaker.record_success()
         retry_after = self._retry_after(headers)
         if status == 503 and self._wire_code(payload) == \
@@ -839,6 +852,28 @@ class ClusterRouter:
             return json.loads(payload).get("code")
         except (ValueError, AttributeError):
             return None
+
+    @staticmethod
+    def _reply_intact(payload: bytes) -> bool:
+        """Does a worker's 200 reply still hash to its sealed digest?
+
+        Replies without a digest (older workers) verify trivially; an
+        unparseable 200 body is corrupt by definition."""
+        from repro.integrity import payload_digest
+
+        try:
+            parsed = json.loads(payload)
+        except ValueError:
+            return False
+        if not isinstance(parsed, dict):
+            return False
+        digest = parsed.get("digest")
+        if not digest:
+            return True
+        try:
+            return payload_digest(parsed.get("value")) == digest
+        except (TypeError, ValueError):
+            return False
 
     @staticmethod
     def _annotate(

@@ -104,6 +104,8 @@ class ClusterSupervisor:
         hedge: bool = True,
         hedge_ratio: float = 0.05,
         boot_timeout_s: float = 60.0,
+        verify_sample_rate: float = 0.125,
+        scrub_interval_s: float = 0.0,
         verbose: bool = False,
     ) -> None:
         if cluster_size < 1:
@@ -131,6 +133,8 @@ class ClusterSupervisor:
         self.snapshot_interval_s = snapshot_interval_s
         self.drain_timeout_s = drain_timeout_s
         self.boot_timeout_s = boot_timeout_s
+        self.verify_sample_rate = verify_sample_rate
+        self.scrub_interval_s = scrub_interval_s
         self.verbose = verbose
 
         shard_ids = list(range(cluster_size))
@@ -191,6 +195,8 @@ class ClusterSupervisor:
             "--cache-size", str(self.cache_size),
             "--timeout", str(self.timeout_s),
             "--drain-timeout", str(self.drain_timeout_s),
+            "--verify-sample-rate", str(self.verify_sample_rate),
+            "--scrub-interval", str(self.scrub_interval_s),
         ]
         for path in self.scenario_files:
             cmd += ["--scenario", path]

@@ -65,6 +65,8 @@ def main(argv: list[str] | None = None) -> int:
     snapshot_interval = _float_flag(
         args, "--snapshot-interval", DEFAULT_SNAPSHOT_INTERVAL_S
     )
+    verify_sample_rate = _float_flag(args, "--verify-sample-rate", 0.125)
+    scrub_interval = _float_flag(args, "--scrub-interval", 0.0)
     drain_timeout = _float_flag(args, "--drain-timeout", 10.0)
     verbose = "--verbose" in args
     if verbose:
@@ -85,6 +87,8 @@ def main(argv: list[str] | None = None) -> int:
         cache_size=cache_size,
         default_timeout_s=timeout,
         fault_plan=fault_plan,
+        verify_sample_rate=verify_sample_rate,
+        scrub_interval_s=scrub_interval,
     )
     # Shard identity rides the worker's own metrics, so even a raw
     # per-worker /metrics scrape is attributable.

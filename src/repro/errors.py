@@ -34,6 +34,7 @@ __all__ = [
     "CircuitOpen",
     "FaultInjected",
     "FaultPlanError",
+    "IntegrityError",
     "PipelineError",
     "SubstrateBuildError",
     "ArtifactError",
@@ -222,6 +223,33 @@ class FaultPlanError(ReproError, ValueError):
     """Invalid fault-plan specification (unknown keys, bad rule values)."""
 
     code = "fault_plan_error"
+
+
+class IntegrityError(ReproError, RuntimeError):
+    """A result failed an integrity check — never serve it.
+
+    Raised by the :mod:`repro.integrity` layer when a kernel invariant
+    is violated (:func:`repro.integrity.verify_sweep_result`), a handler
+    answer fails its algebraic self-checks
+    (:func:`repro.integrity.verify_answer`), or a checksummed result
+    envelope no longer matches its digest.  The serve engine treats it
+    like any transient handler failure — retried, then stale-fallback —
+    because recomputing is exactly the right response to corruption;
+    what it never does is return the damaged value.  ``check`` names
+    the failed invariant for metrics and chaos-test assertions.
+    """
+
+    code = "integrity_error"
+
+    def __init__(self, message: str, *, check: str = "") -> None:
+        super().__init__(message)
+        self.check = check
+
+    def to_dict(self) -> dict:
+        out = super().to_dict()
+        if self.check:
+            out["check"] = self.check
+        return out
 
 
 class StoreError(ReproError, RuntimeError):

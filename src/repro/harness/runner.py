@@ -181,31 +181,92 @@ def _load_manifest(outdir) -> dict | None:
     return manifest if isinstance(manifest, dict) else None
 
 
-def _verify(outdir: str) -> int:
-    """``repro-paper --verify DIR``: journal + checksum audit.
+#: What each ``--verify`` per-file status means, both for the human
+#: report and for the ``--json`` document's consumers.
+_VERIFY_STATUS_DETAIL = {
+    "ok": "checksum matches its manifest/journal record",
+    "missing": "expected but absent",
+    "torn": "write started but never committed; quarantined",
+    "corrupt": "checksum mismatch; quarantined",
+    "extra": "not named by manifest or journal",
+}
+
+
+def _verify(outdir: str, *, as_json: bool = False) -> int:
+    """``repro-paper --verify DIR [--json]``: journal + checksum audit.
 
     Every file the manifest (v4 checksums) or journal names is verified
-    against its recorded SHA-256; torn and corrupt files are quarantined
-    to ``*.corrupt`` (never deleted), missing and unexpected files are
-    reported.  Exit 0 means every artefact is trustworthy.
+    against its recorded SHA-256 — the same
+    :func:`repro.integrity.bytes_digest` discipline the serve layer's
+    result envelopes use — torn and corrupt files are quarantined to
+    ``*.corrupt`` (never deleted), missing and unexpected files are
+    reported.
+
+    Exit code semantics (identical for both output forms): **0** — every
+    artefact is trustworthy (all files ``ok``, nothing unexpected);
+    **1** — the directory cannot be vouched for (a
+    ``missing``/``torn``/``corrupt``/``extra`` file, or an export that
+    never reached ``artifact_done``); **2** — usage error (not a
+    directory, or nothing to audit against).
+
+    With ``--json`` the report is one machine-readable document on
+    stdout::
+
+        {"directory": ..., "ok": bool, "exit_code": 0|1,
+         "counts": {"ok": N, ...},
+         "files": [{"file", "artifact", "status", "detail",
+                    "expected_sha256", "actual_sha256"}, ...],
+         "broken": {"artifact": "reason", ...},
+         "status_semantics": {...}}
     """
+    import json as jsonlib
     from pathlib import Path
 
     from repro.harness.store import audit_run, read_journal
 
     if not Path(outdir).is_dir():
-        raise SystemExit(f"--verify: {outdir!r} is not a directory")
+        print(f"--verify: {outdir!r} is not a directory", file=sys.stderr)
+        return 2
     manifest = _load_manifest(outdir)
     records = read_journal(outdir)
     if manifest is None and not records:
-        raise SystemExit(
+        print(
             f"--verify: {outdir!r} has neither manifest.json nor "
-            "journal.jsonl — nothing to audit against"
+            "journal.jsonl — nothing to audit against",
+            file=sys.stderr,
         )
+        return 2
     audit = audit_run(outdir, manifest, records, quarantine_corrupt=True)
     counts = {}
     for report in audit.files:
         counts[report.status] = counts.get(report.status, 0) + 1
+    if as_json:
+        document = {
+            "directory": str(outdir),
+            "ok": audit.ok,
+            "exit_code": 0 if audit.ok else 1,
+            "manifest_present": audit.manifest_present,
+            "counts": {
+                status: counts[status]
+                for status in ("ok", "missing", "torn", "corrupt", "extra")
+                if counts.get(status)
+            },
+            "files": [
+                {
+                    "file": report.file,
+                    "artifact": report.artifact,
+                    "status": report.status,
+                    "detail": _VERIFY_STATUS_DETAIL[report.status],
+                    "expected_sha256": report.expected_sha256,
+                    "actual_sha256": report.actual_sha256,
+                }
+                for report in audit.files
+            ],
+            "broken": dict(sorted(audit.broken.items())),
+            "status_semantics": dict(_VERIFY_STATUS_DETAIL),
+        }
+        print(jsonlib.dumps(document, indent=2, sort_keys=True))
+        return 0 if audit.ok else 1
     summary = ", ".join(
         f"{counts[s]} {s}"
         for s in ("ok", "missing", "torn", "corrupt", "extra")
@@ -215,12 +276,7 @@ def _verify(outdir: str) -> int:
     for report in audit.files:
         if report.status == "ok":
             continue
-        detail = {
-            "missing": "expected but absent",
-            "torn": "write started but never committed; quarantined",
-            "corrupt": "checksum mismatch; quarantined",
-            "extra": "not named by manifest or journal",
-        }[report.status]
+        detail = _VERIFY_STATUS_DETAIL[report.status]
         owner = f" [{report.artifact}]" if report.artifact else ""
         print(f"[verify]   {report.status:7s} {report.file}{owner} — {detail}")
     if audit.broken:
@@ -400,7 +456,7 @@ def main(argv: list[str] | None = None) -> int:
             "[--fault-plan FILE] [artefact ...]"
         )
         print("       repro-paper --resume DIR [--jobs N]")
-        print("       repro-paper --verify DIR")
+        print("       repro-paper --verify DIR [--json]")
         print("artefacts:", " ".join(sorted(ARTIFACTS)))
         print("options:")
         print("  --output DIR      write text/JSON/CSV files plus manifest.json")
@@ -411,6 +467,8 @@ def main(argv: list[str] | None = None) -> int:
               "a previous --output")
         print("  --verify DIR      audit artefacts against manifest + journal "
               "checksums; quarantine corrupt files")
+        print("  --json            with --verify: one machine-readable JSON "
+              "report on stdout (exit 0 all ok, 1 damage, 2 usage error)")
         print("  --version         print the package version and exit")
         return 0
     if "--version" in args:
@@ -424,6 +482,9 @@ def main(argv: list[str] | None = None) -> int:
     fault_arg = _flag_value(args, "--fault-plan", "a JSON file argument")
     resume_arg = _flag_value(args, "--resume", "a directory argument")
     verify_arg = _flag_value(args, "--verify", "a directory argument")
+    json_report = "--json" in args
+    if json_report:
+        args.remove("--json")
     jobs = 1
     if jobs_arg is not None:
         try:
@@ -435,9 +496,11 @@ def main(argv: list[str] | None = None) -> int:
                 or jobs_arg is not None):
             raise SystemExit(
                 "--verify audits an existing directory and takes no "
-                "other options"
+                "option other than --json"
             )
-        return _verify(verify_arg)
+        return _verify(verify_arg, as_json=json_report)
+    if json_report:
+        raise SystemExit("--json is only meaningful with --verify DIR")
     if resume_arg is not None:
         if args or outdir or scenario_arg or fault_arg:
             raise SystemExit(

@@ -44,7 +44,6 @@ make crash-consistency testable deterministically:
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import signal
@@ -54,6 +53,7 @@ from pathlib import Path
 from typing import Any, Iterable, Mapping
 
 from repro.errors import StoreError
+from repro.integrity.digest import bytes_digest
 from repro.resilience.faultplan import fault_point
 
 __all__ = [
@@ -80,8 +80,9 @@ _BOOKKEEPING = ("manifest.json", JOURNAL_NAME)
 
 
 def sha256_bytes(data: bytes) -> str:
-    """Hex SHA-256 of a byte string."""
-    return hashlib.sha256(data).hexdigest()
+    """Hex SHA-256 of a byte string (the serve envelopes' primitive —
+    one digest discipline across cache, snapshot, and store audits)."""
+    return bytes_digest(data)
 
 
 def sha256_file(path: Path) -> str | None:

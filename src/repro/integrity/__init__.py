@@ -1,0 +1,57 @@
+"""End-to-end result integrity: nothing corrupted is ever served.
+
+The serve stack already survives crashes, slow shards, and overload;
+this package defends the *answers themselves* against silent data
+corruption — a flipped bit in an LRU entry, a damaged snapshot, a
+faulted handler — the worst failure mode for a system whose product is
+numeric claims.  Three independent layers, each catching what the
+previous one cannot:
+
+* **ABFT-style kernel invariants**
+  (:func:`~repro.integrity.invariants.verify_sweep_result`) — cheap
+  algebraic self-checks over every :class:`~repro.analysis.SweepGrid`
+  evaluation (accumulation checksums, consumed-fraction bounds,
+  monotonicity in speedup), run after each kernel pass.  Catches
+  corruption *inside* a computation.
+
+* **Answer invariants**
+  (:func:`~repro.integrity.answers.verify_answer`) — per-kind algebraic
+  redundancy checks over handler answers (cross-field identities, echo
+  consistency with the query params), run on every evaluation before
+  the result is sealed.  Catches plausible-but-wrong values produced
+  *before* any checksum exists — the ``wrong-answer`` fault kind.
+
+* **Checksummed result envelopes**
+  (:class:`~repro.integrity.envelope.ResultEnvelope`) — every cached or
+  snapshotted result carries a canonical SHA-256 of its payload,
+  verified on read (always for snapshot restores, sampled for hot cache
+  hits, continuously by the engine's background scrubber) and exposed
+  on the wire as ``X-Repro-Result-Digest`` so clients and the cluster
+  router can re-verify.  Catches corruption *at rest and in transit* —
+  the ``flip`` fault kind.
+
+All violations raise the typed
+:class:`~repro.errors.IntegrityError`; the serve engine's response is
+always the same — never serve the value, recompute it.
+"""
+
+from repro.integrity.answers import verify_answer
+from repro.integrity.digest import (
+    bytes_digest,
+    corrupt_payload,
+    payload_digest,
+    perturb_answer,
+)
+from repro.integrity.envelope import ResultEnvelope, seal
+from repro.integrity.invariants import verify_sweep_result
+
+__all__ = [
+    "bytes_digest",
+    "payload_digest",
+    "corrupt_payload",
+    "perturb_answer",
+    "ResultEnvelope",
+    "seal",
+    "verify_answer",
+    "verify_sweep_result",
+]

@@ -1,0 +1,329 @@
+"""Per-kind algebraic invariants over serve handler answers.
+
+The checksummed envelope (:mod:`repro.integrity.envelope`) can only
+prove an answer did not change *after* it was sealed; a handler that
+miscomputed — a soft error mid-evaluation, or the ``wrong-answer``
+fault kind modelling one — seals a digest over the wrong value and
+every checksum downstream verifies happily.  This module is the layer
+that catches that: every built-in query kind's answer carries internal
+algebraic redundancy (cross-field identities recomputable from the
+answer itself, plus echo fields that must match the query params), and
+:func:`verify_answer` re-derives it before the engine accepts the
+evaluation.
+
+Check discipline — no false positives, ever:
+
+* identities recomputed with the *same* floating-point operations the
+  handler used compare **exactly** (IEEE-754 ops are deterministic);
+* identities that algebraically invert an operation (``throughput x
+  consumed = 1``) get a 1e-9 relative tolerance and are skipped in the
+  regimes where cancellation could widen honest rounding past it;
+* everything else is range/consistency checking with the same slack.
+
+A real perturbation misses these by orders of magnitude — the
+``wrong-answer`` fault scales every float by 0.5 % — so the checks are
+sharp in practice while provably silent on honest answers (the 10k
+clean-round-trip guard in ``tests/test_integrity.py`` holds them to
+it).  Violations raise :class:`~repro.errors.IntegrityError`; the
+engine retries the evaluation exactly as it would any transient
+failure.
+
+Unknown kinds verify trivially: a registry extended with new kinds is
+not blocked, it is simply not yet defended here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Mapping
+
+from repro.errors import IntegrityError
+
+__all__ = ["verify_answer"]
+
+#: Relative slack for algebraically-inverted identities.
+IDENTITY_TOLERANCE = 1e-9
+
+
+def _fail(kind: str, check: str, detail: str) -> None:
+    raise IntegrityError(
+        f"{kind} answer failed its integrity check [{check}]: {detail}",
+        check=check,
+    )
+
+
+def _num(x: Any) -> float | None:
+    """A float view of a canonical scalar (``"inf"`` spellings decoded);
+    ``None`` for anything non-numeric."""
+    if isinstance(x, bool):
+        return None
+    if isinstance(x, (int, float)):
+        return float(x)
+    if x == "inf":
+        return math.inf
+    if x == "-inf":
+        return -math.inf
+    return None
+
+
+def _same(a: Any, b: Any) -> bool:
+    """Echo equality: numerically for numbers (``4`` == ``4.0`` ==
+    ``"inf"``-decoded), literally otherwise."""
+    na, nb = _num(a), _num(b)
+    if na is not None and nb is not None:
+        return na == nb
+    return a == b
+
+
+def _field(kind: str, value: Mapping[str, Any], name: str) -> Any:
+    if name not in value:
+        _fail(kind, "answer.shape", f"missing field {name!r}")
+    return value[name]
+
+
+def _number(kind: str, value: Mapping[str, Any], name: str) -> float:
+    num = _num(_field(kind, value, name))
+    if num is None:
+        _fail(kind, "answer.shape", f"{name} is not a number: {value[name]!r}")
+    return num
+
+
+def _echo(
+    kind: str, params: Mapping[str, Any], value: Mapping[str, Any], *names: str
+) -> None:
+    """Fields the answer must echo from the params, exactly."""
+    for name in names:
+        if name not in params:
+            continue
+        got = _field(kind, value, name)
+        if not _same(got, params[name]):
+            _fail(
+                kind, "answer.echo",
+                f"{name} echoes {got!r}, query asked for {params[name]!r}",
+            )
+
+
+def _check_fraction(kind: str, name: str, x: float) -> None:
+    if not (-IDENTITY_TOLERANCE <= x <= 1.0 + IDENTITY_TOLERANCE):
+        _fail(kind, "answer.range", f"{name} {x} outside [0, 1]")
+
+
+def _check_node_hours(
+    params: Mapping[str, Any], value: Mapping[str, Any]
+) -> None:
+    kind = "node_hours"
+    _echo(kind, params, value, "speedup")
+    consumed = _number(kind, value, "consumed_fraction")
+    _check_fraction(kind, "consumed_fraction", consumed)
+    reduction = _number(kind, value, "reduction")
+    # Exact: the handler computed reduction as this very expression.
+    if reduction != 1.0 - consumed:
+        _fail(
+            kind, "answer.identity",
+            f"reduction {reduction} != 1 - consumed_fraction ({consumed})",
+        )
+    throughput = _number(kind, value, "throughput_improvement")
+    expected = math.inf if consumed == 0.0 else 1.0 / consumed
+    if throughput != expected:
+        _fail(
+            kind, "answer.identity",
+            f"throughput_improvement {throughput} != 1 / consumed_fraction "
+            f"({consumed})",
+        )
+    saved = _number(kind, value, "node_hours_saved")
+    if math.isnan(saved):
+        _fail(kind, "answer.range", f"node_hours_saved is {saved}")
+
+
+def _check_costbenefit(
+    params: Mapping[str, Any], value: Mapping[str, Any]
+) -> None:
+    kind = "costbenefit"
+    _echo(kind, params, value, "me_speedup")
+    reduction = _number(kind, value, "node_hour_reduction")
+    _check_fraction(kind, "node_hour_reduction", reduction)
+    ideal = _number(kind, value, "node_hour_reduction_ideal")
+    _check_fraction(kind, "node_hour_reduction_ideal", ideal)
+    if reduction > ideal + IDENTITY_TOLERANCE:
+        _fail(
+            kind, "answer.monotonicity",
+            f"node_hour_reduction {reduction} exceeds the ideal-engine "
+            f"bound {ideal}",
+        )
+    throughput = _number(kind, value, "throughput_improvement")
+    if math.isinf(throughput):
+        # 1/consumed is infinite only when consumed == 0 exactly, and
+        # then reduction == 1 - 0 exactly.
+        if reduction != 1.0:
+            _fail(
+                kind, "answer.identity",
+                f"throughput_improvement is infinite but "
+                f"node_hour_reduction is {reduction}, not 1",
+            )
+    else:
+        consumed = 1.0 - reduction
+        # Skip the inverted identity where cancellation in 1 - reduction
+        # could honestly exceed the tolerance (consumed below ~1e-6).
+        if consumed > 1e-6 and abs(throughput * consumed - 1.0) > IDENTITY_TOLERANCE:
+            _fail(
+                kind, "answer.identity",
+                f"throughput_improvement {throughput} x consumed "
+                f"({consumed}) is not 1",
+            )
+    worthwhile = _field(kind, value, "worthwhile")
+    if worthwhile is not (throughput >= 1.10):
+        _fail(
+            kind, "answer.identity",
+            f"worthwhile {worthwhile!r} disagrees with "
+            f"throughput_improvement {throughput}",
+        )
+    verdict = _field(kind, value, "verdict")
+    phrase = "may justify" if worthwhile else "better invested"
+    if not isinstance(verdict, str) or phrase not in verdict:
+        _fail(
+            kind, "answer.identity",
+            f"verdict does not match worthwhile={worthwhile!r}: {verdict!r}",
+        )
+
+
+def _check_me_speedup(
+    params: Mapping[str, Any], value: Mapping[str, Any]
+) -> None:
+    kind = "me_speedup"
+    _echo(kind, params, value, "device", "fmt")
+    speedup = _number(kind, value, "me_speedup")
+    if not speedup > 0.0:
+        _fail(kind, "answer.range", f"me_speedup {speedup} is not positive")
+
+
+def _check_roofline(
+    params: Mapping[str, Any], value: Mapping[str, Any]
+) -> None:
+    kind = "roofline"
+    _echo(kind, params, value, "device")
+    t_comp = _number(kind, value, "t_compute_s")
+    t_mem = _number(kind, value, "t_memory_s")
+    duration = _number(kind, value, "duration_s")
+    if t_comp < 0.0 or t_mem < 0.0:
+        _fail(
+            kind, "answer.range",
+            f"negative bound times ({t_comp}, {t_mem})",
+        )
+    # Exact: duration is computed as exactly this max.
+    if duration != max(t_comp, t_mem):
+        _fail(
+            kind, "answer.identity",
+            f"duration_s {duration} != max({t_comp}, {t_mem})",
+        )
+    bound = _field(kind, value, "bound")
+    expected_bound = "compute" if t_comp >= t_mem else "memory"
+    if bound != expected_bound:
+        _fail(
+            kind, "answer.identity",
+            f"bound {bound!r} disagrees with t_compute_s/t_memory_s "
+            f"({t_comp} vs {t_mem})",
+        )
+    flops, nbytes = _num(params.get("flops")), _num(params.get("nbytes"))
+    if flops is not None and nbytes is not None:
+        # Exact recompute of arithmetic_intensity(flops, nbytes).
+        expected_ai = math.inf if nbytes <= 0.0 else flops / nbytes
+        ai = _number(kind, value, "arithmetic_intensity")
+        if ai != expected_ai:
+            _fail(
+                kind, "answer.identity",
+                f"arithmetic_intensity {ai} != flops / nbytes "
+                f"({flops} / {nbytes})",
+            )
+    achievable = _number(kind, value, "achievable_flops")
+    if flops is not None and flops > 0.0 and achievable > 0.0:
+        # Exact: t_compute was computed as exactly this division.
+        if t_comp != flops / achievable:
+            _fail(
+                kind, "answer.identity",
+                f"t_compute_s {t_comp} != flops / achievable_flops "
+                f"({flops} / {achievable})",
+            )
+
+
+def _check_density(
+    params: Mapping[str, Any], value: Mapping[str, Any]
+) -> None:
+    kind = "density"
+    _echo(kind, params, value, "device_a", "device_b", "fmt")
+    da = _num(value.get("density_a_gflops_mm2"))
+    db = _num(value.get("density_b_gflops_mm2"))
+    ratio = _num(value.get("density_ratio"))
+    if da is not None and db is not None and ratio is not None and db != 0.0:
+        # Exact: density_ratio is computed as exactly this division of
+        # exactly these densities.
+        if ratio != da / db:
+            _fail(
+                kind, "answer.identity",
+                f"density_ratio {ratio} != density_a / density_b "
+                f"({da} / {db})",
+            )
+
+
+def _check_ozaki(
+    params: Mapping[str, Any], value: Mapping[str, Any]
+) -> None:
+    kind = "ozaki"
+    _echo(kind, params, value, "implementation", "n")
+    n = _number(kind, value, "n")
+    walltime = _number(kind, value, "walltime_s")
+    if not walltime > 0.0:
+        _fail(kind, "answer.range", f"walltime_s {walltime} is not positive")
+    tflops = _number(kind, value, "tflops")
+    # Exact recompute of the handler's Tflop/s expression.
+    from repro.units import TERA
+
+    expected = 2.0 * float(n) ** 3 / walltime / TERA
+    if tflops != expected:
+        _fail(
+            kind, "answer.identity",
+            f"tflops {tflops} != 2n^3 / walltime / 1e12 ({expected})",
+        )
+    watts = _number(kind, value, "watts")
+    if not watts > 0.0:
+        _fail(kind, "answer.range", f"watts {watts} is not positive")
+    gpj = _number(kind, value, "gflops_per_joule")
+    from repro.units import GIGA
+
+    expected_gpj = 2.0 * float(n) ** 3 / (watts * walltime) / GIGA
+    if abs(gpj - expected_gpj) > IDENTITY_TOLERANCE * max(abs(gpj), abs(expected_gpj)):
+        _fail(
+            kind, "answer.identity",
+            f"gflops_per_joule {gpj} != 2n^3 / energy ({expected_gpj})",
+        )
+
+
+_CHECKS: dict[str, Callable[[Mapping[str, Any], Mapping[str, Any]], None]] = {
+    "node_hours": _check_node_hours,
+    "costbenefit": _check_costbenefit,
+    "me_speedup": _check_me_speedup,
+    "roofline": _check_roofline,
+    "density": _check_density,
+    "ozaki": _check_ozaki,
+}
+
+
+def verify_answer(
+    kind: str, params: Mapping[str, Any], value: Any
+) -> None:
+    """Check one handler answer's algebraic self-consistency.
+
+    ``params`` is the query's canonical wire-params dict
+    (:func:`repro.serve.queries.canonical_params`); ``value`` the
+    handler's answer for those params.  Raises
+    :class:`~repro.errors.IntegrityError` naming the failed check; kinds
+    without registered checks pass trivially.
+    """
+    check = _CHECKS.get(kind)
+    if check is None:
+        return
+    if not isinstance(value, Mapping):
+        _fail(
+            kind, "answer.shape",
+            f"answer is {type(value).__name__}, expected an object",
+        )
+    check(params, value)

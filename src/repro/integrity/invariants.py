@@ -1,0 +1,170 @@
+"""ABFT-style algebraic invariants over the vectorized sweep kernels.
+
+Algorithm-based fault tolerance, scaled to this kernel: instead of
+trusting one pass of arithmetic, every :class:`~repro.analysis.arrays.
+SweepGrid` evaluation is followed by cheap redundant checks that any
+silent corruption of the result tensors — a flipped bit in an
+accumulator, a miscomputed lane, a damaged cache line — would violate:
+
+* **accumulation checksums** — the consumed-fraction plane is bounded,
+  per machine, by two left-to-right reference accumulations over the
+  domain axis: the ideal-engine floor ``Σ share·(1-accelerable)``
+  (every speedup column must sit at or above it) and the share-sum
+  ceiling ``Σ share`` (… at or below it).  Both ride the same
+  accumulation order as the kernel, so the bounds hold *bitwise* for
+  honest results (floating-point rounding is monotone); the tolerance
+  below is pure paranoia.
+* **cross-tensor identities** — ``reduction``, ``throughput`` and
+  ``node_hours_saved`` are elementwise functions of ``consumed``;
+  recomputing them is bit-exact redundancy (IEEE-754 ops are
+  deterministic), so the comparison is exact equality.
+* **monotonicity in speedup** — a faster engine never consumes more:
+  along the sorted speedup axis ``consumed`` is non-increasing and
+  ``node_hours_saved`` non-decreasing, again exactly (every kernel op
+  is monotone under rounding).
+
+Violations raise :class:`~repro.errors.IntegrityError` naming the
+failed check and the offending grid index — garbage is never returned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IntegrityError
+
+__all__ = ["verify_sweep_result"]
+
+#: Slack on the accumulation-checksum bounds.  The bounds are provably
+#: bitwise for honest kernels; a few ulps of headroom guards against a
+#: future kernel reordering without blinding the check (real corruption
+#: — an exponent-bit flip, a ``wrong-answer`` perturbation — misses by
+#: many orders of magnitude more).
+BOUND_TOLERANCE = 1e-9
+
+
+def _fail(check: str, detail: str) -> None:
+    raise IntegrityError(
+        f"sweep kernel invariant violated [{check}]: {detail}",
+        check=check,
+    )
+
+
+def _first_bad(bad: np.ndarray) -> tuple[int, ...]:
+    return tuple(int(i) for i in np.unravel_index(int(np.argmax(bad)), bad.shape))
+
+
+def verify_sweep_result(grid, result) -> None:
+    """Check one :class:`SweepResult` against its :class:`SweepGrid`.
+
+    Called by :meth:`SweepGrid.evaluate` after every kernel pass; cost
+    is a handful of elementwise passes over the ``(M, S)`` plane plus
+    two ``(M,)``-wide reference accumulations — small next to the
+    kernel's domain loop, and the price of never serving garbage.
+    """
+    consumed = result.consumed_fraction
+    m_n, s_n = len(grid.machines), int(grid.speedups.shape[0])
+    for name, tensor in (
+        ("consumed_fraction", consumed),
+        ("reduction", result.reduction),
+        ("throughput_improvement", result.throughput_improvement),
+        ("node_hours_saved", result.node_hours_saved),
+    ):
+        if tensor.shape != (m_n, s_n):
+            _fail(
+                "sweep.shape",
+                f"{name} has shape {tensor.shape}, grid is {(m_n, s_n)}",
+            )
+
+    # Range: a consumed fraction is a fraction.
+    bad = ~np.isfinite(consumed) | (consumed < -BOUND_TOLERANCE) | (
+        consumed > 1.0 + BOUND_TOLERANCE
+    )
+    if bad.any():
+        m, s = _first_bad(bad)
+        _fail(
+            "sweep.range",
+            f"{grid.machines[m]}: consumed fraction {consumed[m, s]} "
+            f"outside [0, 1] (grid index ({m}, {s}))",
+        )
+
+    # Accumulation checksums: left-to-right reference sums over the
+    # domain axis, in the kernel's own accumulation order.
+    floor = np.zeros(m_n)
+    ceiling = np.zeros(m_n)
+    for d in range(grid.shares.shape[1]):
+        share_col = grid.shares[:, d]
+        floor = floor + share_col * (1.0 - grid.accelerable[:, d])
+        ceiling = ceiling + share_col
+    bad = consumed < floor[:, None] - BOUND_TOLERANCE
+    if bad.any():
+        m, s = _first_bad(bad)
+        _fail(
+            "sweep.accumulation",
+            f"{grid.machines[m]}: consumed fraction {consumed[m, s]} below "
+            f"the ideal-engine floor {floor[m]} (grid index ({m}, {s}))",
+        )
+    bad = consumed > ceiling[:, None] + BOUND_TOLERANCE
+    if bad.any():
+        m, s = _first_bad(bad)
+        _fail(
+            "sweep.accumulation",
+            f"{grid.machines[m]}: consumed fraction {consumed[m, s]} above "
+            f"the share-sum ceiling {ceiling[m]} (grid index ({m}, {s}))",
+        )
+
+    # Cross-tensor identities: exact redundant recomputes.
+    if not np.array_equal(result.reduction, 1.0 - consumed):
+        bad = result.reduction != (1.0 - consumed)
+        m, s = _first_bad(bad)
+        _fail(
+            "sweep.identity",
+            f"{grid.machines[m]}: reduction {result.reduction[m, s]} != "
+            f"1 - consumed (grid index ({m}, {s}))",
+        )
+    with np.errstate(divide="ignore"):
+        expected_throughput = 1.0 / consumed
+    if not np.array_equal(result.throughput_improvement, expected_throughput):
+        bad = result.throughput_improvement != expected_throughput
+        m, s = _first_bad(bad)
+        _fail(
+            "sweep.identity",
+            f"{grid.machines[m]}: throughput "
+            f"{result.throughput_improvement[m, s]} != 1 / consumed "
+            f"(grid index ({m}, {s}))",
+        )
+    expected_saved = grid.total_node_hours[:, None] * result.reduction
+    if not np.array_equal(result.node_hours_saved, expected_saved):
+        bad = result.node_hours_saved != expected_saved
+        m, s = _first_bad(bad)
+        _fail(
+            "sweep.identity",
+            f"{grid.machines[m]}: node_hours_saved "
+            f"{result.node_hours_saved[m, s]} != total x reduction "
+            f"(grid index ({m}, {s}))",
+        )
+
+    # Monotonicity along the sorted speedup axis (ties allowed).
+    if s_n > 1:
+        order = np.argsort(grid.speedups, kind="stable")
+        ordered = consumed[:, order]
+        bad = np.diff(ordered, axis=1) > 0.0
+        if bad.any():
+            m, s = _first_bad(bad)
+            _fail(
+                "sweep.monotonicity",
+                f"{grid.machines[m]}: consumed fraction rises from "
+                f"{ordered[m, s]} to {ordered[m, s + 1]} as speedup grows "
+                f"(sorted speedup index {s} -> {s + 1})",
+            )
+        if (grid.total_node_hours >= 0.0).all():
+            saved_ordered = result.node_hours_saved[:, order]
+            bad = np.diff(saved_ordered, axis=1) < 0.0
+            if bad.any():
+                m, s = _first_bad(bad)
+                _fail(
+                    "sweep.monotonicity",
+                    f"{grid.machines[m]}: node-hours saved falls from "
+                    f"{saved_ordered[m, s]} to {saved_ordered[m, s + 1]} as "
+                    f"speedup grows (sorted speedup index {s} -> {s + 1})",
+                )

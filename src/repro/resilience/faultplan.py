@@ -10,7 +10,9 @@ are stable strings the instrumented layers publish:
 * ``artifact:<name>``   — one artefact generator invocation,
 * ``handler:<kind>``    — one serve handler evaluation (scalar or batch),
 * ``cache:<substrate>`` — a substrate-cache lookup (``evict`` rules
-  simulate eviction storms by dropping the entry first),
+  simulate eviction storms by dropping the entry first); the serve
+  engine's result cache consults ``cache:result`` on every hit
+  (``flip`` rules corrupt the entry in memory, ``evict`` drops it),
 * ``store:<filename>``  — one durable write in
   :mod:`repro.harness.store` (the ``torn-write`` / ``bit-flip`` /
   ``fsync-error`` kinds simulate crash-mid-write, silent media
@@ -67,14 +69,20 @@ __all__ = [
 _KINDS = (
     "error", "latency", "evict", "kill",
     "torn-write", "bit-flip", "fsync-error",
+    "flip", "wrong-answer",
 )
 
 #: Kinds whose semantics belong to the *call site*, not the injector:
 #: :meth:`FaultInjector.fire` returns the kind string and the site
 #: implements the failure (the durable store's ``store:*`` sites — see
-#: :mod:`repro.harness.store`).  At a site that does not understand the
+#: :mod:`repro.harness.store`; the serve engine's ``cache:result`` and
+#: ``handler:*`` sites implement ``flip`` / ``wrong-answer`` — see
+#: :mod:`repro.serve.engine`).  At a site that does not understand the
 #: kind, the returned string is ignored and the call proceeds normally.
-_SITE_KINDS = frozenset({"evict", "torn-write", "bit-flip", "fsync-error"})
+_SITE_KINDS = frozenset({
+    "evict", "torn-write", "bit-flip", "fsync-error",
+    "flip", "wrong-answer",
+})
 
 
 @dataclass(frozen=True)
@@ -94,7 +102,15 @@ class FaultRule:
       sites that cannot tolerate process death degrade it to ``error``),
     * ``"torn-write"`` / ``"bit-flip"`` / ``"fsync-error"`` — durable-
       store failures, implemented by the ``store:*`` sites (a torn write
-      SIGKILLs the process mid-write; elsewhere they are no-ops).
+      SIGKILLs the process mid-write; elsewhere they are no-ops),
+    * ``"flip"`` — silent in-memory payload corruption: the serve
+      engine's ``cache:result`` site damages the cached envelope *past*
+      its stored checksum, so only verify-on-read / the scrubber can
+      catch it (elsewhere a no-op),
+    * ``"wrong-answer"`` — a plausible-but-wrong numeric perturbation of
+      a handler's answer *before* its checksum is computed, implemented
+      by the ``handler:*`` sites; only the algebraic answer invariants
+      can catch it (elsewhere a no-op).
     """
 
     site: str

@@ -24,6 +24,7 @@ from typing import Any, Sequence
 from repro.errors import (
     CircuitOpen,
     DeadlineExhausted,
+    IntegrityError,
     OperationCancelled,
     QueryTimeout,
     QueryValidationError,
@@ -32,10 +33,31 @@ from repro.errors import (
     ServiceOverloaded,
     ShardUnavailable,
 )
+from repro.integrity import payload_digest
 from repro.serve.deadline import DEADLINE_HEADER, DeadlineBudget
 from repro.serve.engine import QueryEngine, QueryResponse
 
-__all__ = ["ServeClient", "HttpServeClient"]
+__all__ = ["ServeClient", "HttpServeClient", "verify_response_digest"]
+
+
+def verify_response_digest(value: Any, digest: str, *, where: str) -> None:
+    """End-to-end check: does a served ``value`` still hash to the
+    ``digest`` the engine sealed over it?  Shared by both clients (and
+    the cluster router) — raises :class:`~repro.errors.IntegrityError`
+    on mismatch; an absent digest (older server) verifies trivially."""
+    if not digest:
+        return
+    try:
+        actual = payload_digest(value)
+    except (TypeError, ValueError):
+        actual = "<unencodable>"
+    if actual != digest:
+        raise IntegrityError(
+            f"result digest mismatch from {where}: sealed {digest[:12]}…, "
+            f"received bytes hash to {actual[:12]}… — the value was "
+            f"corrupted in transit or at rest",
+            check="response.digest",
+        )
 
 
 class ServeClient:
@@ -46,10 +68,17 @@ class ServeClient:
     one client from many threads is safe by construction.
     """
 
-    def __init__(self, engine: QueryEngine | None = None, **engine_kwargs: Any):
+    def __init__(
+        self,
+        engine: QueryEngine | None = None,
+        *,
+        verify_digest: bool = False,
+        **engine_kwargs: Any,
+    ):
         if engine is not None and engine_kwargs:
             raise ValueError("pass an engine or engine kwargs, not both")
         self.engine = engine or QueryEngine(**engine_kwargs)
+        self.verify_digest = verify_digest
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
 
@@ -107,14 +136,22 @@ class ServeClient:
         deadline budget: every engine stage refuses work the budget
         can no longer pay for (:class:`~repro.errors.DeadlineExhausted`).
         ``store=False`` keeps the answer out of the caches (hedged
-        backups).
+        backups).  With ``verify_digest=True`` the response's sealed
+        digest is recomputed client-side and a mismatch raises
+        :class:`~repro.errors.IntegrityError` — end-to-end proof the
+        bytes the caller holds are the bytes the engine computed.
         """
-        return self._run(
+        response = self._run(
             self.engine.submit(
                 kind, params, timeout=timeout, scenario=scenario,
                 budget=budget, store=store,
             )
         )
+        if self.verify_digest:
+            verify_response_digest(
+                response.value, response.digest, where="engine"
+            )
+        return response
 
     def query_many(
         self,
@@ -192,14 +229,22 @@ class ServeClient:
     def load_cache_snapshot(self, path: Any) -> int:
         """Warm the result cache from a snapshot file; returns how many
         entries landed.  Raises :class:`~repro.errors.SnapshotError`
-        when the file fails validation — the caller's contract is to
-        treat that as a cold start, never a crash."""
+        when the file is structurally invalid — the caller's contract
+        is to treat that as a cold start, never a crash.  Content
+        damage is *salvaged*: entries failing their per-entry digest
+        are quarantined (counted as ``snapshot_entries_quarantined``)
+        and the undamaged rest restored."""
         from repro.serve.snapshot import load_snapshot
 
-        entries = load_snapshot(path)
+        loaded = load_snapshot(path)
+        if loaded.quarantined:
+            self.engine.metrics.inc(
+                "snapshot_entries_quarantined", loaded.quarantined
+            )
+            self.engine.metrics.inc("integrity_detected", loaded.quarantined)
 
         async def _restore() -> int:
-            return self.engine.restore_cache(entries)
+            return self.engine.restore_cache(loaded.entries)
 
         count = self._run(_restore())
         self.engine.metrics.inc("snapshot_restored", count)
@@ -219,6 +264,7 @@ _ERROR_BY_CODE = {
     "query_timeout": QueryTimeout,
     "deadline_exhausted": DeadlineExhausted,
     "operation_cancelled": OperationCancelled,
+    "integrity_error": IntegrityError,
 }
 
 _ERROR_BY_STATUS = {
@@ -233,9 +279,20 @@ class HttpServeClient:
     """Minimal stdlib HTTP client for a running ``repro-serve`` server
     (single-process or the cluster router — same protocol)."""
 
-    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 60.0,
+        verify_digest: bool = False,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: Recompute each answer's sealed digest client-side and raise
+        #: :class:`~repro.errors.IntegrityError` on mismatch — catches
+        #: corruption anywhere between the engine's seal and this
+        #: process, including inside intermediate hops.
+        self.verify_digest = verify_digest
 
     def _request(
         self,
@@ -315,7 +372,13 @@ class HttpServeClient:
         headers = None
         if deadline_ms is not None:
             headers = {DEADLINE_HEADER: DeadlineBudget(deadline_ms).header_value()}
-        return self._request("POST", "/query", body, headers=headers)
+        payload = self._request("POST", "/query", body, headers=headers)
+        if self.verify_digest and isinstance(payload, dict):
+            verify_response_digest(
+                payload.get("value"), str(payload.get("digest") or ""),
+                where=self.base_url,
+            )
+        return payload
 
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")

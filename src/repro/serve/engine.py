@@ -32,8 +32,24 @@ Plus the resilience layer (:mod:`repro.resilience`):
   instead of an error, when one exists;
 * **fault injection** — a :class:`~repro.resilience.FaultPlan` passed
   to the engine (or ambient at construction) fires at the
-  ``handler:<kind>`` site inside every evaluation, so chaos tests
-  exercise exactly the production path.  No plan → one ``None`` check.
+  ``handler:<kind>`` site inside every evaluation — and at the
+  ``cache:result`` site on every cache hit — so chaos tests exercise
+  exactly the production path.  No plan → one ``None`` check.
+
+And the integrity layer (:mod:`repro.integrity`):
+
+* **answer invariants** — every evaluation's answer passes its kind's
+  algebraic self-checks before acceptance; a miscomputed answer (the
+  ``wrong-answer`` fault) raises a typed error and is retried;
+* **checksummed envelopes** — both caches hold
+  :class:`~repro.integrity.ResultEnvelope`\\ s (value + canonical
+  SHA-256 + recompute provenance); cache hits verify the digest at a
+  sampled rate (``verify_sample_rate``), stale/degraded answers always,
+  snapshot restores always — a failing entry is quarantined and the
+  answer recomputed, never served;
+* **the scrubber** — with ``scrub_interval_s > 0`` a background task
+  patrols the result cache at idle priority, quarantining and
+  re-deriving any entry whose bytes no longer match their digest.
 
 Everything engine-side runs on one event loop — cross-thread callers go
 through :class:`repro.serve.client.ServeClient`, which owns a loop in a
@@ -43,6 +59,7 @@ background thread.
 from __future__ import annotations
 
 import asyncio
+import random
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -52,6 +69,7 @@ from typing import Any
 from repro.errors import (
     CircuitOpen,
     DeadlineExhausted,
+    IntegrityError,
     OperationCancelled,
     QueryTimeout,
     QueryValidationError,
@@ -59,6 +77,13 @@ from repro.errors import (
     ServeError,
     ServiceDraining,
     ServiceOverloaded,
+)
+from repro.integrity import (
+    ResultEnvelope,
+    corrupt_payload,
+    perturb_answer,
+    seal,
+    verify_answer,
 )
 from repro.resilience import (
     BreakerRegistry,
@@ -71,7 +96,12 @@ from repro.resilience import (
     fault_context,
     retry_call,
 )
-from repro.scenario import ScenarioSpec, scenario_context, scenario_from_dict
+from repro.scenario import (
+    ScenarioSpec,
+    scenario_context,
+    scenario_from_dict,
+    scenario_to_dict,
+)
 from repro.serve.admission import AIMDLimiter
 from repro.serve.deadline import DeadlineBudget
 from repro.serve.metrics import Metrics
@@ -80,7 +110,6 @@ from repro.serve.queries import Query, QueryRegistry, canonical_params
 __all__ = ["QueryEngine", "QueryResponse", "SERVE_RETRY_POLICY"]
 
 _STOP = object()
-_MISSING = object()
 
 #: Default retry budget for handler evaluations: snappy, bounded, and
 #: seeded so chaos runs replay the identical backoff schedule.
@@ -105,6 +134,11 @@ class QueryResponse:
     batched: bool = False
     degraded: bool = False
     latency_s: float = 0.0
+    #: Canonical SHA-256 of ``value`` (see :mod:`repro.integrity`),
+    #: sealed the moment the answer passed its integrity checks.  Rides
+    #: the wire as ``X-Repro-Result-Digest`` so any downstream hop can
+    #: recompute and compare.
+    digest: str = ""
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -116,6 +150,7 @@ class QueryResponse:
             "batched": self.batched,
             "degraded": self.degraded,
             "latency_s": self.latency_s,
+            "digest": self.digest,
         }
 
 
@@ -196,6 +231,8 @@ def _evaluate_with_recovery(
     injector: FaultInjector | None,
     policy: RetryPolicy,
     metrics: Metrics,
+    wire_params: dict[str, Any] | None = None,
+    axis_values: tuple[str, tuple] | None = None,
 ) -> Any:
     """One handler evaluation under fault injection + seeded retry
     (executor thread).  ``evaluate`` is the zero-argument computation;
@@ -203,17 +240,42 @@ def _evaluate_with_recovery(
     Validation errors are never retried — they are the caller's bug,
     not a transient failure — and neither are cancellation or deadline
     exhaustion: retrying abandoned or out-of-time work only burns more
-    CPU for nobody."""
+    CPU for nobody.
+
+    Every attempt's answer passes :func:`repro.integrity.verify_answer`
+    before it is accepted — a miscomputation (modelled by the
+    ``wrong-answer`` fault kind, which perturbs the value *before* any
+    checksum exists) raises :class:`IntegrityError` and is retried like
+    any transient failure, so a single soft error costs one retry, not
+    one wrong answer served.  ``axis_values`` names a micro-batch's
+    ``(axis, member values)`` so each member's answer is verified
+    against its own effective params."""
     site = f"handler:{query.kind.name}"
+    kind_name = query.kind.name
 
     def attempt() -> Any:
         with fault_context(injector):
-            if injector is not None:
-                injector.fire(site)
-            return evaluate()
+            fault = injector.fire(site) if injector is not None else None
+            value = evaluate()
+            if fault == "wrong-answer":
+                value = perturb_answer(value)
+            if wire_params is not None:
+                if axis_values is None:
+                    verify_answer(kind_name, wire_params, value)
+                else:
+                    axis, members = axis_values
+                    for member in members:
+                        verify_answer(
+                            kind_name,
+                            {**wire_params, axis: member},
+                            value[member],
+                        )
+            return value
 
-    def on_retry(_attempt: int, _exc: BaseException) -> None:
+    def on_retry(_attempt: int, exc: BaseException) -> None:
         metrics.inc("retries")
+        if isinstance(exc, IntegrityError):
+            metrics.inc("integrity_detected")
 
     seed = injector.plan.seed if injector is not None else 0
     t_start = time.perf_counter()
@@ -235,6 +297,11 @@ def _evaluate_with_recovery(
         # ran this long, then stopped instead of finishing for nobody.
         elapsed_ms = int((time.perf_counter() - t_start) * 1000.0)
         metrics.inc("cancelled_work_ms", elapsed_ms)
+        raise
+    except IntegrityError:
+        # The *final* attempt still failed verification (on_retry
+        # counted the earlier ones); better a typed error than garbage.
+        metrics.inc("integrity_detected")
         raise
     return value
 
@@ -304,6 +371,9 @@ class QueryEngine:
         admission_target_s: float = 0.1,
         admission_initial: float | None = None,
         admission_max: float | None = None,
+        verify_sample_rate: float = 0.125,
+        scrub_interval_s: float = 0.0,
+        scrub_chunk: int = 16,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -315,6 +385,16 @@ class QueryEngine:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if stale_size < 0:
             raise ValueError(f"stale_size must be >= 0, got {stale_size}")
+        if not 0.0 <= verify_sample_rate <= 1.0:
+            raise ValueError(
+                f"verify_sample_rate must be in [0, 1], got {verify_sample_rate}"
+            )
+        if scrub_interval_s < 0:
+            raise ValueError(
+                f"scrub_interval_s must be >= 0, got {scrub_interval_s}"
+            )
+        if scrub_chunk < 1:
+            raise ValueError(f"scrub_chunk must be >= 1, got {scrub_chunk}")
         if registry is None:
             from repro.serve.handlers import DEFAULT_REGISTRY
 
@@ -329,6 +409,20 @@ class QueryEngine:
         self.metrics = metrics or Metrics()
         self.retry_policy = retry_policy
         self.stale_size = stale_size
+        self.verify_sample_rate = verify_sample_rate
+        self.scrub_interval_s = scrub_interval_s
+        self.scrub_chunk = scrub_chunk
+        # Seeded: verification sampling replays identically run to run,
+        # so chaos drills at rate < 1 are still deterministic.
+        self._verify_rng = random.Random(0)
+        self._scrub_task: asyncio.Task | None = None
+        self._scrub_stats = {
+            "passes": 0,
+            "scanned": 0,
+            "quarantined": 0,
+            "recomputed": 0,
+        }
+        self._last_scrub_at: float | None = None
         if isinstance(fault_plan, FaultPlan):
             self._injector = (
                 None if fault_plan.is_empty else FaultInjector(fault_plan)
@@ -384,7 +478,9 @@ class QueryEngine:
         self.metrics.register_gauge(
             "pending_batches", lambda: len(self._pending_batches)
         )
+        self.metrics.register_gauge("scrub_age_s", self._scrub_age_s)
         self.metrics.register_section("admission", self._admission.limits)
+        self.metrics.register_section("scrubber", self._scrubber_stats)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -402,10 +498,19 @@ class QueryEngine:
         self._worker_tasks = [
             asyncio.ensure_future(self._worker()) for _ in range(self.workers)
         ]
+        if self.scrub_interval_s > 0:
+            self._scrub_task = asyncio.ensure_future(self._scrub_loop())
 
     async def stop(self) -> None:
         if not self.started:
             return
+        if self._scrub_task is not None:
+            self._scrub_task.cancel()
+            try:
+                await self._scrub_task
+            except asyncio.CancelledError:
+                pass
+            self._scrub_task = None
         queue = self._queue
         for _ in self._worker_tasks:
             await queue.put(_STOP)
@@ -464,18 +569,146 @@ class QueryEngine:
 
     # -- cache snapshot hand-off --------------------------------------------
 
-    def cache_entries(self) -> list[tuple[Any, Any]]:
-        """The result cache's ``(key, value)`` pairs, LRU-oldest first
-        (call on the engine's loop — e.g. via ``ServeClient``)."""
+    def cache_entries(self) -> list[tuple[Any, ResultEnvelope]]:
+        """The result cache's ``(key, envelope)`` pairs, LRU-oldest
+        first (call on the engine's loop — e.g. via ``ServeClient``)."""
         return list(self._cache.items())
 
-    def restore_cache(self, entries: list[tuple[Any, Any]]) -> int:
+    def restore_cache(
+        self, entries: list[tuple[Any, Any]]
+    ) -> int:
         """Seed the result (and stale) cache from snapshot entries,
         oldest first so the LRU order survives the round trip; returns
-        how many entries landed (the cache bound may evict overflow)."""
+        how many entries landed (the cache bound may evict overflow).
+
+        Every restored envelope is verified — restores are rare and a
+        snapshot sat on disk where anything may have happened to it;
+        entries failing their digest are quarantined (dropped + counted
+        as ``snapshot_entries_quarantined``), never installed.  Bare
+        values (legacy callers, tests) are sealed on the way in."""
         for key, value in entries:
+            if not isinstance(value, ResultEnvelope):
+                value = seal(value)
+            elif not value.verify():
+                self.metrics.inc("integrity_detected")
+                self.metrics.inc("snapshot_entries_quarantined")
+                continue
             self._store(key, value)
         return len(self._cache)
+
+    # -- the cache scrubber --------------------------------------------------
+
+    def _scrub_age_s(self) -> float:
+        """Seconds since the last completed scrub pass (-1: never)."""
+        if self._last_scrub_at is None:
+            return -1.0
+        return time.perf_counter() - self._last_scrub_at
+
+    def _scrubber_stats(self) -> dict[str, Any]:
+        return dict(
+            self._scrub_stats,
+            interval_s=self.scrub_interval_s,
+            age_s=round(self._scrub_age_s(), 3),
+        )
+
+    async def _scrub_loop(self) -> None:
+        """Background patrol over the result cache (``scrub_interval_s``
+        between passes): verify every envelope, quarantine what fails,
+        resubmit it from its own provenance so the cache heals itself.
+        Bounded and polite — ``scrub_chunk`` entries per event-loop
+        slice, and a pass yields whenever the admission queue has real
+        work waiting (scrubbing is strictly lower priority)."""
+        while True:
+            await asyncio.sleep(self.scrub_interval_s)
+            try:
+                await self._scrub_pass()
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # pragma: no cover - defensive
+                # A scrubber crash must never take the engine down.
+                self.metrics.inc("errors")
+
+    async def _scrub_pass(self) -> dict[str, int]:
+        """One full verification sweep; returns the pass's tallies."""
+        scanned = quarantined = recomputed = 0
+        keys = list(self._cache.keys())
+        for start in range(0, len(keys), self.scrub_chunk):
+            # Yield between chunks, and back off while the queue holds
+            # real traffic — the scrubber spends idle capacity only.
+            while self._queue is not None and self._queue.qsize() > 0:
+                await asyncio.sleep(0.005)
+            for key in keys[start : start + self.scrub_chunk]:
+                entry = self._cache.get(key)
+                if entry is None:
+                    continue  # evicted since the scan started
+                scanned += 1
+                if entry.verify():
+                    continue
+                quarantined += 1
+                self.metrics.inc("integrity_detected")
+                self._quarantine(key)
+                if entry.can_recompute() and await self._scrub_recompute(entry):
+                    recomputed += 1
+            await asyncio.sleep(0)
+        self._scrub_stats["passes"] += 1
+        self._scrub_stats["scanned"] += scanned
+        self._scrub_stats["quarantined"] += quarantined
+        self._scrub_stats["recomputed"] += recomputed
+        self._last_scrub_at = time.perf_counter()
+        return {
+            "scanned": scanned,
+            "quarantined": quarantined,
+            "recomputed": recomputed,
+        }
+
+    async def _scrub_recompute(self, entry: ResultEnvelope) -> bool:
+        """Heal one quarantined entry by resubmitting its own query
+        (the envelope carries kind, canonical params, and scenario).
+        Best-effort: a shedding or draining engine just leaves the slot
+        cold for the next pass."""
+        try:
+            await self.submit(
+                entry.kind, dict(entry.params), scenario=entry.scenario
+            )
+        except ServeError:
+            return False
+        except asyncio.CancelledError:
+            raise
+        except Exception:  # pragma: no cover - defensive
+            return False
+        self.metrics.inc("integrity_recomputed")
+        return True
+
+    def _quarantine(self, key: Any) -> None:
+        """Drop a corrupt entry from every store that could serve it."""
+        self._cache.pop(key, None)
+        self._stale.pop(key, None)
+
+    def _should_verify(self) -> bool:
+        """Whether this hot-path cache read pays for digest
+        verification.  Sampled (seeded) so the steady-state overhead is
+        ``verify_sample_rate`` of a SHA-256 per hit; 1.0 verifies every
+        read (chaos drills), 0.0 leaves detection to the scrubber."""
+        if self.verify_sample_rate >= 1.0:
+            return True
+        if self.verify_sample_rate <= 0.0:
+            return False
+        return self._verify_rng.random() < self.verify_sample_rate
+
+    def _verified_stale(self, key: Any) -> ResultEnvelope | None:
+        """The stale store's envelope for ``key`` — but *always*
+        digest-verified first: degraded answers are rare enough that a
+        full check costs nothing, and a degraded answer is exactly the
+        one nobody would otherwise double-check.  Corrupt stale entries
+        are quarantined and reported absent."""
+        stale = self._stale.get(key)
+        if stale is None:
+            return None
+        if not stale.verify():
+            self.metrics.inc("integrity_detected")
+            self._quarantine(key)
+            return None
+        return stale
 
     # -- health -------------------------------------------------------------
 
@@ -638,12 +871,37 @@ class QueryEngine:
         key = query.cache_key
         wire_params = canonical_params(query.params)
 
-        if key in self._cache:
+        entry = self._cache.get(key)
+        if entry is not None:
             self._cache.move_to_end(key)
-            self.metrics.inc("cache_hits")
-            return self._respond(
-                query, wire_params, self._cache[key], t0, cached=True
+            # The ``cache:result`` fault site models damage to a cached
+            # value at rest: ``flip`` corrupts the held payload in place
+            # (after its digest was sealed — exactly what a memory fault
+            # does), ``evict`` silently loses the entry.
+            fault = (
+                self._injector.fire("cache:result")
+                if self._injector is not None
+                else None
             )
+            if fault == "flip":
+                corrupt_payload(entry.value)
+            elif fault == "evict":
+                self._quarantine(key)
+                entry = None
+            if entry is not None:
+                if self._should_verify() and not entry.verify():
+                    # Verify-on-read caught rot: quarantine and fall
+                    # through to a fresh computation — the caller gets a
+                    # recomputed answer, never the damaged bytes.
+                    self.metrics.inc("integrity_detected")
+                    self.metrics.inc("integrity_recomputed")
+                    self._quarantine(key)
+                else:
+                    self.metrics.inc("cache_hits")
+                    return self._respond(
+                        query, wire_params, entry.value, t0, cached=True,
+                        digest=entry.digest,
+                    )
 
         inflight = self._inflight.get(key)
         if inflight is not None:
@@ -653,12 +911,12 @@ class QueryEngine:
                 work.join()
                 if store:
                     work.store = True
-            value, _, degraded = await self._await_result(
+            env, _, degraded = await self._await_result(
                 inflight, timeout, query, budget=budget, work=work
             )
             return self._respond(
-                query, wire_params, value, t0, coalesced=True,
-                degraded=degraded,
+                query, wire_params, env.value, t0, coalesced=True,
+                degraded=degraded, digest=env.digest,
             )
 
         # The circuit-breaker gate: a fresh computation is the only path
@@ -668,11 +926,12 @@ class QueryEngine:
             claimed = self._gate_breakers(query)
         except CircuitOpen:
             self.metrics.inc("breaker_rejected")
-            stale = self._stale.get(key, _MISSING)
-            if stale is not _MISSING:
+            stale = self._verified_stale(key)
+            if stale is not None:
                 self.metrics.inc("degraded")
                 return self._respond(
-                    query, wire_params, stale, t0, degraded=True
+                    query, wire_params, stale.value, t0, degraded=True,
+                    digest=stale.digest,
                 )
             raise
 
@@ -687,12 +946,12 @@ class QueryEngine:
                 breaker.abort_trial()  # the trial call never ran
             self.metrics.inc("shed")
             raise
-        value, n_members, degraded = await self._await_result(
+        env, n_members, degraded = await self._await_result(
             future, timeout, query, budget=budget, work=work
         )
         return self._respond(
-            query, wire_params, value, t0, batched=n_members > 1,
-            degraded=degraded,
+            query, wire_params, env.value, t0, batched=n_members > 1,
+            degraded=degraded, digest=env.digest,
         )
 
     def _breakers_for(self, query: Query) -> tuple[str, ...]:
@@ -734,6 +993,8 @@ class QueryEngine:
         wire_params: dict[str, Any],
         value: Any,
         t0: float,
+        *,
+        digest: str = "",
         **flags: bool,
     ) -> QueryResponse:
         latency = time.perf_counter() - t0
@@ -743,6 +1004,7 @@ class QueryEngine:
             params=wire_params,
             value=value,
             latency_s=latency,
+            digest=digest,
             **flags,
         )
 
@@ -860,42 +1122,60 @@ class QueryEngine:
 
     # -- workers ------------------------------------------------------------
 
-    def _store(self, key: Any, value: Any) -> None:
+    def _store(self, key: Any, envelope: ResultEnvelope) -> None:
         if self.cache_size > 0:
-            self._cache[key] = value
+            self._cache[key] = envelope
             self._cache.move_to_end(key)
             while len(self._cache) > self.cache_size:
                 self._cache.popitem(last=False)
         if self.stale_size > 0:
             # The stale store backs degraded answers: bigger bound, never
             # invalidated by load — only by LRU against stale_size.
-            self._stale[key] = value
+            self._stale[key] = envelope
             self._stale.move_to_end(key)
             while len(self._stale) > self.stale_size:
                 self._stale.popitem(last=False)
 
+    def _seal(self, query: Query, value: Any) -> ResultEnvelope:
+        """Seal a freshly verified answer into its cache envelope —
+        digest now, while the value is known good, plus the provenance
+        (kind, canonical params, scenario) the scrubber needs to
+        recompute it if the stored copy ever rots."""
+        return seal(
+            value,
+            kind=query.kind.name,
+            params=canonical_params(query.params),
+            scenario=(
+                scenario_to_dict(query.scenario)
+                if query.scenario is not None
+                else None
+            ),
+        )
+
     def _finish(
         self, query: Query, future: asyncio.Future, value: Any, n_members: int
     ) -> None:
+        envelope = self._seal(query, value)
         work = self._work.pop(query.cache_key, None)
         if work is None or work.store:
-            self._store(query.cache_key, value)
+            self._store(query.cache_key, envelope)
         self._inflight.pop(query.cache_key, None)
         if not future.done():
-            future.set_result((value, n_members, False))
+            future.set_result((envelope, n_members, False))
 
     def _fail(
         self, query: Query, future: asyncio.Future, exc: BaseException
     ) -> None:
         """Resolve a failed computation: stale answer if we have one
-        (flagged degraded), the typed error otherwise.  Validation
+        (flagged degraded, digest-verified — a corrupt stale entry is
+        quarantined, not served), the typed error otherwise.  Validation
         errors always propagate — serving stale data for a bad request
         would mask the caller's bug."""
         self._inflight.pop(query.cache_key, None)
         self._work.pop(query.cache_key, None)
         if not isinstance(exc, QueryValidationError):
-            stale = self._stale.get(query.cache_key, _MISSING)
-            if stale is not _MISSING:
+            stale = self._verified_stale(query.cache_key)
+            if stale is not None:
                 self.metrics.inc("degraded")
                 if not future.done():
                     future.set_result((stale, 1, True))
@@ -979,6 +1259,8 @@ class QueryEngine:
                     self._injector,
                     self.retry_policy,
                     self.metrics,
+                    canonical_params(query.params),
+                    None,
                 )
             except OperationCancelled as exc:
                 self.metrics.inc("cancelled")
@@ -1087,6 +1369,8 @@ class QueryEngine:
                 self._injector,
                 self.retry_policy,
                 self.metrics,
+                canonical_params(representative.params),
+                (axis, values),
             )
         except OperationCancelled as exc:
             self.metrics.inc("cancelled", len(live))

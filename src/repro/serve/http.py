@@ -64,6 +64,7 @@ from repro.serve.metrics import render_text_metrics
 __all__ = [
     "ServeHTTPServer",
     "NO_STORE_HEADER",
+    "RESULT_DIGEST_HEADER",
     "STATUS_BY_CODE",
     "jittered_retry_after",
     "make_server",
@@ -78,6 +79,12 @@ __all__ = [
 #: shard is actually warm for (cache pollution).
 NO_STORE_HEADER = "X-Repro-No-Store"
 
+#: Response header carrying the answer's sealed canonical SHA-256 (see
+#: :mod:`repro.integrity`): any downstream hop — the cluster router, an
+#: HTTP client, a proxy with opinions — can re-hash the ``value`` field
+#: and prove the bytes it received are the bytes the engine computed.
+RESULT_DIGEST_HEADER = "X-Repro-Result-Digest"
+
 #: The one code→HTTP-status table.  Codes absent here answer 500; the
 #: ``code`` field still rides in the payload, so even a 500 is typed.
 STATUS_BY_CODE: dict[str, int] = {
@@ -91,6 +98,7 @@ STATUS_BY_CODE: dict[str, int] = {
     "operation_cancelled": 503,
     "query_timeout": 504,
     "deadline_exhausted": 504,
+    "integrity_error": 500,
 }
 
 #: Status for a :class:`ReproError` whose code has no table entry.
@@ -132,6 +140,7 @@ class _Handler(BaseHTTPRequestHandler):
         payload: dict[str, Any],
         *,
         retry_after: float | None = None,
+        extra_headers: dict[str, str] | None = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
@@ -139,6 +148,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if retry_after is not None:
             self.send_header("Retry-After", f"{retry_after:g}")
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -234,7 +245,12 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 payload = response.to_dict()
                 payload["ok"] = True
-                self._send(200, payload)
+                extra = (
+                    {RESULT_DIGEST_HEADER: response.digest}
+                    if response.digest
+                    else None
+                )
+                self._send(200, payload, extra_headers=extra)
 
 
 class ServeHTTPServer(ThreadingHTTPServer):
@@ -411,8 +427,10 @@ def register_scenario_files(server: ServeHTTPServer,
 
 
 def restore_snapshot(server: ServeHTTPServer, snapshot_file: str) -> None:
-    """Warm the cache from ``snapshot_file`` if it exists; a damaged
-    snapshot is reported and ignored (cold start, never a crash)."""
+    """Warm the cache from ``snapshot_file`` if it exists.  A
+    structurally broken snapshot is reported and ignored (cold start,
+    never a crash); entries failing their per-entry digest are
+    quarantined and only the verified rest restored."""
     import os
 
     from repro.errors import SnapshotError
@@ -426,8 +444,12 @@ def restore_snapshot(server: ServeHTTPServer, snapshot_file: str) -> None:
             print(f"cache snapshot rejected, starting cold: {exc}",
                   flush=True)
         else:
+            quarantined = server.client.engine.metrics.counters[
+                "snapshot_entries_quarantined"
+            ].value
             print(
-                f"cache warmed from {snapshot_file} ({restored} entries)",
+                f"cache warmed from {snapshot_file} ({restored} entries, "
+                f"{quarantined} quarantined)",
                 flush=True,
             )
     else:
@@ -573,7 +595,14 @@ def main(argv: list[str] | None = None) -> int:
         print("  --fault-plan FILE  inject a chaos experiment (JSON FaultPlan)")
         print("  --timeout SECONDS  per-query deadline (default 30)")
         print("  --cache-snapshot FILE  warm the cache from FILE at startup "
-              "(corrupt = cold start) and flush it back on graceful shutdown")
+              "(damaged entries quarantined, the rest restored) and flush "
+              "it back on graceful shutdown")
+        print("  --verify-sample-rate R  fraction of cache hits whose sealed "
+              "digest is re-verified before serving (default 0.125; 1 = "
+              "every hit)")
+        print("  --scrub-interval SECONDS  background cache-scrubber pass "
+              "interval; corrupt entries are quarantined and recomputed "
+              "(0 disables; default 0)")
         print("  --snapshot-interval SECONDS  also flush the cache snapshot "
               "periodically (0 disables; default 0)")
         print("  --drain-timeout SECONDS  in-flight grace on SIGTERM/SIGINT "
@@ -605,6 +634,8 @@ def main(argv: list[str] | None = None) -> int:
         args, "--cache-snapshot", "a snapshot file argument"
     )
     snapshot_interval = _float_flag(args, "--snapshot-interval", 0.0)
+    verify_sample_rate = _float_flag(args, "--verify-sample-rate", 0.125)
+    scrub_interval = _float_flag(args, "--scrub-interval", 0.0)
     drain_timeout = _float_flag(args, "--drain-timeout", 10.0)
     verbose = "--verbose" in args
     if verbose:
@@ -622,6 +653,8 @@ def main(argv: list[str] | None = None) -> int:
         cache_size=cache_size,
         default_timeout_s=timeout,
         fault_plan=fault_plan,
+        verify_sample_rate=verify_sample_rate,
+        scrub_interval_s=scrub_interval,
     )
     if fault_plan is not None:
         print(

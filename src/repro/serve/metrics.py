@@ -138,6 +138,9 @@ class Metrics:
         "cancelled",           # computations stopped: every waiter abandoned
         "cancelled_work_ms",   # handler milliseconds reclaimed by cancellation
         "admission_rejected",  # shed by the adaptive (AIMD) concurrency limit
+        "integrity_detected",    # corrupt/inconsistent results caught
+        "integrity_recomputed",  # corrupt results healed by recomputation
+        "snapshot_entries_quarantined",  # snapshot entries failing their digest
     )
 
     def __init__(self) -> None:

@@ -2,16 +2,24 @@
 
 A graceful shutdown flushes the engine's result cache to disk so the
 next process starts warm instead of recomputing every popular answer.
-The file is JSON with a format marker, a version, and a SHA-256 over
-the canonical encoding of the entries — and it is written through
+The file is JSON with a format marker, a version, a SHA-256 over the
+canonical encoding of the whole payload, and — since version 2 — a
+SHA-256 per entry (the :class:`~repro.integrity.ResultEnvelope` digest
+sealed when the value was computed) plus each entry's recompute
+provenance.  It is written through
 :func:`repro.harness.store.durable_write`, so a crash mid-flush leaves
 the previous snapshot (or nothing), never a torn one.
 
-Loading is paranoid by design: *any* defect — wrong marker, wrong
-version, checksum mismatch, malformed entry — raises
-:class:`~repro.errors.SnapshotError`, and the caller's contract is to
-treat that as a cold start.  A corrupt snapshot costs warmth, never
-correctness, and never a crash.
+Loading is paranoid, but no longer all-or-nothing: structural damage —
+unreadable file, invalid JSON, wrong marker, wrong version, missing
+payload — still raises :class:`~repro.errors.SnapshotError` (cold
+start).  *Content* damage is salvaged instead: every entry carries its
+own digest, so a snapshot whose whole-document checksum fails (one
+flipped bit used to cost every entry) restores the entries that still
+verify and quarantines only the damaged ones —
+:attr:`LoadedSnapshot.quarantined` counts them, and the server reports
+the tally as ``snapshot_entries_quarantined``.  A corrupt snapshot
+costs partial warmth, never correctness, and never a crash.
 
 Cache keys are the engine's structural tuples
 (``(hash, seeds)`` or ``(hash, seeds, scenario_fingerprint)`` with
@@ -27,16 +35,27 @@ from __future__ import annotations
 
 import hashlib
 import json
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
 from repro.errors import SnapshotError
+from repro.integrity import ResultEnvelope, seal
 
-__all__ = ["SNAPSHOT_FORMAT", "SNAPSHOT_VERSION", "save_snapshot",
-           "load_snapshot"]
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "LoadedSnapshot",
+    "save_snapshot",
+    "load_snapshot",
+]
 
 SNAPSHOT_FORMAT = "repro-serve-cache"
-SNAPSHOT_VERSION = 1
+#: Version 2: per-entry ``sha256`` digests + recompute provenance
+#: (``kind``/``params``/``scenario``).  Version-1 files (no per-entry
+#: digests — nothing to salvage with) are refused: one cold start at
+#: upgrade time.
+SNAPSHOT_VERSION = 2
 
 
 def _encode_key(key: tuple) -> dict[str, Any]:
@@ -67,21 +86,45 @@ def _payload_digest(payload: dict[str, Any]) -> str:
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
 
+@dataclass(frozen=True)
+class LoadedSnapshot:
+    """One salvage-aware snapshot read.
+
+    ``entries`` holds the ``(key, envelope)`` pairs that verified
+    against their own digests; ``quarantined`` counts the entries that
+    did not (or were structurally malformed) and were left behind.
+    ``total`` is how many entries the file claimed.
+    """
+
+    entries: list[tuple[tuple, ResultEnvelope]]
+    quarantined: int = 0
+    total: int = 0
+
+
 def save_snapshot(path: str | Path, entries: list[tuple[tuple, Any]]) -> int:
     """Durably write the cache ``entries`` to ``path``; returns the count.
 
-    Raises :class:`~repro.errors.StoreError` if the durable write fails
-    and :class:`SnapshotError` if an entry's value is not
-    JSON-encodable (cached values are wire payloads, so this indicates
-    a handler bug worth surfacing at flush time, not at next load).
+    Entries are ``(key, ResultEnvelope)`` pairs straight from
+    :meth:`QueryEngine.cache_entries`; bare values (legacy callers,
+    tests) are sealed into envelopes on the way out, so every written
+    entry carries a digest.  Raises
+    :class:`~repro.errors.StoreError` if the durable write fails and
+    :class:`SnapshotError` if an entry's value is not JSON-encodable
+    (cached values are wire payloads, so this indicates a handler bug
+    worth surfacing at flush time, not at next load).
     """
+    try:
+        encoded_entries = []
+        for key, value in entries:
+            if not isinstance(value, ResultEnvelope):
+                value = seal(value)
+            encoded_entries.append(value.to_snapshot_dict(_encode_key(key)))
+    except (TypeError, ValueError) as exc:
+        raise SnapshotError(f"cache snapshot is not serialisable: {exc}") from exc
     payload = {
         "format": SNAPSHOT_FORMAT,
         "version": SNAPSHOT_VERSION,
-        "entries": [
-            {"key": _encode_key(key), "value": value}
-            for key, value in entries
-        ],
+        "entries": encoded_entries,
     }
     try:
         document = {
@@ -99,13 +142,19 @@ def save_snapshot(path: str | Path, entries: list[tuple[tuple, Any]]) -> int:
     return len(payload["entries"])
 
 
-def load_snapshot(path: str | Path) -> list[tuple[tuple, Any]]:
-    """Read and validate a snapshot; returns its ``(key, value)`` entries.
+def load_snapshot(path: str | Path) -> LoadedSnapshot:
+    """Read a snapshot, salvaging every entry that still verifies.
 
-    Raises :class:`SnapshotError` for anything short of a pristine file
-    — the caller cold-starts.  A missing file is also a
-    :class:`SnapshotError` (distinguishable by message), so call sites
-    have exactly one failure path.
+    Raises :class:`SnapshotError` for *structural* damage — unreadable
+    file, invalid JSON, wrong format marker or version, no payload —
+    and the caller cold-starts.  (A missing file is also a
+    :class:`SnapshotError`, distinguishable by message, so call sites
+    have exactly one failure path.)  *Content* damage is per-entry:
+    each entry's value is re-hashed against the ``sha256`` sealed at
+    flush time, and only matching entries are returned; the rest are
+    counted in :attr:`LoadedSnapshot.quarantined`.  The whole-document
+    checksum is advisory under this scheme — whether it matches or not,
+    exactly the per-entry-verified subset is restored.
     """
     path = Path(path)
     try:
@@ -131,19 +180,25 @@ def load_snapshot(path: str | Path) -> list[tuple[tuple, Any]]:
     payload = document.get("payload")
     if not isinstance(payload, dict):
         raise SnapshotError(f"snapshot {path} has no payload object")
-    digest = _payload_digest(payload)
-    if digest != document.get("sha256"):
-        raise SnapshotError(
-            f"snapshot {path} failed its checksum "
-            f"(recorded {str(document.get('sha256'))[:12]}…, "
-            f"computed {digest[:12]}…)"
-        )
     raw_entries = payload.get("entries")
     if not isinstance(raw_entries, list):
         raise SnapshotError(f"snapshot {path} has no entries list")
-    entries: list[tuple[tuple, Any]] = []
-    for i, raw_entry in enumerate(raw_entries):
+    entries: list[tuple[tuple, ResultEnvelope]] = []
+    quarantined = 0
+    for raw_entry in raw_entries:
         if not isinstance(raw_entry, dict) or "key" not in raw_entry:
-            raise SnapshotError(f"snapshot {path}: entries[{i}] is malformed")
-        entries.append((_decode_key(raw_entry["key"]), raw_entry.get("value")))
-    return entries
+            quarantined += 1
+            continue
+        try:
+            key = _decode_key(raw_entry["key"])
+        except SnapshotError:
+            quarantined += 1
+            continue
+        envelope = ResultEnvelope.from_snapshot_dict(raw_entry)
+        if not envelope.verify():
+            quarantined += 1
+            continue
+        entries.append((key, envelope))
+    return LoadedSnapshot(
+        entries=entries, quarantined=quarantined, total=len(raw_entries)
+    )

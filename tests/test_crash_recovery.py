@@ -154,3 +154,50 @@ class TestVerifyGoldens:
     def test_verify_conflicts_with_other_flags(self):
         proc = repro_paper(["--verify", str(ARTIFACTS), "--jobs", "2"])
         assert proc.returncode != 0
+
+
+class TestVerifyJson:
+    """``--verify --json``: one machine-readable document on stdout."""
+
+    def test_clean_audit_is_parseable_and_exit_zero(self):
+        proc = repro_paper(["--verify", str(ARTIFACTS), "--json"])
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        report = json.loads(proc.stdout)
+        assert report["ok"] is True
+        assert report["exit_code"] == 0
+        assert report["counts"] == {"ok": len(report["files"])}
+        for entry in report["files"]:
+            assert entry["status"] == "ok"
+            assert entry["expected_sha256"] == entry["actual_sha256"]
+        assert set(report["status_semantics"]) == {
+            "ok", "missing", "torn", "corrupt", "extra"
+        }
+
+    def test_damaged_audit_names_the_corpse_with_both_hashes(self, tmp_path):
+        outdir = tmp_path / "out"
+        plan = write_plan(tmp_path, [
+            {"site": "store:fig1.json", "kind": "bit-flip",
+             "rate": 1.0, "times": 1},
+        ])
+        proc = repro_paper(["--fault-plan", str(plan),
+                            "--output", str(outdir), *SELECTION])
+        assert proc.returncode == 0
+        check = repro_paper(["--verify", str(outdir), "--json"])
+        assert check.returncode == 1
+        report = json.loads(check.stdout)
+        assert report["ok"] is False
+        assert report["exit_code"] == 1
+        damaged = [e for e in report["files"] if e["status"] == "corrupt"]
+        assert [e["file"] for e in damaged] == ["fig1.json"]
+        assert damaged[0]["expected_sha256"] != damaged[0]["actual_sha256"]
+        assert "fig1" in report["broken"]
+
+    def test_usage_error_is_exit_two(self, tmp_path):
+        proc = repro_paper(["--verify", str(tmp_path / "absent"), "--json"])
+        assert proc.returncode == 2
+        assert proc.stdout == ""
+
+    def test_json_without_verify_is_rejected(self):
+        proc = repro_paper(["--json", "sec3a"])
+        assert proc.returncode != 0
+        assert "--verify" in proc.stderr

@@ -1,0 +1,418 @@
+"""End-to-end result-integrity tests: the PR's falsifiable contract.
+
+Three layers under test, each with its own adversary: the envelope
+digest must catch *any* post-seal bit flip (hypothesis property: no
+false negatives) without ever quarantining an honest value (10k clean
+round-trips: no false positives); the ABFT sweep/answer invariants
+must catch plausible miscomputes the digest cannot see; and the chaos
+parity drill proves the whole stack — a serve engine under ``flip`` +
+``wrong-answer`` fault rules must return answers *byte-identical* to
+an uncorrupted engine's, with every detection landing on a typed
+metric and zero corrupt payloads delivered.
+"""
+
+import asyncio
+import copy
+import json
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import SweepGrid
+from repro.errors import IntegrityError
+from repro.extrapolate import build_machine
+from repro.integrity import (
+    ResultEnvelope,
+    bytes_digest,
+    corrupt_payload,
+    payload_digest,
+    perturb_answer,
+    seal,
+    verify_answer,
+    verify_sweep_result,
+)
+from repro.resilience import FaultPlan, FaultRule, RetryPolicy
+from repro.serve import QueryEngine, default_registry
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def canonical(value) -> bytes:
+    return json.dumps(value, sort_keys=True, separators=(",", ":")).encode()
+
+
+FAST_RETRY = RetryPolicy(attempts=3, base_delay_s=0.0, max_delay_s=0.0)
+
+
+# -- digest layer: no false negatives, no false positives --------------------
+
+
+json_leaves = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=8),
+)
+json_values = st.recursive(
+    json_leaves,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestSingleBitFlipDetection:
+    @given(value=json_values, data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_any_flip_in_the_serialized_envelope_is_detected_or_harmless(
+        self, value, data
+    ):
+        """The no-false-negatives property: flip any single bit of a
+        serialized envelope entry and either some layer detects it
+        (parse failure, shape failure, digest mismatch) or the decoded
+        value is provably unchanged.  Silent value corruption is the
+        one outcome that must be impossible."""
+        env = seal(value)
+        entry = canonical({"sha256": env.digest, "value": env.value})
+        bit = data.draw(
+            st.integers(min_value=0, max_value=len(entry) * 8 - 1),
+            label="bit",
+        )
+        damaged = bytearray(entry)
+        damaged[bit // 8] ^= 1 << (bit % 8)
+        try:
+            doc = json.loads(bytes(damaged).decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return  # structural damage: caught at parse time
+        if not isinstance(doc, dict) or set(doc) != {"sha256", "value"}:
+            return  # shape damage: caught by the snapshot loader
+        try:
+            recomputed = payload_digest(doc["value"])
+        except (TypeError, ValueError):
+            return  # no longer encodable: caught at verify time
+        if recomputed != doc["sha256"]:
+            return  # caught by digest verification
+        assert doc["value"] == value, (
+            "undetected flip changed the value: silent corruption"
+        )
+
+    @given(data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_corrupt_payload_always_breaks_the_seal(self, data):
+        """``flip`` (one damaged leaf, in place) must never survive
+        :meth:`ResultEnvelope.verify` — the engine's verify-on-read is
+        only a defense if the fault kind it drills is detectable."""
+        leaf = data.draw(
+            st.one_of(
+                st.booleans(),
+                st.integers(min_value=-10**6, max_value=10**6),
+                st.floats(allow_nan=False, allow_infinity=False, width=64),
+                st.text(min_size=0, max_size=6),
+            ),
+            label="leaf",
+        )
+        extras = data.draw(
+            st.dictionaries(st.text(min_size=1, max_size=4), json_values,
+                            max_size=3),
+            label="extras",
+        )
+        env = seal({"x": leaf, **extras})
+        assert env.verify()
+        corrupt_payload(env.value)
+        assert not env.verify()
+
+
+class TestNoFalsePositives:
+    def test_ten_thousand_clean_round_trips_zero_spurious_quarantines(self):
+        """Seal, serialize, reload, verify — 10k times over adversarial
+        payload shapes (denormals, infinities, negative zero, unicode,
+        deep nesting).  A single spurious quarantine means the digest
+        discipline is not canonical and the scrubber would churn."""
+        rng = random.Random(20260807)
+
+        def gen(depth=0):
+            roll = rng.random()
+            if depth >= 3 or roll < 0.55:
+                pick = rng.random()
+                if pick < 0.35:
+                    return rng.uniform(-1e15, 1e15)
+                if pick < 0.50:
+                    return rng.randint(-10**12, 10**12)
+                if pick < 0.62:
+                    return rng.choice(
+                        [0.0, -0.0, math.inf, -math.inf, 5e-324, 1e-300,
+                         1.0 + 2**-52]
+                    )
+                if pick < 0.82:
+                    size = rng.randint(0, 9)
+                    return "".join(
+                        rng.choice("abcxyz-_.0:λ∞") for _ in range(size)
+                    )
+                return rng.choice([True, False, None])
+            if roll < 0.80:
+                return {
+                    f"k{i}": gen(depth + 1)
+                    for i in range(rng.randint(1, 4))
+                }
+            return [gen(depth + 1) for _ in range(rng.randint(1, 4))]
+
+        quarantined = 0
+        for i in range(10_000):
+            value = gen()
+            env = seal(value, kind="echo", params={"i": i})
+            wire = json.dumps(env.to_snapshot_dict({"i": i}))
+            loaded = ResultEnvelope.from_snapshot_dict(json.loads(wire))
+            if not loaded.verify():
+                quarantined += 1
+        assert quarantined == 0
+
+    def test_snapshot_dict_round_trip_preserves_provenance(self):
+        env = seal(
+            {"answer": 42.0}, kind="node_hours",
+            params={"speedup": 4.0}, scenario={"name": "what-if"},
+        )
+        clone = ResultEnvelope.from_snapshot_dict(
+            json.loads(json.dumps(env.to_snapshot_dict({"k": 1})))
+        )
+        assert clone.verify()
+        assert clone.can_recompute()
+        assert (clone.kind, clone.params, clone.scenario) == (
+            "node_hours", {"speedup": 4.0}, {"name": "what-if"}
+        )
+
+    def test_bytes_digest_is_the_shared_primitive(self):
+        from repro.harness.store import sha256_bytes
+
+        blob = b"one digest discipline"
+        assert sha256_bytes(blob) == bytes_digest(blob)
+        assert payload_digest("x") == bytes_digest(b'"x"')
+
+
+# -- ABFT sweep invariants ---------------------------------------------------
+
+
+class TestSweepInvariants:
+    def grid(self):
+        models = [build_machine(n) for n in ("k_computer", "anl")]
+        return SweepGrid.from_models(models, (2.0, 4.0, 8.0, math.inf))
+
+    def test_honest_evaluation_passes(self):
+        grid = self.grid()
+        verify_sweep_result(grid, grid.evaluate())  # must not raise
+
+    def test_out_of_range_consumed_fraction_is_caught(self):
+        grid = self.grid()
+        result = grid.evaluate()
+        result.consumed_fraction[0, 0] = 1.5
+        with pytest.raises(IntegrityError, match=r"sweep\.") as err:
+            verify_sweep_result(grid, result)
+        assert err.value.check.startswith("sweep.")
+
+    def test_flipped_reduction_bit_is_caught(self):
+        grid = self.grid()
+        result = grid.evaluate()
+        result.reduction[1, 2] = math.nextafter(
+            result.reduction[1, 2], math.inf
+        )
+        with pytest.raises(IntegrityError, match="sweep.identity"):
+            verify_sweep_result(grid, result)
+
+    def test_consistent_miscompute_is_caught_by_monotonicity(self):
+        """A perturbation that keeps every cross-tensor identity intact
+        (the plausible-miscompute adversary) still trips the sorted-
+        speedup monotonicity check."""
+        grid = self.grid()
+        result = grid.evaluate()
+        bad = float(result.consumed_fraction[0, 0]) + 1e-4
+        result.consumed_fraction[0, -1] = bad
+        result.reduction[0, -1] = 1.0 - bad
+        result.throughput_improvement[0, -1] = 1.0 / bad
+        result.node_hours_saved[0, -1] = (
+            grid.total_node_hours[0] * (1.0 - bad)
+        )
+        with pytest.raises(IntegrityError, match="sweep.monotonicity"):
+            verify_sweep_result(grid, result)
+
+
+# -- answer invariants -------------------------------------------------------
+
+
+DETECTABLE_KINDS = [
+    ("node_hours", {"speedup": 4.0}),
+    ("costbenefit", {"scenario": "anl", "me_speedup": 4.0}),
+    ("roofline", {"device": "v100", "flops": 1.0e12, "nbytes": 1.0e9}),
+    ("density", {"device_a": "v100", "device_b": "a100"}),
+]
+
+
+class TestAnswerInvariants:
+    @pytest.fixture(scope="class")
+    def answers(self):
+        async def go():
+            async with QueryEngine(default_registry()) as engine:
+                out = {}
+                for kind, params in DETECTABLE_KINDS + [
+                    ("me_speedup", {"device": "v100", "fmt": "fp16"})
+                ]:
+                    out[kind] = (params, (await engine.submit(kind, params)).value)
+                return out
+
+        return run(go())
+
+    @pytest.mark.parametrize(
+        "kind", [kind for kind, _ in DETECTABLE_KINDS] + ["me_speedup"]
+    )
+    def test_honest_answers_verify_clean(self, answers, kind):
+        params, value = answers[kind]
+        verify_answer(kind, params, value)  # must not raise
+
+    @pytest.mark.parametrize("kind", [kind for kind, _ in DETECTABLE_KINDS])
+    def test_plausible_perturbation_is_caught(self, answers, kind):
+        """``wrong-answer`` scales every finite float by 0.5 % — inside
+        every range check, invisible to any digest (it happens before
+        sealing).  Only algebraic redundancy can catch it, and for
+        these kinds it must."""
+        params, value = answers[kind]
+        with pytest.raises(IntegrityError, match="answer."):
+            verify_answer(kind, params, perturb_answer(value))
+
+    def test_unknown_kinds_pass_trivially(self):
+        verify_answer("brand-new-kind", {}, {"anything": 1.0})
+
+    def test_non_object_answer_is_a_shape_failure(self):
+        with pytest.raises(IntegrityError, match="answer.shape"):
+            verify_answer("node_hours", {}, [1, 2, 3])
+
+
+# -- the chaos parity drill --------------------------------------------------
+
+
+DRILL_QUERIES = [
+    ("node_hours", {"speedup": 4.0}),
+    ("costbenefit", {"scenario": "anl", "me_speedup": 4.0}),
+    ("me_speedup", {"device": "v100", "fmt": "fp16"}),
+]
+
+
+def drill_plan():
+    return FaultPlan(
+        name="integrity-drill",
+        seed=11,
+        rules=(
+            FaultRule(site="cache:result", kind="flip", times=4),
+            FaultRule(site="handler:node_hours", kind="wrong-answer",
+                      times=2),
+            FaultRule(site="handler:costbenefit", kind="wrong-answer",
+                      times=2),
+        ),
+    )
+
+
+class TestChaosParityDrill:
+    def test_corrupting_engine_matches_clean_engine_byte_for_byte(self):
+        """The acceptance drill: an engine whose cache is being flipped
+        and whose handlers are perturbed, with verify-on-read at 1.0,
+        must serve answers byte-identical to an untouched engine's —
+        every corruption detected, recomputed, and counted; zero wrong
+        answers escape."""
+
+        async def serve(fault_plan):
+            async with QueryEngine(
+                default_registry(), fault_plan=fault_plan,
+                retry_policy=FAST_RETRY, verify_sample_rate=1.0,
+            ) as engine:
+                answers = []
+                for _ in range(3):
+                    for kind, params in DRILL_QUERIES:
+                        response = await engine.submit(kind, params)
+                        answers.append(
+                            (canonical(response.value), response.digest)
+                        )
+                return answers, engine.metrics.snapshot()["counters"]
+
+        chaos, counters = run(serve(drill_plan()))
+        clean, clean_counters = run(serve(None))
+
+        assert chaos == clean  # payload bytes AND digests identical
+        for payload, digest in chaos:
+            assert bytes_digest(payload) == digest
+        # Every corruption landed on a typed metric; none leaked as an
+        # unclassified error or a served value.
+        assert counters["errors"] == 0
+        assert counters["integrity_detected"] == 8  # 4 flips + 4 perturbs
+        assert counters["integrity_recomputed"] == 4
+        assert clean_counters["integrity_detected"] == 0
+        assert clean_counters["integrity_recomputed"] == 0
+        # The clean engine serves rounds 2-3 from cache; the corrupted
+        # engine lost four of those six hits to quarantine + recompute.
+        assert clean_counters["cache_hits"] == 6
+        assert counters["cache_hits"] == 2
+
+    def test_checked_in_integrity_plan_is_loadable_and_armed(self):
+        from pathlib import Path
+
+        from repro.resilience import load_fault_plan
+
+        plan = load_fault_plan(
+            Path("examples/faultplans/integrity_chaos.json")
+        )
+        kinds = {rule.kind for rule in plan.rules}
+        assert kinds == {"flip", "wrong-answer"}
+        assert any(rule.site == "cache:result" for rule in plan.rules)
+
+
+class TestScrubber:
+    def test_scrub_pass_quarantines_and_heals_in_place_corruption(self):
+        """Rot an entry behind the engine's back (no fault plan, no
+        verify-on-read) — the scrubber alone must find it, quarantine
+        it, recompute it from the envelope's own provenance, and leave
+        the next read honest."""
+
+        async def go():
+            async with QueryEngine(
+                default_registry(), verify_sample_rate=0.0
+            ) as engine:
+                first = await engine.submit(
+                    "me_speedup", {"device": "v100", "fmt": "fp16"}
+                )
+                honest = copy.deepcopy(first.value)
+                _, env = engine.cache_entries()[0]
+                corrupt_payload(env.value)
+                tallies = await engine._scrub_pass()
+                second = await engine.submit(
+                    "me_speedup", {"device": "v100", "fmt": "fp16"}
+                )
+                return (
+                    honest, tallies, second,
+                    engine.metrics.snapshot(),
+                )
+
+        honest, tallies, second, snapshot = run(go())
+        assert tallies == {"scanned": 1, "quarantined": 1, "recomputed": 1}
+        assert canonical(second.value) == canonical(honest)
+        counters = snapshot["counters"]
+        assert counters["integrity_detected"] == 1
+        assert counters["integrity_recomputed"] == 1
+        scrubber = snapshot["scrubber"]
+        assert scrubber["passes"] == 1
+        assert scrubber["quarantined"] == 1
+        assert scrubber["age_s"] >= 0.0
+
+    def test_clean_cache_scrubs_to_zero_quarantines(self):
+        async def go():
+            async with QueryEngine(
+                default_registry(), verify_sample_rate=0.0
+            ) as engine:
+                for kind, params in DRILL_QUERIES:
+                    await engine.submit(kind, params)
+                return await engine._scrub_pass()
+
+        tallies = run(go())
+        assert tallies == {"scanned": 3, "quarantined": 0, "recomputed": 0}

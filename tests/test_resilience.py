@@ -9,6 +9,8 @@ injectable fake clock — no test sleeps real time.
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import CircuitOpen, FaultInjected, FaultPlanError
 from repro.harness.cache import SubstrateCache
@@ -96,6 +98,92 @@ class TestFaultPlanFingerprint:
         assert EMPTY_FAULT_PLAN.is_empty
         assert EMPTY_FAULT_PLAN.label() == "none"
         assert FaultPlan(rules=(FaultRule(site="x"),)).label() != "none"
+
+
+#: Every wire-legal rule kind, including the integrity-chaos pair —
+#: kept literal so adding a kind to ``_KINDS`` without property
+#: coverage fails here.
+ALL_KINDS = (
+    "error", "latency", "evict", "kill",
+    "torn-write", "bit-flip", "fsync-error",
+    "flip", "wrong-answer",
+)
+
+sites = st.sampled_from((
+    "handler:node_hours", "handler:*", "cache:result",
+    "substrate:k_year", "store:fig1.json",
+))
+
+
+@st.composite
+def rule_dicts(draw) -> dict:
+    out: dict = {"site": draw(sites), "kind": draw(st.sampled_from(ALL_KINDS))}
+    if draw(st.booleans()):
+        out["rate"] = draw(st.floats(min_value=0.01, max_value=1.0,
+                                     allow_nan=False))
+    else:
+        out["times"] = draw(st.integers(min_value=1, max_value=5))
+    if out["kind"] == "latency":
+        out["latency_s"] = draw(st.floats(min_value=0.0, max_value=2.0,
+                                          allow_nan=False))
+    return out
+
+
+@st.composite
+def plan_dicts(draw) -> dict:
+    return {
+        "name": draw(st.sampled_from(("", "chaos", "drill"))),
+        "seed": draw(st.integers(min_value=0, max_value=2**31)),
+        "rules": draw(st.lists(rule_dicts(), min_size=1, max_size=4)),
+    }
+
+
+class TestFaultPlanFingerprintProperties:
+    @given(data=plan_dicts())
+    @settings(max_examples=50, deadline=None)
+    def test_wire_round_trip_preserves_identity(self, data):
+        plan = fault_plan_from_dict(data)
+        clone = fault_plan_from_dict(
+            json.loads(json.dumps(fault_plan_to_dict(plan)))
+        )
+        assert clone == plan
+        assert clone.fingerprint == plan.fingerprint
+
+    @given(data=plan_dicts(), label=st.sampled_from(("a", "b", "relabel")))
+    @settings(max_examples=50, deadline=None)
+    def test_labels_never_change_the_fingerprint(self, data, label):
+        relabelled = dict(data, name=label, description=f"about {label}")
+        assert (
+            fault_plan_from_dict(relabelled).fingerprint
+            == fault_plan_from_dict(data).fingerprint
+        )
+
+    @given(data=plan_dicts(), other=st.sampled_from(ALL_KINDS))
+    @settings(max_examples=50, deadline=None)
+    def test_changing_a_kind_changes_the_fingerprint(self, data, other):
+        if data["rules"][0]["kind"] == other:
+            return
+        changed = json.loads(json.dumps(data))
+        changed["rules"][0]["kind"] = other
+        if other != "latency":
+            changed["rules"][0].pop("latency_s", None)
+        assert (
+            fault_plan_from_dict(changed).fingerprint
+            != fault_plan_from_dict(data).fingerprint
+        )
+
+    @given(kind=st.sampled_from(ALL_KINDS))
+    @settings(max_examples=20, deadline=None)
+    def test_every_kind_is_wire_legal_and_strict_key_checked(self, kind):
+        plan = fault_plan_from_dict(
+            {"rules": [{"site": "cache:result", "kind": kind}]}
+        )
+        assert plan.rules[0].kind == kind
+        with pytest.raises(FaultPlanError, match="unknown key"):
+            fault_plan_from_dict(
+                {"rules": [{"site": "cache:result", "kind": kind,
+                            "payload": 1}]}
+            )
 
 
 class TestFaultPlanFromDict:

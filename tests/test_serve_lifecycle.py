@@ -124,21 +124,51 @@ class TestSnapshotWarmth:
         finally:
             reader.close()
 
-    def test_corrupt_snapshot_is_rejected_not_fatal(self, tmp_path):
+    def test_structurally_broken_snapshot_is_rejected_not_fatal(
+        self, tmp_path
+    ):
         snap = tmp_path / "cache.json"
         client = ServeClient(workers=1).start()
         try:
             client.query(*QUERY)
             client.save_cache_snapshot(snap)
-            raw = bytearray(snap.read_bytes())
-            raw[len(raw) // 2] ^= 0x01
-            snap.write_bytes(bytes(raw))
+            snap.write_text(snap.read_text()[:-40])  # truncated: not JSON
             with pytest.raises(SnapshotError):
                 client.load_cache_snapshot(snap)
             # The engine keeps serving: warmth is optional.
             assert client.query(*QUERY).value
         finally:
             client.close()
+
+    def test_damaged_entry_is_quarantined_never_served(self, tmp_path):
+        snap = tmp_path / "cache.json"
+        kind, params = QUERY
+
+        writer = ServeClient(workers=1).start()
+        try:
+            honest = writer.query(kind, params)
+            writer.save_cache_snapshot(snap)
+        finally:
+            writer.close()
+
+        # Corrupt the stored value *past* its sealed digest — the silent
+        # rot a whole-file checksum would turn into a full cold start.
+        document = json.loads(snap.read_text())
+        entry = document["payload"]["entries"][0]
+        entry["value"]["me_speedup"] = 999.0
+        snap.write_text(json.dumps(document))
+
+        reader = ServeClient(workers=1).start()
+        try:
+            assert reader.load_cache_snapshot(snap) == 0
+            counters = reader.metrics()["counters"]
+            assert counters["snapshot_entries_quarantined"] == 1
+            # The damaged answer is recomputed, not served.
+            again = reader.query(kind, params)
+            assert again.cached is False
+            assert again.value == honest.value
+        finally:
+            reader.close()
 
 
 # -- subprocess: SIGTERM under live load -------------------------------------
@@ -272,10 +302,27 @@ class TestSigtermUnderLoad:
             if proc.poll() is None:
                 proc.kill()
 
-        # Corrupt the snapshot: next boot starts cold but healthy.
-        raw = bytearray(snap.read_bytes())
-        raw[len(raw) // 2] ^= 0x01
-        snap.write_bytes(bytes(raw))
+        # Damage one stored value past its digest: that entry is
+        # quarantined at boot and recomputed, never served.
+        pristine = snap.read_bytes()
+        document = json.loads(pristine)
+        document["payload"]["entries"][0]["value"]["me_speedup"] = 999.0
+        snap.write_text(json.dumps(document))
+        proc, url, head = _start_server(["--cache-snapshot", str(snap)])
+        try:
+            assert any("1 quarantined" in line for line in head), head
+            again = HttpServeClient(url, timeout=30).query(*QUERY)
+            assert again["cached"] is False
+            assert again["value"] == cold["value"]
+            proc.send_signal(signal.SIGTERM)
+            rc, _ = _finish(proc)
+            assert rc == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        # Break the snapshot structurally: next boot is cold but healthy.
+        snap.write_bytes(pristine[: len(pristine) // 2])
         proc, url, head = _start_server(["--cache-snapshot", str(snap)])
         try:
             assert any("starting cold" in line for line in head), head

@@ -222,17 +222,52 @@ class TestSnapshotFormat:
 
         path = tmp_path / "cache.json"
         assert save_snapshot(path, self._entries()) == 2
-        assert load_snapshot(path) == self._entries()
+        loaded = load_snapshot(path)
+        assert loaded.quarantined == 0 and loaded.total == 2
+        assert [
+            (key, env.value) for key, env in loaded.entries
+        ] == self._entries()
 
-    def test_corrupt_snapshot_raises(self, tmp_path):
+    def test_every_entry_carries_its_own_digest(self, tmp_path):
+        from repro.integrity import payload_digest
+        from repro.serve.snapshot import save_snapshot
+
+        path = tmp_path / "cache.json"
+        save_snapshot(path, self._entries())
+        document = json.loads(path.read_text())
+        for entry in document["payload"]["entries"]:
+            assert entry["sha256"] == payload_digest(entry["value"])
+
+    def test_damaged_entry_is_quarantined_rest_salvaged(self, tmp_path):
         from repro.serve.snapshot import load_snapshot, save_snapshot
 
         path = tmp_path / "cache.json"
         save_snapshot(path, self._entries())
-        raw = bytearray(path.read_bytes())
-        raw[len(raw) // 2] ^= 0x01
-        path.write_bytes(bytes(raw))
+        document = json.loads(path.read_text())
+        # Damage one entry's value after its digest was sealed — the
+        # single-entry blast radius the per-entry digests exist for.
+        document["payload"]["entries"][0]["value"] = {"answer": 2}
+        path.write_text(json.dumps(document))
+        loaded = load_snapshot(path)
+        assert loaded.quarantined == 1 and loaded.total == 2
+        assert [key for key, _ in loaded.entries] == [
+            ("hash-2", (("k_year", 1),), "fp-a")
+        ]
+
+    def test_structurally_broken_snapshot_raises(self, tmp_path):
+        from repro.serve.snapshot import load_snapshot
+
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
         with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_old_version_raises(self, tmp_path):
+        from repro.serve.snapshot import SNAPSHOT_FORMAT, load_snapshot
+
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"format": SNAPSHOT_FORMAT, "version": 1}))
+        with pytest.raises(SnapshotError, match="version"):
             load_snapshot(path)
 
     def test_wrong_format_marker_raises(self, tmp_path):
